@@ -1,0 +1,122 @@
+// Command potsim runs one workload on one simulated machine configuration
+// and prints the full statistics block — the single-run counterpart of
+// cmd/experiments.
+//
+// Examples:
+//
+//	potsim -bench LL -pattern RANDOM                    # BASE, in-order
+//	potsim -bench LL -pattern RANDOM -opt               # OPT, Pipelined POLB
+//	potsim -bench B+T -pattern EACH -opt -design parallel
+//	potsim -bench TPCC -pattern ALL -opt -core ooo
+//	potsim -bench BST -pattern RANDOM -opt -polb 4 -ntx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"potgo/internal/harness"
+	"potgo/internal/polb"
+	"potgo/internal/tpcc"
+	"potgo/internal/workloads"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "LL", "benchmark: LL BST SPS RBT BT B+T TPCC")
+		pattern   = flag.String("pattern", "ALL", "pool usage pattern: ALL EACH RANDOM")
+		opt       = flag.Bool("opt", false, "use hardware translation (OPT); default BASE")
+		design    = flag.String("design", "pipelined", "POLB design: pipelined or parallel")
+		ntx       = flag.Bool("ntx", false, "disable failure-safety/durability (the *_NTX configs)")
+		coreKind  = flag.String("core", "inorder", "core model: inorder or ooo")
+		polbSize  = flag.Int("polb", 0, "POLB entries (0 = paper default 32; -1 = no POLB)")
+		potWalk   = flag.Int64("walk", 0, "POT walk latency in cycles (0 = design default)")
+		ideal     = flag.Bool("ideal", false, "zero-cost translation (upper bound)")
+		polbSets  = flag.Int("polb-sets", 0, "POLB sets (0/1 = fully-associative CAM; >1 = set-associative ablation)")
+		probeWalk = flag.Bool("probe-walk", false, "probe-accurate POT walk latency (ablation)")
+		ops       = flag.Int("ops", 0, "operation count (0 = paper default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		quick     = flag.Bool("quick-tpcc", false, "use the down-scaled TPC-C database")
+	)
+	flag.Parse()
+
+	spec := harness.RunSpec{
+		Bench:     strings.ToUpper(*bench),
+		Opt:       *opt,
+		Tx:        !*ntx,
+		POLBSize:  *polbSize,
+		POLBSets:  *polbSets,
+		POTWalk:   *potWalk,
+		Ideal:     *ideal,
+		ProbeWalk: *probeWalk,
+		Ops:       *ops,
+		Seed:      *seed,
+	}
+	switch strings.ToUpper(*pattern) {
+	case "ALL":
+		spec.Pattern = workloads.All
+	case "EACH":
+		spec.Pattern = workloads.Each
+	case "RANDOM":
+		spec.Pattern = workloads.Random
+	default:
+		fmt.Fprintf(os.Stderr, "potsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*design) {
+	case "pipelined":
+		spec.Design = polb.Pipelined
+	case "parallel":
+		spec.Design = polb.Parallel
+	default:
+		fmt.Fprintf(os.Stderr, "potsim: unknown design %q\n", *design)
+		os.Exit(2)
+	}
+	switch strings.ToLower(*coreKind) {
+	case "inorder", "in-order":
+		spec.Core = harness.InOrder
+	case "ooo", "out-of-order":
+		spec.Core = harness.OutOfOrder
+	default:
+		fmt.Fprintf(os.Stderr, "potsim: unknown core %q\n", *coreKind)
+		os.Exit(2)
+	}
+	if *quick && spec.Bench == harness.TPCCBench {
+		cfg := tpcc.TestConfig(*seed)
+		spec.TPCC = &cfg
+	}
+
+	res, err := harness.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("configuration   %s\n", spec.Label())
+	fmt.Printf("cycles          %d\n", res.CPU.Cycles)
+	fmt.Printf("instructions    %d\n", res.CPU.Instructions)
+	fmt.Printf("IPC             %.3f\n", res.CPU.IPC())
+	fmt.Printf("checksum        %#x\n", res.Checksum)
+	fmt.Printf("pools           %d\n", res.Pools)
+	fmt.Printf("branches        %d (%.2f%% mispredicted)\n", res.CPU.BranchLookups, 100*res.CPU.MispredictRate())
+	fmt.Printf("mem stalls      %d cycles\n", res.CPU.MemStallCycles)
+	fmt.Printf("instruction mix %s\n", res.CPU.Mix.String())
+	m := res.CPU.Mem
+	fmt.Printf("L1D             %d accesses, %.2f%% miss\n", m.L1D.Accesses(), 100*m.L1D.MissRate())
+	fmt.Printf("L2              %d accesses, %.2f%% miss\n", m.L2.Accesses(), 100*m.L2.MissRate())
+	fmt.Printf("L3              %d accesses, %.2f%% miss\n", m.L3.Accesses(), 100*m.L3.MissRate())
+	fmt.Printf("D-TLB           %d accesses, %.2f%% miss\n", m.DTLB.Accesses(), 100*m.DTLB.MissRate())
+	fmt.Printf("CLWBs           %d\n", m.CLWBs)
+	if spec.Opt {
+		tr := res.CPU.Translation
+		fmt.Printf("translations    %d (POLB hits %d, misses %d, %.2f%% miss)\n",
+			tr.Translations, tr.POLBHits, tr.POLBMisses, 100*res.CPU.POLB.MissRate())
+		fmt.Printf("POT walks       %d\n", tr.POTWalks)
+		fmt.Printf("trans stalls    %d cycles\n", res.CPU.TransStallCycles)
+	} else {
+		fmt.Printf("oid_direct      %d calls, %.1f insns/call, %.1f%% predictor miss\n",
+			res.Soft.Calls, res.Soft.InsnsPerCall(), 100*res.Soft.PredictorMissRate())
+	}
+}

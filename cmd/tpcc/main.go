@@ -1,0 +1,103 @@
+// Command tpcc runs the TPC-C application standalone: populate one
+// warehouse, execute a transaction mix, verify the consistency conditions,
+// and report per-transaction statistics. With -timed it also runs the mix
+// on the simulated machine in BASE and OPT modes and reports the speedup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"potgo/internal/emit"
+	"potgo/internal/harness"
+	"potgo/internal/pmem"
+	"potgo/internal/polb"
+	"potgo/internal/tpcc"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+	"potgo/internal/workloads"
+)
+
+func main() {
+	var (
+		txns       = flag.Int("txns", 1000, "transactions to run")
+		place      = flag.String("place", "all", "pool placement: all (TPCC_ALL) or each (TPCC_EACH)")
+		scale      = flag.String("scale", "spec", "database scale: spec (full TPC-C cardinalities) or test")
+		warehouses = flag.Int("warehouses", 0, "override warehouse count (0 = config default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		timed      = flag.Bool("timed", false, "also run BASE and OPT timing simulations")
+	)
+	flag.Parse()
+
+	placement := tpcc.PlaceAll
+	pat := workloads.All
+	if strings.ToLower(*place) == "each" {
+		placement = tpcc.PlaceEach
+		pat = workloads.Each
+	}
+	cfg := tpcc.SpecConfig(*seed)
+	if strings.ToLower(*scale) == "test" {
+		cfg = tpcc.TestConfig(*seed)
+	}
+	if *warehouses > 0 {
+		cfg.Warehouses = *warehouses
+	}
+
+	// Functional run with consistency checking.
+	as := vm.NewAddressSpace(*seed)
+	em := emit.New(trace.Discard{}, emit.Opt)
+	h, err := pmem.NewHeap(as, pmem.NewStore(), em, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("populating %s database (%d items, %d districts x %d customers)...\n",
+		placement, cfg.Items, cfg.Districts, cfg.CustomersPerDistrict)
+	db, err := tpcc.NewDB(h, cfg, placement)
+	if err != nil {
+		fail(err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		fail(fmt.Errorf("post-population consistency: %w", err))
+	}
+	fmt.Printf("running %d transactions...\n", *txns)
+	if err := db.RunMix(*txns); err != nil {
+		fail(err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		fail(fmt.Errorf("post-run consistency: %w", err))
+	}
+	st := db.Stats()
+	fmt.Printf("committed %d transactions (%d new-order rollbacks)\n", st.Total(), st.Rollbacks)
+	for i, n := range st.Counts {
+		fmt.Printf("  %-12s %6d\n", tpcc.TxType(i), n)
+	}
+	fmt.Println("consistency conditions hold")
+
+	if !*timed {
+		return
+	}
+	fmt.Println("\ntiming simulation (in-order core)...")
+	spec := harness.RunSpec{Bench: harness.TPCCBench, Pattern: pat, Tx: true,
+		Core: harness.InOrder, Ops: *txns, Seed: *seed, TPCC: &cfg}
+	base, err := harness.Run(spec)
+	if err != nil {
+		fail(err)
+	}
+	optSpec := spec
+	optSpec.Opt, optSpec.Design = true, polb.Pipelined
+	opt, err := harness.Run(optSpec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("BASE: %d cycles, %d instructions\n", base.CPU.Cycles, base.CPU.Instructions)
+	fmt.Printf("OPT : %d cycles, %d instructions (POLB miss %.2f%%)\n",
+		opt.CPU.Cycles, opt.CPU.Instructions, 100*opt.CPU.POLB.MissRate())
+	fmt.Printf("speedup: %.2fx\n", float64(base.CPU.Cycles)/float64(opt.CPU.Cycles))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tpcc: %v\n", err)
+	os.Exit(1)
+}

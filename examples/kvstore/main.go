@@ -1,0 +1,223 @@
+// kvstore: a durable key-value store built on the persistent B+ tree with
+// undo-log transactions — the kind of application the paper's interface
+// targets.
+//
+// Every Put/Delete runs inside a failure-safe transaction; the store
+// survives close/reopen, and the demo at the end aborts a batch mid-flight
+// to show the undo log restoring the previous state.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pds"
+	"potgo/internal/pmem"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// KVStore is a persistent map[uint64]uint64 with transactional updates.
+type KVStore struct {
+	heap *pmem.Heap
+	pool *pmem.Pool
+	tree *pds.BPlus
+	// touched dedupes undo-log snapshots within one transaction.
+	touched map[oid.OID]bool
+}
+
+// Open creates or reopens the named store.
+func Open(heap *pmem.Heap, name string) (*KVStore, error) {
+	var pool *pmem.Pool
+	var err error
+	if heap.Store.Exists(name) {
+		pool, err = heap.Open(name)
+	} else {
+		pool, err = heap.Create(name, 8<<20)
+	}
+	if err != nil {
+		return nil, err
+	}
+	root, err := heap.Root(pool, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &KVStore{
+		heap: heap,
+		pool: pool,
+		tree: pds.NewBPlus(pds.NewCell(heap, root)),
+	}, nil
+}
+
+// pds.Ctx implementation: single pool, transactional when a tx is open.
+func (s *KVStore) Heap() *pmem.Heap { return s.heap }
+
+func (s *KVStore) Alloc(_ uint64, size uint32) (oid.OID, error) {
+	if s.heap.InTx() {
+		return s.heap.TxAlloc(s.pool, size)
+	}
+	return s.heap.Alloc(s.pool, size)
+}
+
+func (s *KVStore) Free(o oid.OID) error {
+	if s.heap.InTx() {
+		return s.heap.TxFree(o)
+	}
+	return s.heap.Free(o)
+}
+
+func (s *KVStore) Touch(o oid.OID, size uint32) error {
+	if !s.heap.InTx() || s.touched[o] {
+		return nil
+	}
+	s.touched[o] = true
+	return s.heap.TxAddRange(o, size)
+}
+
+// Put inserts or updates a key durably.
+func (s *KVStore) Put(k, v uint64) error {
+	return s.inTx(func() error {
+		if ok, err := s.tree.Update(s, k, v); err != nil || ok {
+			return err
+		}
+		return s.tree.Insert(s, k, v)
+	})
+}
+
+// Get reads a key.
+func (s *KVStore) Get(k uint64) (uint64, bool, error) {
+	return s.tree.Find(s, k)
+}
+
+// Delete removes a key durably, reporting whether it existed.
+func (s *KVStore) Delete(k uint64) (removed bool, err error) {
+	err = s.inTx(func() error {
+		removed, err = s.tree.Remove(s, k)
+		return err
+	})
+	return removed, err
+}
+
+// PutBatch writes several pairs in ONE transaction: all or nothing.
+func (s *KVStore) PutBatch(pairs map[uint64]uint64, failAfter int) error {
+	s.touched = map[oid.OID]bool{}
+	if err := s.heap.TxBegin(s.pool); err != nil {
+		return err
+	}
+	n := 0
+	for k, v := range pairs {
+		if failAfter >= 0 && n == failAfter {
+			// Simulated application error: roll everything back.
+			if err := s.heap.TxAbort(); err != nil {
+				return err
+			}
+			return fmt.Errorf("batch aborted after %d writes (as requested)", n)
+		}
+		if ok, err := s.tree.Update(s, k, v); err != nil {
+			return err
+		} else if !ok {
+			if err := s.tree.Insert(s, k, v); err != nil {
+				return err
+			}
+		}
+		n++
+	}
+	return s.heap.TxEnd()
+}
+
+// Len counts keys.
+func (s *KVStore) Len() (int, error) { return s.tree.CheckInvariants(s) }
+
+// Close persists and unmaps the store.
+func (s *KVStore) Close() error { return s.heap.Close(s.pool) }
+
+func (s *KVStore) inTx(fn func() error) error {
+	s.touched = map[oid.OID]bool{}
+	if err := s.heap.TxBegin(s.pool); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		_ = s.heap.TxAbort()
+		return err
+	}
+	return s.heap.TxEnd()
+}
+
+var _ pds.Ctx = (*KVStore)(nil)
+var _ = isa.RZ
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	as := vm.NewAddressSpace(99)
+	heap, err := pmem.NewHeap(as, pmem.NewStore(), emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		return err
+	}
+
+	kv, err := Open(heap, "demo")
+	if err != nil {
+		return err
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if err := kv.Put(k, k*k); err != nil {
+			return err
+		}
+	}
+	v, ok, err := kv.Get(12)
+	if err != nil || !ok {
+		return fmt.Errorf("get(12): %v", err)
+	}
+	fmt.Printf("put 100 keys; get(12) = %d\n", v)
+
+	if removed, err := kv.Delete(12); err != nil || !removed {
+		return fmt.Errorf("delete(12): %v", err)
+	}
+	if _, ok, _ := kv.Get(12); ok {
+		return fmt.Errorf("key 12 survived delete")
+	}
+	fmt.Println("delete(12): ok")
+
+	// Durable across close/reopen.
+	if err := kv.Close(); err != nil {
+		return err
+	}
+	kv, err = Open(heap, "demo")
+	if err != nil {
+		return err
+	}
+	n, err := kv.Len()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reopened store holds %d keys\n", n)
+
+	// All-or-nothing batch: the abort restores the previous contents.
+	before, _ := kv.Len()
+	err = kv.PutBatch(map[uint64]uint64{500: 1, 501: 2, 502: 3}, 2)
+	fmt.Printf("batch with injected failure: %v\n", err)
+	after, err := kv.Len()
+	if err != nil {
+		return err
+	}
+	if before != after {
+		return fmt.Errorf("abort leaked state: %d -> %d keys", before, after)
+	}
+	fmt.Printf("store unchanged after aborted batch (%d keys): atomicity holds\n", after)
+
+	// And a successful batch commits everything.
+	if err := kv.PutBatch(map[uint64]uint64{500: 1, 501: 2, 502: 3}, -1); err != nil {
+		return err
+	}
+	final, _ := kv.Len()
+	fmt.Printf("committed batch: %d keys\n", final)
+	return nil
+}

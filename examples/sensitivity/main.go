@@ -1,0 +1,107 @@
+// sensitivity: a small end-to-end sensitivity study using the harness API —
+// how the OPT/BASE speedup of one benchmark responds to POLB size, POT-walk
+// latency, and the POLB microarchitecture, rendered as terminal charts.
+//
+// This is a scaled-down interactive version of the paper's §6.3/§6.4
+// studies (Figures 11 and 12); the full versions run via cmd/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"potgo/internal/harness"
+	"potgo/internal/polb"
+	"potgo/internal/stats"
+	"potgo/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "BST", "microbenchmark: LL BST SPS RBT BT B+T")
+	ops := flag.Int("ops", 800, "operations per run")
+	flag.Parse()
+
+	if err := run(*bench, *ops); err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+}
+
+func run(bench string, ops int) error {
+	seed := int64(21)
+	base := harness.RunSpec{Bench: bench, Pattern: workloads.Random, Tx: true,
+		Core: harness.InOrder, Ops: ops, Seed: seed}
+	baseline, err := harness.Run(base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s / RANDOM / in-order — BASE: %d cycles\n\n", bench, baseline.CPU.Cycles)
+
+	speedupOf := func(spec harness.RunSpec) (float64, error) {
+		r, err := harness.Run(spec)
+		if err != nil {
+			return 0, err
+		}
+		if r.Checksum != baseline.Checksum {
+			return 0, fmt.Errorf("functional divergence in %s", spec.Label())
+		}
+		return float64(baseline.CPU.Cycles) / float64(r.CPU.Cycles), nil
+	}
+
+	// 1. POLB size (Figure 11).
+	fmt.Println("speedup vs POLB size (Pipelined):")
+	for _, size := range []int{-1, 1, 4, 8, 32, 128} {
+		spec := base
+		spec.Opt, spec.Design, spec.POLBSize = true, polb.Pipelined, size
+		sp, err := speedupOf(spec)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%4d", size)
+		if size == -1 {
+			label = "none"
+		}
+		fmt.Printf("  %s  %s\n", label, stats.Bar(sp, 3, 30))
+	}
+
+	// 2. POT walk latency (Figure 12).
+	fmt.Println("\nspeedup vs POT-walk latency (Pipelined, 32-entry POLB):")
+	for _, walk := range []int64{-1, 10, 30, 100, 300} {
+		spec := base
+		spec.Opt, spec.Design, spec.POTWalk = true, polb.Pipelined, walk
+		sp, err := speedupOf(spec)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("%4d", walk)
+		if walk == -1 {
+			label = "free"
+		}
+		fmt.Printf("  %s  %s\n", label, stats.Bar(sp, 3, 30))
+	}
+
+	// 3. Designs and walk models.
+	fmt.Println("\ndesign comparison:")
+	rows := []struct {
+		name string
+		mut  func(*harness.RunSpec)
+	}{
+		{"Pipelined (paper)", func(s *harness.RunSpec) { s.Design = polb.Pipelined }},
+		{"Parallel", func(s *harness.RunSpec) { s.Design = polb.Parallel }},
+		{"Pipelined, probe-accurate walk", func(s *harness.RunSpec) { s.Design = polb.Pipelined; s.ProbeWalk = true }},
+		{"Pipelined, direct-mapped POLB", func(s *harness.RunSpec) { s.Design = polb.Pipelined; s.POLBSets = 32 }},
+		{"ideal (zero-cost translation)", func(s *harness.RunSpec) { s.Design = polb.Pipelined; s.Ideal = true }},
+	}
+	for _, row := range rows {
+		spec := base
+		spec.Opt = true
+		row.mut(&spec)
+		sp, err := speedupOf(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-32s %s\n", row.name, stats.Bar(sp, 3, 30))
+	}
+	return nil
+}

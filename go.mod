@@ -1,0 +1,3 @@
+module potgo
+
+go 1.22

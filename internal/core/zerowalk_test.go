@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"potgo/internal/oid"
+	"potgo/internal/polb"
+)
+
+func TestZeroWalkChargesCAMOnly(t *testing.T) {
+	f := newFixture(t, 4)
+	cfg := DefaultConfig(polb.Pipelined)
+	cfg.POTWalkLatency = ZeroWalk
+	tr := New(cfg, f.table, f.as)
+	res, err := tr.Translate(oid.New(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold translation: the CAM access (3) is still charged, the walk is
+	// free — the Figure 12 "ideal POT walk" point.
+	if res.Latency != 3 || res.WalkLat != 0 || res.CAMLat != 3 {
+		t.Errorf("ZeroWalk cold: latency=%d cam=%d walk=%d", res.Latency, res.CAMLat, res.WalkLat)
+	}
+	if tr.Stats().POTWalks != 1 {
+		t.Error("the walk still happens, it just costs nothing")
+	}
+}
+
+func TestExplicitWalkLatency(t *testing.T) {
+	f := newFixture(t, 4)
+	cfg := DefaultConfig(polb.Pipelined)
+	cfg.POTWalkLatency = 500
+	tr := New(cfg, f.table, f.as)
+	res, err := tr.Translate(oid.New(4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency != 503 {
+		t.Errorf("latency = %d, want 3 + 500", res.Latency)
+	}
+}

@@ -1,0 +1,43 @@
+package cpu
+
+// predictor is a bimodal (2-bit saturating counter) branch direction
+// predictor. The paper's machine uses a Pentium M predictor; a bimodal table
+// of a few thousand entries is the standard stand-in at this fidelity and
+// yields comparable accuracy on the loop-heavy code the workloads run.
+type predictor struct {
+	counters []uint8
+	mask     uint64
+	// Lookups and Mispredicts count predictions.
+	lookups, mispredicts uint64
+}
+
+func newPredictor(entries int) *predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("cpu: predictor entries must be a positive power of two")
+	}
+	c := make([]uint8, entries)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return &predictor{counters: c, mask: uint64(entries - 1)}
+}
+
+// predict consumes one resolved branch: it predicts from the current table
+// state, updates the counter with the actual outcome, and reports whether
+// the prediction was wrong.
+func (p *predictor) predict(pc uint64, taken bool) (mispredicted bool) {
+	p.lookups++
+	idx := (pc >> 2) & p.mask
+	ctr := p.counters[idx]
+	predictedTaken := ctr >= 2
+	if taken && ctr < 3 {
+		p.counters[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		p.counters[idx] = ctr - 1
+	}
+	if predictedTaken != taken {
+		p.mispredicts++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+// Package cpu implements the two timing models of the paper's evaluation: a
+// classic five-stage in-order pipeline (paper §4.5) and an out-of-order
+// superscalar modelled in the style of Sniper's instruction-window-centric
+// ROB core model (paper §4.4, §5.1), both consuming dynamic instruction
+// traces and charging memory latencies through internal/mem and ObjectID
+// translations through internal/core.
+package cpu
+
+// Config fixes the core microarchitecture. DefaultConfig matches the paper's
+// Table 4 out-of-order machine (Nehalem-class); the in-order model uses the
+// same frequency and memory system and ignores the window parameters.
+type Config struct {
+	// FetchWidth, IssueWidth and CommitWidth are per-cycle instruction
+	// limits (Table 4: issue width 4).
+	FetchWidth, IssueWidth, CommitWidth int
+	// ROB, LQ and SQ are window sizes (Table 4: 128 / 48 / 32).
+	ROB, LQ, SQ int
+	// FrontendDepth is the fetch-to-dispatch depth in cycles.
+	FrontendDepth uint64
+	// MispredictPenalty is the branch misprediction redirect cost
+	// (Table 4: 8 cycles).
+	MispredictPenalty uint64
+	// PredictorEntries sizes the bimodal branch predictor.
+	PredictorEntries int
+}
+
+// DefaultConfig returns the paper's Table 4 core.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:        4,
+		IssueWidth:        4,
+		CommitWidth:       4,
+		ROB:               128,
+		LQ:                48,
+		SQ:                32,
+		FrontendDepth:     6,
+		MispredictPenalty: 8,
+		PredictorEntries:  4096,
+	}
+}

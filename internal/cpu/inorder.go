@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"potgo/internal/isa"
+	"potgo/internal/trace"
+)
+
+// RunInOrder executes a trace on the five-stage in-order pipeline of paper
+// §4.5 (IF ID EX MEM WB) and returns the timing result.
+//
+// Model summary:
+//
+//   - Single issue, one instruction per cycle when nothing stalls.
+//   - Stall-on-use scoreboarding: an instruction stalls in decode until its
+//     source registers are ready, so load-delay slots can be covered by
+//     independent instructions.
+//   - Cache hits are pipelined (the MEM stage accepts one access per
+//     cycle); everything beyond an L1 hit — a TLB miss, an L2/L3/memory
+//     access, or a POT walk — blocks the pipeline, as in-order cores with
+//     blocking caches do.
+//   - The Pipelined POLB adds its 3-cycle CAM latency to load-to-use
+//     latency (the CAM itself is pipelined); the Parallel POLB overlaps the
+//     L1 access and adds nothing on hits.
+//   - Stores and CLWBs retire into a store buffer and do not stall the
+//     pipeline (beyond any translation-walk or TLB stall needed to compute
+//     their address); SFENCE drains the buffer.
+//   - Conditional branches consult a bimodal predictor; a misprediction
+//     costs the fixed redirect penalty (8 cycles).
+func RunInOrder(cfg Config, m *Machine, src trace.Source) (Result, error) {
+	var (
+		res       Result
+		pred      = newPredictor(cfg.PredictorEntries)
+		regReady  [isa.NumRegs]uint64
+		cycle     uint64 // next issue slot
+		storeDone uint64 // completion of last buffered store/CLWB
+		l1Lat     = m.Hier.Config().L1Latency
+	)
+
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		res.Instructions++
+		res.Mix.Record(in)
+
+		start := cycle
+		if t := regReady[in.Src1]; t > start {
+			start = t
+		}
+		if t := regReady[in.Src2]; t > start {
+			start = t
+		}
+		cycle = start + 1
+
+		switch in.Op {
+		case isa.Nop:
+			// Just the issue slot.
+
+		case isa.ALU, isa.Mul, isa.Div:
+			if in.Dst != isa.RZ {
+				regReady[in.Dst] = start + in.Op.ExecLatency()
+			}
+			// Long-latency units block a simple in-order pipe.
+			if lat := in.Op.ExecLatency(); lat > 1 {
+				cycle = start + lat
+			}
+
+		case isa.Jump:
+			// Direct jumps/calls are BTB hits: no penalty.
+
+		case isa.Branch:
+			if pred.predict(in.PC, in.Taken) {
+				cycle = start + 1 + cfg.MispredictPenalty
+				res.BranchStallCycles += cfg.MispredictPenalty
+			}
+
+		case isa.Load, isa.NVLoad:
+			acc, err := m.resolve(in)
+			if err != nil {
+				return res, err
+			}
+			// Blocking portion: POT walk, TLB miss, sub-L1 misses.
+			block := acc.walkLat + acc.tlbLat
+			if acc.cacheLat > l1Lat {
+				block += acc.cacheLat - l1Lat
+			}
+			if block > 0 {
+				cycle = start + 1 + block
+			}
+			if in.Dst != isa.RZ {
+				regReady[in.Dst] = start + acc.total()
+			}
+			res.MemStallCycles += block
+			res.TransStallCycles += acc.transLat()
+
+		case isa.Store, isa.NVStore:
+			acc, err := m.resolve(in)
+			if err != nil {
+				return res, err
+			}
+			// Address generation must complete before the store can
+			// enter the buffer; the write itself is buffered.
+			block := acc.walkLat + acc.tlbLat
+			if block > 0 {
+				cycle = start + 1 + block
+			}
+			done := start + acc.total()
+			if done > storeDone {
+				storeDone = done
+			}
+			res.MemStallCycles += block
+			res.TransStallCycles += acc.transLat()
+
+		case isa.CLWB:
+			acc, err := m.resolve(in)
+			if err != nil {
+				return res, err
+			}
+			done := start + acc.cacheLat
+			if done > storeDone {
+				storeDone = done
+			}
+
+		case isa.SFence:
+			if storeDone > cycle {
+				res.MemStallCycles += storeDone - cycle
+				cycle = storeDone
+			}
+		}
+	}
+
+	res.Cycles = cycle
+	res.BranchLookups = pred.lookups
+	res.Mispredicts = pred.mispredicts
+	res.finish(m)
+	return res, nil
+}

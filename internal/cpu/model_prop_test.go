@@ -1,0 +1,166 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"potgo/internal/isa"
+	"potgo/internal/mem"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// randomTrace builds a mixed but well-formed trace over a mapped region.
+func randomTrace(seed int64, n int, base uint64) []isa.Instr {
+	rng := rand.New(rand.NewSource(seed))
+	ins := make([]isa.Instr, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1:
+			ins = append(ins, isa.Instr{Op: isa.Load, Dst: isa.Reg(1 + rng.Intn(15)),
+				Src1: isa.Reg(rng.Intn(16)), Addr: base + uint64(rng.Intn(1<<14))&^7, Size: 8})
+		case 2:
+			ins = append(ins, isa.Instr{Op: isa.Store, Src1: isa.Reg(rng.Intn(16)),
+				Src2: isa.Reg(rng.Intn(16)), Addr: base + uint64(rng.Intn(1<<14))&^7, Size: 8})
+		case 3:
+			ins = append(ins, isa.Instr{Op: isa.Branch, PC: uint64(rng.Intn(64) * 4), Taken: rng.Intn(2) == 0})
+		case 4:
+			ins = append(ins, isa.Instr{Op: isa.Mul, Dst: isa.Reg(1 + rng.Intn(15)), Src1: isa.Reg(rng.Intn(16))})
+		default:
+			ins = append(ins, isa.Instr{Op: isa.ALU, Dst: isa.Reg(1 + rng.Intn(15)),
+				Src1: isa.Reg(rng.Intn(16)), Src2: isa.Reg(rng.Intn(16))})
+		}
+	}
+	return ins
+}
+
+func runTrace(t *testing.T, inorder bool, memCfg mem.Config, coreCfg Config, instrs []isa.Instr) Result {
+	t.Helper()
+	as := vm.NewAddressSpace(9)
+	r, err := as.Map(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebase addresses onto this mapping.
+	rebased := make([]isa.Instr, len(instrs))
+	copy(rebased, instrs)
+	for i := range rebased {
+		if rebased[i].Op.IsMem() {
+			rebased[i].Addr = r.Base + (rebased[i].Addr & 0xffff & ^uint64(7))
+		}
+	}
+	m := &Machine{Hier: mem.New(memCfg, as)}
+	var res Result
+	if inorder {
+		res, err = RunInOrder(coreCfg, m, &trace.BufferSource{Instrs: rebased})
+	} else {
+		res, err = RunOutOfOrder(coreCfg, m, &trace.BufferSource{Instrs: rebased})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Property: slower memory never makes execution faster, on either model.
+func TestMemoryLatencyMonotonicity(t *testing.T) {
+	instrs := randomTrace(3, 4000, 0)
+	for _, inorder := range []bool{true, false} {
+		fast := mem.DefaultConfig()
+		slow := mem.DefaultConfig()
+		slow.MemLatency = 400
+		slow.L2Latency = 20
+		slow.L3Latency = 60
+		rFast := runTrace(t, inorder, fast, DefaultConfig(), instrs)
+		rSlow := runTrace(t, inorder, slow, DefaultConfig(), instrs)
+		if rSlow.Cycles < rFast.Cycles {
+			t.Errorf("inorder=%t: slower memory sped execution up: %d < %d",
+				inorder, rSlow.Cycles, rFast.Cycles)
+		}
+	}
+}
+
+// Property: a wider out-of-order machine is never slower than a narrower
+// one with the same window contents.
+func TestWidthMonotonicity(t *testing.T) {
+	instrs := randomTrace(5, 4000, 0)
+	narrow := DefaultConfig()
+	narrow.FetchWidth, narrow.IssueWidth, narrow.CommitWidth = 1, 1, 1
+	wide := DefaultConfig()
+	rNarrow := runTrace(t, false, mem.DefaultConfig(), narrow, instrs)
+	rWide := runTrace(t, false, mem.DefaultConfig(), wide, instrs)
+	if rWide.Cycles > rNarrow.Cycles {
+		t.Errorf("width-4 machine slower than width-1: %d > %d", rWide.Cycles, rNarrow.Cycles)
+	}
+}
+
+// Property: a larger ROB is never slower.
+func TestROBMonotonicity(t *testing.T) {
+	instrs := randomTrace(7, 4000, 0)
+	small := DefaultConfig()
+	small.ROB, small.LQ, small.SQ = 16, 8, 8
+	big := DefaultConfig()
+	rSmall := runTrace(t, false, mem.DefaultConfig(), small, instrs)
+	rBig := runTrace(t, false, mem.DefaultConfig(), big, instrs)
+	if rBig.Cycles > rSmall.Cycles {
+		t.Errorf("ROB-128 slower than ROB-16: %d > %d", rBig.Cycles, rSmall.Cycles)
+	}
+}
+
+// Property: the out-of-order model never loses to the in-order model on the
+// same trace (same fetch discipline, strictly more reordering freedom).
+func TestOoONeverSlowerThanInOrder(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		instrs := randomTrace(seed, 3000, 0)
+		rIn := runTrace(t, true, mem.DefaultConfig(), DefaultConfig(), instrs)
+		rOoO := runTrace(t, false, mem.DefaultConfig(), DefaultConfig(), instrs)
+		// Allow a small tolerance: commit-width bubbles can differ.
+		if float64(rOoO.Cycles) > float64(rIn.Cycles)*1.05 {
+			t.Errorf("seed %d: OoO (%d) much slower than in-order (%d)", seed, rOoO.Cycles, rIn.Cycles)
+		}
+	}
+}
+
+// Both models execute every instruction exactly once.
+func TestInstructionAccounting(t *testing.T) {
+	instrs := randomTrace(11, 2500, 0)
+	rIn := runTrace(t, true, mem.DefaultConfig(), DefaultConfig(), instrs)
+	rOoO := runTrace(t, false, mem.DefaultConfig(), DefaultConfig(), instrs)
+	if rIn.Instructions != uint64(len(instrs)) || rOoO.Instructions != uint64(len(instrs)) {
+		t.Errorf("instruction counts: in=%d ooo=%d want %d",
+			rIn.Instructions, rOoO.Instructions, len(instrs))
+	}
+	if rIn.Mix.Total != rOoO.Mix.Total {
+		t.Error("mix accounting diverged")
+	}
+}
+
+// Determinism: the same trace yields the same cycle count.
+func TestModelDeterminism(t *testing.T) {
+	instrs := randomTrace(13, 2000, 0)
+	a := runTrace(t, false, mem.DefaultConfig(), DefaultConfig(), instrs)
+	b := runTrace(t, false, mem.DefaultConfig(), DefaultConfig(), instrs)
+	if a.Cycles != b.Cycles {
+		t.Errorf("nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+// LQ/SQ pressure: a load/store-heavy trace must still complete with tiny
+// queues, just more slowly.
+func TestTinyQueues(t *testing.T) {
+	var instrs []isa.Instr
+	for i := 0; i < 2000; i++ {
+		if i%2 == 0 {
+			instrs = append(instrs, isa.Instr{Op: isa.Load, Dst: 1, Addr: uint64(i * 64), Size: 8})
+		} else {
+			instrs = append(instrs, isa.Instr{Op: isa.Store, Src2: 1, Addr: uint64(i * 64), Size: 8})
+		}
+	}
+	tiny := DefaultConfig()
+	tiny.LQ, tiny.SQ = 2, 2
+	rTiny := runTrace(t, false, mem.DefaultConfig(), tiny, instrs)
+	rBig := runTrace(t, false, mem.DefaultConfig(), DefaultConfig(), instrs)
+	if rTiny.Cycles < rBig.Cycles {
+		t.Errorf("tiny queues faster than default: %d < %d", rTiny.Cycles, rBig.Cycles)
+	}
+}

@@ -1,0 +1,239 @@
+package cpu
+
+import (
+	"potgo/internal/isa"
+	"potgo/internal/trace"
+)
+
+// slotClock enforces a per-cycle width limit on a pipeline stage: each slot
+// accepts one instruction per cycle.
+type slotClock []uint64
+
+func newSlotClock(width int) slotClock { return make(slotClock, width) }
+
+// take claims the earliest slot at or after `earliest` and returns the cycle
+// granted.
+func (s slotClock) take(earliest uint64) uint64 {
+	best := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[best] {
+			best = i
+		}
+	}
+	t := earliest
+	if s[best] > t {
+		t = s[best]
+	}
+	s[best] = t + 1
+	return t
+}
+
+// sqEntry is a store-queue entry used for store-to-load forwarding.
+type sqEntry struct {
+	va    uint64
+	size  uint64
+	ready uint64 // cycle the address and data are available in the SQ
+	valid bool
+}
+
+// RunOutOfOrder executes a trace on the out-of-order superscalar model of
+// paper §4.4 using the timestamp ("instruction-window-centric") approach of
+// Sniper's ROB core model, which is the simulator the paper extends.
+//
+// Per instruction the model derives dispatch, issue, completion and commit
+// times constrained by:
+//
+//   - front-end width (FetchWidth per cycle) and branch-misprediction
+//     redirects (dispatch of younger instructions floors at branch
+//     resolution + the 8-cycle penalty);
+//   - ROB/LQ/SQ occupancy (an instruction cannot dispatch until the entry
+//     of the instruction ROB-size earlier has been released);
+//   - register data dependencies (wake-up on completion times);
+//   - issue and commit widths;
+//   - the LSQ: loads search older stores by post-translation virtual
+//     address and forward from the youngest conflicting one — which is why
+//     the Pipelined POLB, whose output is a virtual address available at
+//     AGEN, composes with unmodified disambiguation hardware (paper §4.3),
+//     and the Parallel design is not modelled for out-of-order cores;
+//   - nvld/nvst address generation: the POLB CAM access extends AGEN and a
+//     POLB miss stalls AGEN for the POT walk.
+//
+// Stores and CLWBs drain to the cache after commit and hold their SQ entry
+// until the line is written; SFENCE completes only after every prior
+// store/CLWB has drained.
+func RunOutOfOrder(cfg Config, m *Machine, src trace.Source) (Result, error) {
+	var (
+		res  Result
+		pred = newPredictor(cfg.PredictorEntries)
+
+		regReady [isa.NumRegs]uint64
+
+		fetchSlots  = newSlotClock(cfg.FetchWidth)
+		issueSlots  = newSlotClock(cfg.IssueWidth)
+		commitSlots = newSlotClock(cfg.CommitWidth)
+
+		robRing = make([]uint64, cfg.ROB)
+		lqRing  = make([]uint64, cfg.LQ)
+		sqRing  = make([]uint64, cfg.SQ)
+
+		sq       = make([]sqEntry, cfg.SQ)
+		storeSeq uint64 // count of stores/CLWBs processed
+		loadSeq  uint64
+
+		dispatchFloor uint64 // branch-redirect floor
+		lastCommit    uint64
+		storeDrainMax uint64
+		l1Lat         = m.Hier.Config().L1Latency
+
+		idx uint64
+	)
+
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		res.Instructions++
+		res.Mix.Record(in)
+
+		// Dispatch: front-end pacing, redirect floor, window occupancy.
+		floor := dispatchFloor
+		if t := robRing[idx%uint64(cfg.ROB)]; t > floor {
+			floor = t
+		}
+		if in.Op.IsLoad() {
+			if t := lqRing[loadSeq%uint64(cfg.LQ)]; t > floor {
+				floor = t
+			}
+		}
+		if in.Op.IsStore() {
+			if t := sqRing[storeSeq%uint64(cfg.SQ)]; t > floor {
+				floor = t
+			}
+		}
+		dispatch := fetchSlots.take(floor) + cfg.FrontendDepth
+
+		// Wake-up: wait for source operands.
+		ready := dispatch
+		if t := regReady[in.Src1]; t > ready {
+			ready = t
+		}
+		if t := regReady[in.Src2]; t > ready {
+			ready = t
+		}
+		issue := issueSlots.take(ready)
+
+		// Execute.
+		var complete uint64
+		var drainLat uint64 // post-commit cache-write latency (stores)
+		switch in.Op {
+		case isa.Nop, isa.Jump:
+			complete = issue + 1
+
+		case isa.ALU, isa.Mul, isa.Div:
+			complete = issue + in.Op.ExecLatency()
+
+		case isa.Branch:
+			complete = issue + 1
+			if pred.predict(in.PC, in.Taken) {
+				redirect := complete + cfg.MispredictPenalty
+				if redirect > dispatchFloor {
+					dispatchFloor = redirect
+				}
+				res.BranchStallCycles += cfg.MispredictPenalty
+			}
+
+		case isa.Load, isa.NVLoad:
+			acc, err := m.resolve(in)
+			if err != nil {
+				return res, err
+			}
+			agenDone := issue + 1 + acc.transLat()
+			if st, hit := youngestConflict(sq, storeSeq, acc.va, uint64(in.Size)); hit {
+				// Store-to-load forwarding out of the SQ.
+				complete = agenDone
+				if st.ready+1 > complete {
+					complete = st.ready + 1
+				}
+			} else {
+				complete = agenDone + acc.tlbLat + acc.cacheLat
+			}
+			res.TransStallCycles += acc.transLat()
+			res.MemStallCycles += acc.tlbLat
+			if acc.cacheLat > l1Lat {
+				res.MemStallCycles += acc.cacheLat - l1Lat
+			}
+			loadSeq++
+
+		case isa.Store, isa.NVStore, isa.CLWB:
+			acc, err := m.resolve(in)
+			if err != nil {
+				return res, err
+			}
+			agenDone := issue + 1 + acc.transLat() + acc.tlbLat
+			complete = agenDone // address+data in SQ: eligible to retire
+			sq[storeSeq%uint64(cfg.SQ)] = sqEntry{va: acc.va, size: uint64(in.Size), ready: agenDone, valid: in.Op != isa.CLWB}
+			drainLat = acc.cacheLat
+			res.TransStallCycles += acc.transLat()
+			res.MemStallCycles += acc.tlbLat
+
+		case isa.SFence:
+			complete = issue + 1
+			if storeDrainMax > complete {
+				complete = storeDrainMax
+			}
+		}
+
+		if in.Dst != isa.RZ {
+			regReady[in.Dst] = complete
+		}
+
+		// In-order commit, width-limited.
+		floor = complete
+		if lastCommit > floor {
+			floor = lastCommit
+		}
+		commit := commitSlots.take(floor)
+		lastCommit = commit
+
+		// Release window entries.
+		robRing[idx%uint64(cfg.ROB)] = commit
+		if in.Op.IsLoad() {
+			lqRing[(loadSeq-1)%uint64(cfg.LQ)] = commit
+		}
+		if in.Op.IsStore() {
+			drain := commit + drainLat
+			sqRing[storeSeq%uint64(cfg.SQ)] = drain
+			if drain > storeDrainMax {
+				storeDrainMax = drain
+			}
+			storeSeq++
+		}
+		idx++
+	}
+
+	res.Cycles = lastCommit
+	res.BranchLookups = pred.lookups
+	res.Mispredicts = pred.mispredicts
+	res.finish(m)
+	return res, nil
+}
+
+// youngestConflict searches the store queue for the youngest store whose
+// byte range overlaps [va, va+size). Addresses in the SQ are
+// post-translation virtual addresses, so nvst→ld and st→nvld forwarding
+// work exactly as the paper's Pipelined design intends.
+func youngestConflict(sq []sqEntry, storeSeq, va, size uint64) (sqEntry, bool) {
+	n := uint64(len(sq))
+	window := storeSeq
+	if window > n {
+		window = n
+	}
+	for k := uint64(1); k <= window; k++ {
+		e := sq[(storeSeq-k)%n]
+		if e.valid && e.va < va+size && va < e.va+e.size {
+			return e, true
+		}
+	}
+	return sqEntry{}, false
+}

@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRender runs every registered experiment end-to-end at
+// tiny scale and checks each produces a non-empty report with values — the
+// regression net under cmd/experiments.
+func TestAllExperimentsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole experiment grid")
+	}
+	s := NewSuite(Options{Seed: 6, Ops: 60, SkipTPCC: true})
+	for _, id := range ExperimentIDs {
+		rep, err := s.RunExperiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id {
+			t.Errorf("%s: id mismatch %q", id, rep.ID)
+		}
+		if strings.TrimSpace(rep.Text) == "" {
+			t.Errorf("%s: empty report", id)
+		}
+		if len(rep.Values) == 0 {
+			t.Errorf("%s: no headline values", id)
+		}
+		if rep.Title == "" {
+			t.Errorf("%s: no title", id)
+		}
+	}
+}

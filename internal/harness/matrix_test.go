@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"testing"
+
+	"potgo/internal/polb"
+	"potgo/internal/workloads"
+)
+
+// TestFunctionalMatrix is the broad cross-configuration agreement check:
+// for every benchmark and pattern, every machine configuration (BASE, OPT
+// on both designs, ideal, FIXED, both cores, NTX) must compute the same
+// functional result — the timing machinery must never perturb what the
+// program does.
+func TestFunctionalMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix is minutes of work")
+	}
+	const ops = 80
+	for _, bench := range MicroBenches {
+		for _, pat := range []workloads.Pattern{workloads.All, workloads.Each, workloads.Random} {
+			base := RunSpec{Bench: bench, Pattern: pat, Tx: true, Core: InOrder, Ops: ops, Seed: 99}
+			ref, err := Run(base)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", bench, pat, err)
+			}
+			variants := []RunSpec{}
+			{
+				v := base
+				v.Opt, v.Design = true, polb.Pipelined
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.Opt, v.Design = true, polb.Parallel
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.Opt, v.Design, v.Ideal = true, polb.Pipelined, true
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.FixedMap = true
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.Core = OutOfOrder
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.Opt, v.Design, v.Core = true, polb.Pipelined, OutOfOrder
+				variants = append(variants, v)
+			}
+			{
+				v := base
+				v.Opt, v.Design, v.Prefetch = true, polb.Pipelined, true
+				variants = append(variants, v)
+			}
+			for _, spec := range variants {
+				r, err := Run(spec)
+				if err != nil {
+					t.Fatalf("%s: %v", spec.Label(), err)
+				}
+				if r.Checksum != ref.Checksum {
+					t.Errorf("%s: checksum %#x != reference %#x", spec.Label(), r.Checksum, ref.Checksum)
+				}
+				if r.CPU.Instructions == 0 || r.CPU.Cycles == 0 {
+					t.Errorf("%s: empty run", spec.Label())
+				}
+			}
+		}
+	}
+}
+
+// NTX variants agree with TX variants functionally (durability does not
+// change results, only costs).
+func TestNTXMatrix(t *testing.T) {
+	for _, bench := range MicroBenches {
+		tx := RunSpec{Bench: bench, Pattern: workloads.Random, Tx: true, Core: InOrder, Ops: 60, Seed: 5}
+		ntx := tx
+		ntx.Tx = false
+		a, err := Run(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(ntx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Checksum != b.Checksum {
+			t.Errorf("%s: TX/NTX checksums differ", bench)
+		}
+		if b.CPU.Instructions >= a.CPU.Instructions {
+			t.Errorf("%s: NTX (%d insns) must be cheaper than TX (%d)", bench, b.CPU.Instructions, a.CPU.Instructions)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"potgo/internal/tpcc"
+)
+
+// Options configures an experiment suite.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Ops overrides every microbenchmark's operation count (0 = the
+	// paper's Table 5 counts). Used for quick runs and tests.
+	Ops int
+	// TPCCOps overrides the TPC-C transaction count (0 = the paper's
+	// 1000).
+	TPCCOps int
+	// TPCC overrides the TPC-C cardinalities (nil = full spec scale).
+	TPCC *tpcc.Config
+	// SkipTPCC drops the TPC-C rows from experiments that include them.
+	SkipTPCC bool
+	// Parallel is the number of concurrent simulations (default 1; each
+	// run is single-threaded and the grid is CPU-bound).
+	Parallel int
+	// Progress, when non-nil, receives a line per completed run.
+	Progress func(string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = 1
+	}
+	return o
+}
+
+// Suite memoizes simulation runs so experiments that share configurations
+// (Figure 9 and Table 8; Figure 11 and the BASE columns) execute them once.
+type Suite struct {
+	opts  Options
+	mu    sync.Mutex
+	cache map[string]RunResult
+}
+
+// NewSuite builds a suite.
+func NewSuite(opts Options) *Suite {
+	return &Suite{opts: opts.withDefaults(), cache: make(map[string]RunResult)}
+}
+
+// Options returns the suite's options (with defaults applied).
+func (s *Suite) Options() Options { return s.opts }
+
+// finish applies suite-wide option overrides to a spec.
+func (s *Suite) finish(spec RunSpec) RunSpec {
+	spec.Seed = s.opts.Seed
+	if spec.Bench == TPCCBench {
+		if spec.Ops == 0 {
+			spec.Ops = s.opts.TPCCOps
+		}
+		spec.TPCC = s.opts.TPCC
+	} else if spec.Ops == 0 {
+		spec.Ops = s.opts.Ops
+	}
+	return spec
+}
+
+func key(spec RunSpec) string {
+	return fmt.Sprintf("%s|polb=%d/%d|walk=%d|probe=%t|pf=%t|pot=%d|ops=%d|seed=%d",
+		spec.Label(), spec.POLBSize, spec.POLBSets, spec.POTWalk, spec.ProbeWalk, spec.Prefetch, spec.POTEntries, spec.Ops, spec.Seed)
+}
+
+// Get runs (or returns the cached result of) one spec.
+func (s *Suite) Get(spec RunSpec) (RunResult, error) {
+	spec = s.finish(spec)
+	k := key(spec)
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := Run(spec)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if s.opts.Progress != nil {
+		s.opts.Progress(fmt.Sprintf("%-44s cycles=%-12d insns=%-11d polbMiss=%5.2f%%",
+			spec.Label(), r.CPU.Cycles, r.CPU.Instructions, 100*r.CPU.POLB.MissRate()))
+	}
+	s.mu.Lock()
+	s.cache[k] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Prefetch runs all uncached specs, up to Parallel at a time.
+func (s *Suite) Prefetch(specs []RunSpec) error {
+	sem := make(chan struct{}, s.opts.Parallel)
+	errCh := make(chan error, len(specs))
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		wg.Add(1)
+		go func(sp RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, err := s.Get(sp); err != nil {
+				errCh <- err
+			}
+		}(spec)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// speedup returns base cycles / variant cycles, verifying that the two runs
+// computed the same functional result.
+func speedup(base, variant RunResult) (float64, error) {
+	if base.Checksum != variant.Checksum {
+		return 0, fmt.Errorf("harness: %s vs %s: checksum mismatch %#x vs %#x (functional divergence)",
+			base.Spec.Label(), variant.Spec.Label(), base.Checksum, variant.Checksum)
+	}
+	if variant.CPU.Cycles == 0 {
+		return 0, fmt.Errorf("harness: %s: zero cycles", variant.Spec.Label())
+	}
+	return float64(base.CPU.Cycles) / float64(variant.CPU.Cycles), nil
+}

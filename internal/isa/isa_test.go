@@ -1,0 +1,88 @@
+package isa
+
+import "testing"
+
+func TestOpClassification(t *testing.T) {
+	mem := []Op{Load, Store, NVLoad, NVStore, CLWB}
+	for _, o := range mem {
+		if !o.IsMem() {
+			t.Errorf("%v should be a memory op", o)
+		}
+	}
+	nonmem := []Op{Nop, ALU, Mul, Div, Branch, Jump, SFence}
+	for _, o := range nonmem {
+		if o.IsMem() {
+			t.Errorf("%v should not be a memory op", o)
+		}
+	}
+	if !Load.IsLoad() || !NVLoad.IsLoad() {
+		t.Error("Load/NVLoad are loads")
+	}
+	if Store.IsLoad() || CLWB.IsLoad() {
+		t.Error("stores are not loads")
+	}
+	if !Store.IsStore() || !NVStore.IsStore() || !CLWB.IsStore() {
+		t.Error("Store/NVStore/CLWB occupy the store path")
+	}
+	if !NVLoad.IsPersistent() || !NVStore.IsPersistent() {
+		t.Error("nvld/nvst are persistent accesses")
+	}
+	if Load.IsPersistent() || Store.IsPersistent() {
+		t.Error("regular loads/stores are not persistent accesses")
+	}
+}
+
+func TestExecLatency(t *testing.T) {
+	if got := ALU.ExecLatency(); got != 1 {
+		t.Errorf("ALU latency = %d", got)
+	}
+	if got := Mul.ExecLatency(); got != 3 {
+		t.Errorf("Mul latency = %d", got)
+	}
+	if got := Div.ExecLatency(); got != 20 {
+		t.Errorf("Div latency = %d", got)
+	}
+	if got := Load.ExecLatency(); got != 1 {
+		t.Errorf("Load exec latency = %d (memory added separately)", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Load.String() != "ld" || NVLoad.String() != "nvld" || SFence.String() != "sfence" {
+		t.Error("unexpected op names")
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op must still render")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	br := Instr{Op: Branch, PC: 0x40, Taken: true, Src1: 1}
+	if br.String() == "" {
+		t.Error("branch must render")
+	}
+	ld := Instr{Op: Load, PC: 0x44, Addr: 0x1000, Size: 8, Dst: 2, Src1: 1}
+	if ld.String() == "" {
+		t.Error("load must render")
+	}
+	alu := Instr{Op: ALU, PC: 0x48, Dst: 3, Src1: 2, Src2: 1}
+	if alu.String() == "" {
+		t.Error("alu must render")
+	}
+}
+
+func TestInstrSize(t *testing.T) {
+	// Traces hold tens of millions of instructions; keep the struct
+	// compact. This test pins the expectation so growth is deliberate.
+	var in Instr
+	_ = in
+	const maxBytes = 32
+	if s := int(sizeOfInstr()); s > maxBytes {
+		t.Errorf("Instr is %d bytes, want <= %d", s, maxBytes)
+	}
+}
+
+func sizeOfInstr() uintptr {
+	var in Instr
+	return ptrSize(&in)
+}

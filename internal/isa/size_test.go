@@ -1,0 +1,5 @@
+package isa
+
+import "unsafe"
+
+func ptrSize(in *Instr) uintptr { return unsafe.Sizeof(*in) }

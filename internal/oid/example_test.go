@@ -1,0 +1,20 @@
+package oid_test
+
+import (
+	"fmt"
+
+	"potgo/internal/oid"
+)
+
+// Example shows the ObjectID layout of the paper's Figure 1: a 32-bit pool
+// identifier over a 32-bit offset, with pool 0 reserved for NULL.
+func Example() {
+	o := oid.New(7, 0x1000)
+	fmt.Println("pool:", o.Pool(), "offset:", o.Offset())
+	fmt.Println("field at +8:", o.FieldAt(8))
+	fmt.Println("null:", oid.Null.IsNull(), "— real:", o.IsNull())
+	// Output:
+	// pool: 7 offset: 4096
+	// field at +8: 7:0x1008
+	// null: true — real: false
+}

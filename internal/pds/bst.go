@@ -1,0 +1,293 @@
+package pds
+
+import (
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pmem"
+)
+
+// BST is an unbalanced binary search tree: node = {key, left, right},
+// anchored by a root cell. Deletion replaces a two-child node with the
+// maximum of its left subtree, exactly as the paper's BST workload
+// describes (Table 5).
+type BST struct {
+	root Cell
+}
+
+const (
+	bstKeyOff   = 0
+	bstLeftOff  = 8
+	bstRightOff = 16
+	// BSTNodeBytes is the allocation size of one node.
+	BSTNodeBytes = 24
+)
+
+// NewBST builds a tree anchored at the given cell.
+func NewBST(root Cell) *BST { return &BST{root: root} }
+
+// Find returns the node holding key (Null if absent).
+func (t *BST) Find(ctx Ctx, key uint64) (oid.OID, error) {
+	h := ctx.Heap()
+	e := h.Emit
+	cur, err := t.root.Get()
+	if err != nil {
+		return oid.Null, err
+	}
+	for !cur.OID().IsNull() {
+		ref, err := h.Deref(cur.OID(), cur.Reg)
+		if err != nil {
+			return oid.Null, err
+		}
+		k, err := ref.Load64(bstKeyOff)
+		if err != nil {
+			return oid.Null, err
+		}
+		cmp := e.Compute(nodeWork, k.Reg)
+		switch {
+		case key == k.V:
+			e.Branch("bst.find.eq", true, cmp)
+			return cur.OID(), nil
+		case key < k.V:
+			e.Branch("bst.find.eq", false, cmp)
+			e.Branch("bst.find.lt", true, cmp)
+			if cur, err = ref.Load64(bstLeftOff); err != nil {
+				return oid.Null, err
+			}
+		default:
+			e.Branch("bst.find.eq", false, cmp)
+			e.Branch("bst.find.lt", false, cmp)
+			if cur, err = ref.Load64(bstRightOff); err != nil {
+				return oid.Null, err
+			}
+		}
+	}
+	return oid.Null, nil
+}
+
+// childOff returns the field offset for the left/right child.
+func bstChildOff(left bool) uint32 {
+	if left {
+		return bstLeftOff
+	}
+	return bstRightOff
+}
+
+// Insert adds key (which must not already be present).
+func (t *BST) Insert(ctx Ctx, key uint64) error {
+	h := ctx.Heap()
+	e := h.Emit
+	node, err := ctx.Alloc(key, BSTNodeBytes)
+	if err != nil {
+		return err
+	}
+	nref, err := h.Deref(node, isa.RZ)
+	if err != nil {
+		return err
+	}
+	if err := nref.Store64(bstKeyOff, key, isa.RZ); err != nil {
+		return err
+	}
+	if err := nref.Store64(bstLeftOff, 0, isa.RZ); err != nil {
+		return err
+	}
+	if err := nref.Store64(bstRightOff, 0, isa.RZ); err != nil {
+		return err
+	}
+
+	cur, err := t.root.Get()
+	if err != nil {
+		return err
+	}
+	if cur.OID().IsNull() {
+		if err := ctx.Touch(t.root.OID(), 8); err != nil {
+			return err
+		}
+		return t.root.Set(node, pmem.Word{})
+	}
+	for {
+		ref, err := h.Deref(cur.OID(), cur.Reg)
+		if err != nil {
+			return err
+		}
+		k, err := ref.Load64(bstKeyOff)
+		if err != nil {
+			return err
+		}
+		cmp := e.Compute(nodeWork, k.Reg)
+		left := key < k.V
+		e.Branch("bst.ins.lt", left, cmp)
+		child, err := ref.Load64(bstChildOff(left))
+		if err != nil {
+			return err
+		}
+		if child.OID().IsNull() {
+			if err := ctx.Touch(cur.OID(), BSTNodeBytes); err != nil {
+				return err
+			}
+			return ref.Store64(bstChildOff(left), uint64(node), isa.RZ)
+		}
+		cur = child
+	}
+}
+
+// Remove deletes key, reporting whether it was present. A node with two
+// children is replaced by the maximum of its left subtree (Table 5).
+func (t *BST) Remove(ctx Ctx, key uint64) (bool, error) {
+	h := ctx.Heap()
+	e := h.Emit
+
+	// Locate the node and its parent link (the cell or a child field).
+	parentLink := t.root.OID() // OID of the 8-byte slot pointing at cur
+	cur, err := t.root.Get()
+	if err != nil {
+		return false, err
+	}
+	for {
+		if cur.OID().IsNull() {
+			return false, nil
+		}
+		ref, err := h.Deref(cur.OID(), cur.Reg)
+		if err != nil {
+			return false, err
+		}
+		k, err := ref.Load64(bstKeyOff)
+		if err != nil {
+			return false, err
+		}
+		cmp := e.Compute(nodeWork, k.Reg)
+		if key == k.V {
+			e.Branch("bst.rm.eq", true, cmp)
+			break
+		}
+		left := key < k.V
+		e.Branch("bst.rm.eq", false, cmp)
+		e.Branch("bst.rm.lt", left, cmp)
+		parentLink = cur.OID().FieldAt(bstChildOff(left))
+		if cur, err = ref.Load64(bstChildOff(left)); err != nil {
+			return false, err
+		}
+	}
+
+	node := cur.OID()
+	ref, err := h.Deref(node, cur.Reg)
+	if err != nil {
+		return false, err
+	}
+	l, err := ref.Load64(bstLeftOff)
+	if err != nil {
+		return false, err
+	}
+	r, err := ref.Load64(bstRightOff)
+	if err != nil {
+		return false, err
+	}
+
+	switch {
+	case l.OID().IsNull():
+		// Replace by right child (possibly Null).
+		if err := t.setLink(ctx, parentLink, r.OID(), r); err != nil {
+			return false, err
+		}
+	case r.OID().IsNull():
+		if err := t.setLink(ctx, parentLink, l.OID(), l); err != nil {
+			return false, err
+		}
+	default:
+		// Two children: find the max of the left subtree, splice it
+		// out, and move its key into this node.
+		maxLink := node.FieldAt(bstLeftOff)
+		mx := l
+		for {
+			mref, err := h.Deref(mx.OID(), mx.Reg)
+			if err != nil {
+				return false, err
+			}
+			right, err := mref.Load64(bstRightOff)
+			if err != nil {
+				return false, err
+			}
+			e.Branch("bst.rm.maxwalk", !right.OID().IsNull(), right.Reg)
+			if right.OID().IsNull() {
+				break
+			}
+			maxLink = mx.OID().FieldAt(bstRightOff)
+			mx = right
+		}
+		mref, err := h.Deref(mx.OID(), mx.Reg)
+		if err != nil {
+			return false, err
+		}
+		mkey, err := mref.Load64(bstKeyOff)
+		if err != nil {
+			return false, err
+		}
+		mleft, err := mref.Load64(bstLeftOff)
+		if err != nil {
+			return false, err
+		}
+		if err := ctx.Touch(node, BSTNodeBytes); err != nil {
+			return false, err
+		}
+		if err := ref.Store64(bstKeyOff, mkey.V, mkey.Reg); err != nil {
+			return false, err
+		}
+		if err := t.setLink(ctx, maxLink, mleft.OID(), mleft); err != nil {
+			return false, err
+		}
+		return true, ctx.Free(mx.OID())
+	}
+	return true, ctx.Free(node)
+}
+
+// setLink writes a child/anchor slot, snapshotting it first.
+func (t *BST) setLink(ctx Ctx, link oid.OID, v oid.OID, dep pmem.Word) error {
+	h := ctx.Heap()
+	if err := ctx.Touch(link, 8); err != nil {
+		return err
+	}
+	ref, err := h.Deref(link, isa.RZ)
+	if err != nil {
+		return err
+	}
+	return ref.Store64(0, uint64(v), dep.Reg)
+}
+
+// InOrder returns all keys in sorted order (verification helper).
+func (t *BST) InOrder(ctx Ctx) ([]uint64, error) {
+	root, err := t.root.Get()
+	if err != nil {
+		return nil, err
+	}
+	var keys []uint64
+	var walk func(o oid.OID) error
+	walk = func(o oid.OID) error {
+		if o.IsNull() {
+			return nil
+		}
+		ref, err := ctx.Heap().Deref(o, isa.RZ)
+		if err != nil {
+			return err
+		}
+		k, err := ref.Load64(bstKeyOff)
+		if err != nil {
+			return err
+		}
+		l, err := ref.Load64(bstLeftOff)
+		if err != nil {
+			return err
+		}
+		r, err := ref.Load64(bstRightOff)
+		if err != nil {
+			return err
+		}
+		if err := walk(l.OID()); err != nil {
+			return err
+		}
+		keys = append(keys, k.V)
+		return walk(r.OID())
+	}
+	if err := walk(root.OID()); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}

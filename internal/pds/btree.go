@@ -1,0 +1,346 @@
+package pds
+
+import (
+	"fmt"
+
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pmem"
+)
+
+// BTree is a B-tree of order 7 (max 7 children, max 6 keys per node), the
+// paper's BT workload: search, and insert when missing (Table 5 lists no
+// deletion for BT). Keys live in internal nodes as well as leaves.
+type BTree struct {
+	root Cell
+}
+
+// Node layout (shared with the B+ tree): flags and counts first, then the
+// key array, then the child/value array.
+const (
+	btLeafOff  = 0
+	btNOff     = 8
+	btKeysOff  = 16 // 6 keys * 8
+	btKidsOff  = 64 // 7 children * 8
+	btOrder    = 7
+	btMaxKeys  = btOrder - 1
+	btNodeSize = 128
+)
+
+// NewBTree builds a tree anchored at the given cell.
+func NewBTree(root Cell) *BTree { return &BTree{root: root} }
+
+// btNode is the in-memory image of one node, populated by emitted loads and
+// written back by emitted stores.
+type btNode struct {
+	oid  oid.OID
+	leaf bool
+	keys []uint64
+	kids []oid.OID
+}
+
+func (t *BTree) read(ctx Ctx, o oid.OID, dep isa.Reg) (*btNode, error) {
+	h := ctx.Heap()
+	ref, err := h.Deref(o, dep)
+	if err != nil {
+		return nil, err
+	}
+	leafW, err := ref.Load64(btLeafOff)
+	if err != nil {
+		return nil, err
+	}
+	nW, err := ref.Load64(btNOff)
+	if err != nil {
+		return nil, err
+	}
+	n := int(nW.V)
+	if n > btMaxKeys {
+		return nil, fmt.Errorf("pds: corrupt btree node %v: n=%d", o, n)
+	}
+	nd := &btNode{oid: o, leaf: leafW.V != 0, keys: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		w, err := ref.Load64(uint32(btKeysOff + 8*i))
+		if err != nil {
+			return nil, err
+		}
+		nd.keys[i] = w.V
+	}
+	if !nd.leaf {
+		nd.kids = make([]oid.OID, n+1)
+		for i := 0; i <= n; i++ {
+			w, err := ref.Load64(uint32(btKidsOff + 8*i))
+			if err != nil {
+				return nil, err
+			}
+			nd.kids[i] = w.OID()
+		}
+	}
+	return nd, nil
+}
+
+func (t *BTree) write(ctx Ctx, nd *btNode) error {
+	h := ctx.Heap()
+	if err := ctx.Touch(nd.oid, btNodeSize); err != nil {
+		return err
+	}
+	ref, err := h.Deref(nd.oid, isa.RZ)
+	if err != nil {
+		return err
+	}
+	leaf := uint64(0)
+	if nd.leaf {
+		leaf = 1
+	}
+	if err := ref.Store64(btLeafOff, leaf, isa.RZ); err != nil {
+		return err
+	}
+	if err := ref.Store64(btNOff, uint64(len(nd.keys)), isa.RZ); err != nil {
+		return err
+	}
+	for i, k := range nd.keys {
+		if err := ref.Store64(uint32(btKeysOff+8*i), k, isa.RZ); err != nil {
+			return err
+		}
+	}
+	if !nd.leaf {
+		for i, c := range nd.kids {
+			if err := ref.Store64(uint32(btKidsOff+8*i), uint64(c), isa.RZ); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Find reports whether key is present.
+func (t *BTree) Find(ctx Ctx, key uint64) (bool, error) {
+	e := ctx.Heap().Emit
+	rootW, err := t.root.Get()
+	if err != nil {
+		return false, err
+	}
+	cur := rootW.OID()
+	dep := rootW.Reg
+	for !cur.IsNull() {
+		nd, err := t.read(ctx, cur, dep)
+		if err != nil {
+			return false, err
+		}
+		i := 0
+		for i < len(nd.keys) && key > nd.keys[i] {
+			cmp := e.Compute(2)
+			e.Branch("bt.find.scan", true, cmp)
+			i++
+		}
+		e.Branch("bt.find.scan", false)
+		if i < len(nd.keys) && nd.keys[i] == key {
+			e.Branch("bt.find.hit", true)
+			return true, nil
+		}
+		e.Branch("bt.find.hit", false)
+		if nd.leaf {
+			return false, nil
+		}
+		cur = nd.kids[i]
+		dep = isa.RZ
+	}
+	return false, nil
+}
+
+// Insert adds key (caller ensures it is absent; duplicate insertion is an
+// error surfaced by the balance check rather than silently tolerated).
+func (t *BTree) Insert(ctx Ctx, key uint64) error {
+	rootW, err := t.root.Get()
+	if err != nil {
+		return err
+	}
+	if rootW.OID().IsNull() {
+		// First key: materialize the root leaf.
+		o, err := ctx.Alloc(key, btNodeSize)
+		if err != nil {
+			return err
+		}
+		if err := t.write(ctx, &btNode{oid: o, leaf: true, keys: []uint64{key}}); err != nil {
+			return err
+		}
+		if err := ctx.Touch(t.root.OID(), 8); err != nil {
+			return err
+		}
+		return t.root.Set(o, pmem.Word{})
+	}
+
+	// Descend to the leaf, remembering the path.
+	type step struct {
+		node *btNode
+		idx  int
+	}
+	var path []step
+	cur := rootW.OID()
+	dep := rootW.Reg
+	for {
+		nd, err := t.read(ctx, cur, dep)
+		if err != nil {
+			return err
+		}
+		i := 0
+		for i < len(nd.keys) && key > nd.keys[i] {
+			i++
+		}
+		ctx.Heap().Emit.Compute(nodeWork)
+		if i < len(nd.keys) && nd.keys[i] == key {
+			return fmt.Errorf("pds: duplicate btree key %d", key)
+		}
+		path = append(path, step{nd, i})
+		if nd.leaf {
+			break
+		}
+		cur = nd.kids[i]
+		dep = isa.RZ
+	}
+
+	// Insert into the leaf, splitting upward while nodes overflow.
+	leafStep := path[len(path)-1]
+	nd := leafStep.node
+	nd.keys = insertAt(nd.keys, leafStep.idx, key)
+
+	var carryKey uint64
+	var carryKid oid.OID
+	carrying := false
+	for level := len(path) - 1; level >= 0; level-- {
+		nd = path[level].node
+		if carrying {
+			i := path[level].idx
+			nd.keys = insertAt(nd.keys, i, carryKey)
+			nd.kids = insertOIDAt(nd.kids, i+1, carryKid)
+			carrying = false
+		}
+		if len(nd.keys) <= btMaxKeys {
+			if err := t.write(ctx, nd); err != nil {
+				return err
+			}
+			return nil
+		}
+		// Split around the median.
+		mid := len(nd.keys) / 2
+		carryKey = nd.keys[mid]
+		rightKeys := append([]uint64(nil), nd.keys[mid+1:]...)
+		var rightKids []oid.OID
+		if !nd.leaf {
+			rightKids = append([]oid.OID(nil), nd.kids[mid+1:]...)
+			nd.kids = nd.kids[:mid+1]
+		}
+		nd.keys = nd.keys[:mid]
+		rightOID, err := ctx.Alloc(carryKey, btNodeSize)
+		if err != nil {
+			return err
+		}
+		right := &btNode{oid: rightOID, leaf: nd.leaf, keys: rightKeys, kids: rightKids}
+		if err := t.write(ctx, nd); err != nil {
+			return err
+		}
+		if err := t.write(ctx, right); err != nil {
+			return err
+		}
+		carryKid = rightOID
+		carrying = true
+	}
+	if carrying {
+		// The root itself split: grow the tree.
+		oldRoot := path[0].node.oid
+		newRootOID, err := ctx.Alloc(carryKey, btNodeSize)
+		if err != nil {
+			return err
+		}
+		newRoot := &btNode{
+			oid:  newRootOID,
+			leaf: false,
+			keys: []uint64{carryKey},
+			kids: []oid.OID{oldRoot, carryKid},
+		}
+		if err := t.write(ctx, newRoot); err != nil {
+			return err
+		}
+		if err := ctx.Touch(t.root.OID(), 8); err != nil {
+			return err
+		}
+		return t.root.Set(newRootOID, pmem.Word{})
+	}
+	return nil
+}
+
+// CheckInvariants verifies key ordering, node fill and uniform leaf depth,
+// returning the number of keys (verification helper).
+func (t *BTree) CheckInvariants(ctx Ctx) (int, error) {
+	rootW, err := t.root.Get()
+	if err != nil {
+		return 0, err
+	}
+	if rootW.OID().IsNull() {
+		return 0, nil
+	}
+	count := 0
+	leafDepth := -1
+	var walk func(o oid.OID, depth int, lo, hi uint64, isRoot bool) error
+	walk = func(o oid.OID, depth int, lo, hi uint64, isRoot bool) error {
+		nd, err := t.read(ctx, o, isa.RZ)
+		if err != nil {
+			return err
+		}
+		if len(nd.keys) > btMaxKeys {
+			return fmt.Errorf("btree: node %v overfull (%d keys)", o, len(nd.keys))
+		}
+		if !isRoot && len(nd.keys) < 1 {
+			return fmt.Errorf("btree: node %v empty", o)
+		}
+		prev := lo
+		for _, k := range nd.keys {
+			if k < prev || k > hi {
+				return fmt.Errorf("btree: key %d out of order in %v", k, o)
+			}
+			prev = k
+			count++
+		}
+		if nd.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", leafDepth, depth)
+			}
+			return nil
+		}
+		if len(nd.kids) != len(nd.keys)+1 {
+			return fmt.Errorf("btree: node %v has %d keys but %d children", o, len(nd.keys), len(nd.kids))
+		}
+		for i, c := range nd.kids {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = nd.keys[i-1]
+			}
+			if i < len(nd.keys) {
+				chi = nd.keys[i]
+			}
+			if err := walk(c, depth+1, clo, chi, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(rootW.OID(), 0, 0, ^uint64(0), true); err != nil {
+		return 0, err
+	}
+	return count, nil
+}
+
+func insertAt(s []uint64, i int, v uint64) []uint64 {
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func insertOIDAt(s []oid.OID, i int, v oid.OID) []oid.OID {
+	s = append(s, oid.Null)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}

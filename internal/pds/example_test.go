@@ -1,0 +1,89 @@
+package pds_test
+
+import (
+	"fmt"
+
+	"potgo/internal/emit"
+	"potgo/internal/oid"
+	"potgo/internal/pds"
+	"potgo/internal/pmem"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// onePool is the simplest pds.Ctx: one pool, no failure safety.
+type onePool struct {
+	h *pmem.Heap
+	p *pmem.Pool
+}
+
+func (c onePool) Heap() *pmem.Heap { return c.h }
+func (c onePool) Alloc(_ uint64, size uint32) (oid.OID, error) {
+	return c.h.Alloc(c.p, size)
+}
+func (c onePool) Free(o oid.OID) error        { return c.h.Free(o) }
+func (c onePool) Touch(oid.OID, uint32) error { return nil }
+
+func newExampleCtx(seed int64) (onePool, pds.Cell) {
+	as := vm.NewAddressSpace(seed)
+	h, _ := pmem.NewHeap(as, pmem.NewStore(), emit.New(trace.Discard{}, emit.Opt), nil)
+	p, _ := h.Create("example", 4<<20)
+	root, _ := h.Root(p, 64)
+	return onePool{h: h, p: p}, pds.NewCell(h, root)
+}
+
+// ExampleList builds the paper's §2.2 persistent linked list.
+func ExampleList() {
+	ctx, cell := newExampleCtx(1)
+	l := pds.NewList(cell)
+	for _, k := range []uint64{3, 1, 4} {
+		_ = l.Insert(ctx, k)
+	}
+	hit, _ := l.Find(ctx, 1)
+	removed, _ := l.Remove(ctx, 3)
+	n, _ := l.Len(ctx)
+	fmt.Println("found 1:", !hit.IsNull(), "removed 3:", removed, "len:", n)
+	// Output:
+	// found 1: true removed 3: true len: 2
+}
+
+// ExampleBPlus exercises the order-7 B+ tree that also backs the TPC-C
+// tables.
+func ExampleBPlus() {
+	ctx, cell := newExampleCtx(2)
+	t := pds.NewBPlus(cell)
+	for k := uint64(1); k <= 20; k++ {
+		_ = t.Insert(ctx, k, k*100)
+	}
+	v, found, _ := t.Find(ctx, 12)
+	kvs, _ := t.Scan(ctx, 17, 3)
+	fmt.Println("find(12):", v, found)
+	fmt.Println("scan(17,3):", kvs[0].Key, kvs[1].Key, kvs[2].Key)
+	removed, _ := t.Remove(ctx, 12)
+	_, found, _ = t.Find(ctx, 12)
+	fmt.Println("removed:", removed, "still there:", found)
+	// Output:
+	// find(12): 1200 true
+	// scan(17,3): 17 18 19
+	// removed: true still there: false
+}
+
+// ExampleRBT shows the red-black tree keeping its invariants under churn.
+func ExampleRBT() {
+	ctx, cell := newExampleCtx(3)
+	t := pds.NewRBT(cell)
+	for k := uint64(0); k < 64; k++ {
+		_ = t.Insert(ctx, k*37%64)
+	}
+	for k := uint64(0); k < 64; k += 2 {
+		_, _ = t.Remove(ctx, k)
+	}
+	if _, err := t.CheckInvariants(ctx); err != nil {
+		fmt.Println("broken:", err)
+		return
+	}
+	keys, _ := t.InOrder(ctx)
+	fmt.Println("red-black invariants hold;", len(keys), "keys remain")
+	// Output:
+	// red-black invariants hold; 32 keys remain
+}

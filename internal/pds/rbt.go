@@ -1,0 +1,888 @@
+package pds
+
+import (
+	"fmt"
+
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pmem"
+)
+
+// RBT is a red-black tree with parent pointers:
+// node = {key, left, right, parent, color}. Insertion and deletion rebalance
+// per the red-black rules (paper Table 5), emitting every node access.
+type RBT struct {
+	root Cell
+}
+
+const (
+	rbtKeyOff    = 0
+	rbtLeftOff   = 8
+	rbtRightOff  = 16
+	rbtParentOff = 24
+	rbtColorOff  = 32
+	// RBTNodeBytes is the allocation size of one node.
+	RBTNodeBytes = 40
+
+	rbtBlack = 0
+	rbtRed   = 1
+)
+
+// NewRBT builds a tree anchored at the given cell.
+func NewRBT(root Cell) *RBT { return &RBT{root: root} }
+
+// rbtOps bundles the emitted field accessors. The first access to a node
+// within an operation dereferences it (one oid_direct in BASE mode) and the
+// translated reference is reused for the node's other fields — the
+// `temp = oid_direct(x); temp->field` idiom of the paper's §2.2 — so a
+// rotation translates each involved node once, not once per field. Setters
+// snapshot the node once per transaction via Ctx.Touch.
+type rbtOps struct {
+	t    *RBT
+	ctx  Ctx
+	h    *pmem.Heap
+	refs map[oid.OID]pmem.Ref
+}
+
+func (t *RBT) ops(ctx Ctx) rbtOps {
+	return rbtOps{t: t, ctx: ctx, h: ctx.Heap(), refs: make(map[oid.OID]pmem.Ref, 16)}
+}
+
+// ref translates a node, memoized for the duration of the operation.
+func (op rbtOps) ref(o oid.OID) (pmem.Ref, error) {
+	if r, ok := op.refs[o]; ok {
+		return r, nil
+	}
+	r, err := op.h.Deref(o, isa.RZ)
+	if err != nil {
+		return pmem.Ref{}, err
+	}
+	op.refs[o] = r
+	return r, nil
+}
+
+func (op rbtOps) load(o oid.OID, off uint32) (pmem.Word, error) {
+	ref, err := op.ref(o)
+	if err != nil {
+		return pmem.Word{}, err
+	}
+	return ref.Load64(off)
+}
+
+func (op rbtOps) store(o oid.OID, off uint32, v uint64, dep isa.Reg) error {
+	if err := op.ctx.Touch(o, RBTNodeBytes); err != nil {
+		return err
+	}
+	ref, err := op.ref(o)
+	if err != nil {
+		return err
+	}
+	return ref.Store64(off, v, dep)
+}
+
+func (op rbtOps) key(o oid.OID) (uint64, error) {
+	w, err := op.load(o, rbtKeyOff)
+	return w.V, err
+}
+
+func (op rbtOps) left(o oid.OID) (oid.OID, error) {
+	w, err := op.load(o, rbtLeftOff)
+	return w.OID(), err
+}
+
+func (op rbtOps) right(o oid.OID) (oid.OID, error) {
+	w, err := op.load(o, rbtRightOff)
+	return w.OID(), err
+}
+
+func (op rbtOps) parent(o oid.OID) (oid.OID, error) {
+	w, err := op.load(o, rbtParentOff)
+	return w.OID(), err
+}
+
+// color of Null is black, per the red-black convention.
+func (op rbtOps) color(o oid.OID) (uint64, error) {
+	if o.IsNull() {
+		return rbtBlack, nil
+	}
+	w, err := op.load(o, rbtColorOff)
+	return w.V, err
+}
+
+func (op rbtOps) setLeft(o, v oid.OID) error   { return op.store(o, rbtLeftOff, uint64(v), isa.RZ) }
+func (op rbtOps) setRight(o, v oid.OID) error  { return op.store(o, rbtRightOff, uint64(v), isa.RZ) }
+func (op rbtOps) setParent(o, v oid.OID) error { return op.store(o, rbtParentOff, uint64(v), isa.RZ) }
+func (op rbtOps) setColor(o oid.OID, c uint64) error {
+	return op.store(o, rbtColorOff, c, isa.RZ)
+}
+
+func (op rbtOps) rootOID() (oid.OID, error) {
+	w, err := op.t.root.Get()
+	return w.OID(), err
+}
+
+func (op rbtOps) setRoot(v oid.OID) error {
+	if err := op.ctx.Touch(op.t.root.OID(), 8); err != nil {
+		return err
+	}
+	return op.t.root.Set(v, pmem.Word{})
+}
+
+// replaceChild repoints u's parent (or the root anchor) to v.
+func (op rbtOps) replaceChild(parent, u, v oid.OID) error {
+	if parent.IsNull() {
+		return op.setRoot(v)
+	}
+	l, err := op.left(parent)
+	if err != nil {
+		return err
+	}
+	if l == u {
+		return op.setLeft(parent, v)
+	}
+	return op.setRight(parent, v)
+}
+
+// rotateLeft / rotateRight are the standard red-black rotations.
+func (op rbtOps) rotateLeft(x oid.OID) error {
+	y, err := op.right(x)
+	if err != nil {
+		return err
+	}
+	yl, err := op.left(y)
+	if err != nil {
+		return err
+	}
+	if err := op.setRight(x, yl); err != nil {
+		return err
+	}
+	if !yl.IsNull() {
+		if err := op.setParent(yl, x); err != nil {
+			return err
+		}
+	}
+	xp, err := op.parent(x)
+	if err != nil {
+		return err
+	}
+	if err := op.setParent(y, xp); err != nil {
+		return err
+	}
+	if err := op.replaceChild(xp, x, y); err != nil {
+		return err
+	}
+	if err := op.setLeft(y, x); err != nil {
+		return err
+	}
+	return op.setParent(x, y)
+}
+
+func (op rbtOps) rotateRight(x oid.OID) error {
+	y, err := op.left(x)
+	if err != nil {
+		return err
+	}
+	yr, err := op.right(y)
+	if err != nil {
+		return err
+	}
+	if err := op.setLeft(x, yr); err != nil {
+		return err
+	}
+	if !yr.IsNull() {
+		if err := op.setParent(yr, x); err != nil {
+			return err
+		}
+	}
+	xp, err := op.parent(x)
+	if err != nil {
+		return err
+	}
+	if err := op.setParent(y, xp); err != nil {
+		return err
+	}
+	if err := op.replaceChild(xp, x, y); err != nil {
+		return err
+	}
+	if err := op.setRight(y, x); err != nil {
+		return err
+	}
+	return op.setParent(x, y)
+}
+
+// Find returns the node holding key (Null if absent).
+func (t *RBT) Find(ctx Ctx, key uint64) (oid.OID, error) {
+	op := t.ops(ctx)
+	e := op.h.Emit
+	cur, err := op.rootOID()
+	if err != nil {
+		return oid.Null, err
+	}
+	for !cur.IsNull() {
+		k, err := op.key(cur)
+		if err != nil {
+			return oid.Null, err
+		}
+		cmp := e.Compute(nodeWork)
+		if key == k {
+			e.Branch("rbt.find.eq", true, cmp)
+			return cur, nil
+		}
+		e.Branch("rbt.find.eq", false, cmp)
+		if key < k {
+			e.Branch("rbt.find.lt", true, cmp)
+			if cur, err = op.left(cur); err != nil {
+				return oid.Null, err
+			}
+		} else {
+			e.Branch("rbt.find.lt", false, cmp)
+			if cur, err = op.right(cur); err != nil {
+				return oid.Null, err
+			}
+		}
+	}
+	return oid.Null, nil
+}
+
+// Insert adds key (must not be present) and rebalances.
+func (t *RBT) Insert(ctx Ctx, key uint64) error {
+	op := t.ops(ctx)
+	e := op.h.Emit
+
+	node, err := ctx.Alloc(key, RBTNodeBytes)
+	if err != nil {
+		return err
+	}
+	nref, err := op.h.Deref(node, isa.RZ)
+	if err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		off uint32
+		v   uint64
+	}{{rbtKeyOff, key}, {rbtLeftOff, 0}, {rbtRightOff, 0}, {rbtParentOff, 0}, {rbtColorOff, rbtRed}} {
+		if err := nref.Store64(f.off, f.v, isa.RZ); err != nil {
+			return err
+		}
+	}
+
+	// Standard BST descent.
+	parent := oid.Null
+	cur, err := op.rootOID()
+	if err != nil {
+		return err
+	}
+	goLeft := false
+	for !cur.IsNull() {
+		k, err := op.key(cur)
+		if err != nil {
+			return err
+		}
+		cmp := e.Compute(nodeWork)
+		goLeft = key < k
+		e.Branch("rbt.ins.lt", goLeft, cmp)
+		parent = cur
+		if goLeft {
+			if cur, err = op.left(cur); err != nil {
+				return err
+			}
+		} else {
+			if cur, err = op.right(cur); err != nil {
+				return err
+			}
+		}
+	}
+	if parent.IsNull() {
+		if err := op.setRoot(node); err != nil {
+			return err
+		}
+	} else {
+		if err := op.setParent(node, parent); err != nil {
+			return err
+		}
+		if goLeft {
+			if err := op.setLeft(parent, node); err != nil {
+				return err
+			}
+		} else {
+			if err := op.setRight(parent, node); err != nil {
+				return err
+			}
+		}
+	}
+	return t.insertFixup(op, node)
+}
+
+func (t *RBT) insertFixup(op rbtOps, z oid.OID) error {
+	e := op.h.Emit
+	for {
+		zp, err := op.parent(z)
+		if err != nil {
+			return err
+		}
+		pc, err := op.color(zp)
+		if err != nil {
+			return err
+		}
+		e.Branch("rbt.fix.loop", pc == rbtRed)
+		if zp.IsNull() || pc != rbtRed {
+			break
+		}
+		zpp, err := op.parent(zp)
+		if err != nil {
+			return err
+		}
+		if zpp.IsNull() {
+			break
+		}
+		gl, err := op.left(zpp)
+		if err != nil {
+			return err
+		}
+		if zp == gl {
+			uncle, err := op.right(zpp)
+			if err != nil {
+				return err
+			}
+			uc, err := op.color(uncle)
+			if err != nil {
+				return err
+			}
+			e.Branch("rbt.fix.uncle", uc == rbtRed)
+			if uc == rbtRed {
+				if err := op.setColor(zp, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(uncle, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(zpp, rbtRed); err != nil {
+					return err
+				}
+				z = zpp
+				continue
+			}
+			pr, err := op.right(zp)
+			if err != nil {
+				return err
+			}
+			if z == pr {
+				z = zp
+				if err := op.rotateLeft(z); err != nil {
+					return err
+				}
+				if zp, err = op.parent(z); err != nil {
+					return err
+				}
+			}
+			if err := op.setColor(zp, rbtBlack); err != nil {
+				return err
+			}
+			if err := op.setColor(zpp, rbtRed); err != nil {
+				return err
+			}
+			if err := op.rotateRight(zpp); err != nil {
+				return err
+			}
+		} else {
+			uncle := gl
+			uc, err := op.color(uncle)
+			if err != nil {
+				return err
+			}
+			e.Branch("rbt.fix.uncle", uc == rbtRed)
+			if uc == rbtRed {
+				if err := op.setColor(zp, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(uncle, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(zpp, rbtRed); err != nil {
+					return err
+				}
+				z = zpp
+				continue
+			}
+			pl, err := op.left(zp)
+			if err != nil {
+				return err
+			}
+			if z == pl {
+				z = zp
+				if err := op.rotateRight(z); err != nil {
+					return err
+				}
+				if zp, err = op.parent(z); err != nil {
+					return err
+				}
+			}
+			if err := op.setColor(zp, rbtBlack); err != nil {
+				return err
+			}
+			if err := op.setColor(zpp, rbtRed); err != nil {
+				return err
+			}
+			if err := op.rotateLeft(zpp); err != nil {
+				return err
+			}
+		}
+	}
+	root, err := op.rootOID()
+	if err != nil {
+		return err
+	}
+	c, err := op.color(root)
+	if err != nil {
+		return err
+	}
+	if c != rbtBlack {
+		return op.setColor(root, rbtBlack)
+	}
+	return nil
+}
+
+// Remove deletes key and rebalances, reporting whether it was present.
+func (t *RBT) Remove(ctx Ctx, key uint64) (bool, error) {
+	op := t.ops(ctx)
+	z, err := t.Find(ctx, key)
+	if err != nil || z.IsNull() {
+		return false, err
+	}
+
+	// CLRS delete. y is the node actually spliced out; x (possibly Null)
+	// takes its place, with xParent tracked explicitly.
+	y := z
+	yOrigColor, err := op.color(y)
+	if err != nil {
+		return false, err
+	}
+	var x, xParent oid.OID
+
+	zl, err := op.left(z)
+	if err != nil {
+		return false, err
+	}
+	zr, err := op.right(z)
+	if err != nil {
+		return false, err
+	}
+	zp, err := op.parent(z)
+	if err != nil {
+		return false, err
+	}
+
+	switch {
+	case zl.IsNull():
+		x, xParent = zr, zp
+		if err := op.transplant(z, zr); err != nil {
+			return false, err
+		}
+	case zr.IsNull():
+		x, xParent = zl, zp
+		if err := op.transplant(z, zl); err != nil {
+			return false, err
+		}
+	default:
+		// y = minimum of right subtree.
+		y = zr
+		for {
+			l, err := op.left(y)
+			if err != nil {
+				return false, err
+			}
+			op.h.Emit.Branch("rbt.rm.minwalk", !l.IsNull())
+			if l.IsNull() {
+				break
+			}
+			y = l
+		}
+		if yOrigColor, err = op.color(y); err != nil {
+			return false, err
+		}
+		if x, err = op.right(y); err != nil {
+			return false, err
+		}
+		yp, err := op.parent(y)
+		if err != nil {
+			return false, err
+		}
+		if yp == z {
+			xParent = y
+			if !x.IsNull() {
+				if err := op.setParent(x, y); err != nil {
+					return false, err
+				}
+			}
+		} else {
+			xParent = yp
+			if err := op.transplant(y, x); err != nil {
+				return false, err
+			}
+			if err := op.setRight(y, zr); err != nil {
+				return false, err
+			}
+			if err := op.setParent(zr, y); err != nil {
+				return false, err
+			}
+		}
+		if err := op.transplant(z, y); err != nil {
+			return false, err
+		}
+		if err := op.setLeft(y, zl); err != nil {
+			return false, err
+		}
+		if err := op.setParent(zl, y); err != nil {
+			return false, err
+		}
+		zc, err := op.color(z)
+		if err != nil {
+			return false, err
+		}
+		if err := op.setColor(y, zc); err != nil {
+			return false, err
+		}
+	}
+
+	if yOrigColor == rbtBlack {
+		if err := t.deleteFixup(op, x, xParent); err != nil {
+			return false, err
+		}
+	}
+	return true, ctx.Free(z)
+}
+
+// transplant repoints u's parent to v and fixes v's parent pointer.
+func (op rbtOps) transplant(u, v oid.OID) error {
+	up, err := op.parent(u)
+	if err != nil {
+		return err
+	}
+	if err := op.replaceChild(up, u, v); err != nil {
+		return err
+	}
+	if !v.IsNull() {
+		return op.setParent(v, up)
+	}
+	return nil
+}
+
+func (t *RBT) deleteFixup(op rbtOps, x, xParent oid.OID) error {
+	e := op.h.Emit
+	for {
+		root, err := op.rootOID()
+		if err != nil {
+			return err
+		}
+		xc, err := op.color(x)
+		if err != nil {
+			return err
+		}
+		e.Branch("rbt.dfix.loop", x != root && xc == rbtBlack)
+		if x == root || xc == rbtRed {
+			break
+		}
+		pl, err := op.left(xParent)
+		if err != nil {
+			return err
+		}
+		if x == pl {
+			w, err := op.right(xParent)
+			if err != nil {
+				return err
+			}
+			wc, err := op.color(w)
+			if err != nil {
+				return err
+			}
+			if wc == rbtRed {
+				if err := op.setColor(w, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(xParent, rbtRed); err != nil {
+					return err
+				}
+				if err := op.rotateLeft(xParent); err != nil {
+					return err
+				}
+				if w, err = op.right(xParent); err != nil {
+					return err
+				}
+			}
+			wl, err := op.left(w)
+			if err != nil {
+				return err
+			}
+			wr, err := op.right(w)
+			if err != nil {
+				return err
+			}
+			wlc, err := op.color(wl)
+			if err != nil {
+				return err
+			}
+			wrc, err := op.color(wr)
+			if err != nil {
+				return err
+			}
+			if wlc == rbtBlack && wrc == rbtBlack {
+				if err := op.setColor(w, rbtRed); err != nil {
+					return err
+				}
+				x = xParent
+				if xParent, err = op.parent(xParent); err != nil {
+					return err
+				}
+				continue
+			}
+			if wrc == rbtBlack {
+				if err := op.setColor(wl, rbtBlack); err != nil {
+					return err
+				}
+				if err := op.setColor(w, rbtRed); err != nil {
+					return err
+				}
+				if err := op.rotateRight(w); err != nil {
+					return err
+				}
+				if w, err = op.right(xParent); err != nil {
+					return err
+				}
+			}
+			pc, err := op.color(xParent)
+			if err != nil {
+				return err
+			}
+			if err := op.setColor(w, pc); err != nil {
+				return err
+			}
+			if err := op.setColor(xParent, rbtBlack); err != nil {
+				return err
+			}
+			if wr, err = op.right(w); err != nil {
+				return err
+			}
+			if !wr.IsNull() {
+				if err := op.setColor(wr, rbtBlack); err != nil {
+					return err
+				}
+			}
+			if err := op.rotateLeft(xParent); err != nil {
+				return err
+			}
+			x, err = op.rootOID()
+			if err != nil {
+				return err
+			}
+			break
+		}
+		// Mirror image.
+		w, err := op.left(xParent)
+		if err != nil {
+			return err
+		}
+		wc, err := op.color(w)
+		if err != nil {
+			return err
+		}
+		if wc == rbtRed {
+			if err := op.setColor(w, rbtBlack); err != nil {
+				return err
+			}
+			if err := op.setColor(xParent, rbtRed); err != nil {
+				return err
+			}
+			if err := op.rotateRight(xParent); err != nil {
+				return err
+			}
+			if w, err = op.left(xParent); err != nil {
+				return err
+			}
+		}
+		wl, err := op.left(w)
+		if err != nil {
+			return err
+		}
+		wr, err := op.right(w)
+		if err != nil {
+			return err
+		}
+		wlc, err := op.color(wl)
+		if err != nil {
+			return err
+		}
+		wrc, err := op.color(wr)
+		if err != nil {
+			return err
+		}
+		if wlc == rbtBlack && wrc == rbtBlack {
+			if err := op.setColor(w, rbtRed); err != nil {
+				return err
+			}
+			x = xParent
+			if xParent, err = op.parent(xParent); err != nil {
+				return err
+			}
+			continue
+		}
+		if wlc == rbtBlack {
+			if err := op.setColor(wr, rbtBlack); err != nil {
+				return err
+			}
+			if err := op.setColor(w, rbtRed); err != nil {
+				return err
+			}
+			if err := op.rotateLeft(w); err != nil {
+				return err
+			}
+			if w, err = op.left(xParent); err != nil {
+				return err
+			}
+		}
+		pc, err := op.color(xParent)
+		if err != nil {
+			return err
+		}
+		if err := op.setColor(w, pc); err != nil {
+			return err
+		}
+		if err := op.setColor(xParent, rbtBlack); err != nil {
+			return err
+		}
+		if wl, err = op.left(w); err != nil {
+			return err
+		}
+		if !wl.IsNull() {
+			if err := op.setColor(wl, rbtBlack); err != nil {
+				return err
+			}
+		}
+		if err := op.rotateRight(xParent); err != nil {
+			return err
+		}
+		x, err = op.rootOID()
+		if err != nil {
+			return err
+		}
+		break
+	}
+	if !x.IsNull() {
+		xc, err := op.color(x)
+		if err != nil {
+			return err
+		}
+		if xc != rbtBlack {
+			return op.setColor(x, rbtBlack)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the red-black properties and BST ordering,
+// returning the tree's black height. Verification helper for tests.
+func (t *RBT) CheckInvariants(ctx Ctx) (int, error) {
+	op := t.ops(ctx)
+	root, err := op.rootOID()
+	if err != nil {
+		return 0, err
+	}
+	if root.IsNull() {
+		return 0, nil
+	}
+	if c, _ := op.color(root); c != rbtBlack {
+		return 0, fmt.Errorf("rbt: root is red")
+	}
+	var check func(o, parent oid.OID, lo, hi uint64) (int, error)
+	check = func(o, parent oid.OID, lo, hi uint64) (int, error) {
+		if o.IsNull() {
+			return 1, nil
+		}
+		k, err := op.key(o)
+		if err != nil {
+			return 0, err
+		}
+		if k < lo || k > hi {
+			return 0, fmt.Errorf("rbt: key %d violates BST order [%d,%d]", k, lo, hi)
+		}
+		p, err := op.parent(o)
+		if err != nil {
+			return 0, err
+		}
+		if p != parent {
+			return 0, fmt.Errorf("rbt: node %v has parent %v, want %v", o, p, parent)
+		}
+		c, err := op.color(o)
+		if err != nil {
+			return 0, err
+		}
+		l, err := op.left(o)
+		if err != nil {
+			return 0, err
+		}
+		r, err := op.right(o)
+		if err != nil {
+			return 0, err
+		}
+		if c == rbtRed {
+			if lc, _ := op.color(l); lc == rbtRed {
+				return 0, fmt.Errorf("rbt: red node %v has red left child", o)
+			}
+			if rc, _ := op.color(r); rc == rbtRed {
+				return 0, fmt.Errorf("rbt: red node %v has red right child", o)
+			}
+		}
+		lh, err := check(l, o, lo, k)
+		if err != nil {
+			return 0, err
+		}
+		rh, err := check(r, o, k, hi)
+		if err != nil {
+			return 0, err
+		}
+		if lh != rh {
+			return 0, fmt.Errorf("rbt: black-height mismatch at %v: %d vs %d", o, lh, rh)
+		}
+		if c == rbtBlack {
+			lh++
+		}
+		return lh, nil
+	}
+	return check(root, oid.Null, 0, ^uint64(0))
+}
+
+// InOrder returns all keys in sorted order (verification helper).
+func (t *RBT) InOrder(ctx Ctx) ([]uint64, error) {
+	op := t.ops(ctx)
+	root, err := op.rootOID()
+	if err != nil {
+		return nil, err
+	}
+	var keys []uint64
+	var walk func(o oid.OID) error
+	walk = func(o oid.OID) error {
+		if o.IsNull() {
+			return nil
+		}
+		l, err := op.left(o)
+		if err != nil {
+			return err
+		}
+		if err := walk(l); err != nil {
+			return err
+		}
+		k, err := op.key(o)
+		if err != nil {
+			return err
+		}
+		keys = append(keys, k)
+		r, err := op.right(o)
+		if err != nil {
+			return err
+		}
+		return walk(r)
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}

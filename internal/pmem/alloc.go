@@ -1,0 +1,136 @@
+package pmem
+
+import (
+	"fmt"
+
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+)
+
+// Emitted-cost constants for the allocator and transaction machinery,
+// approximating the instruction footprint of the corresponding libpmemobj
+// paths (reserve/publish bookkeeping, ulog management) beyond the explicit
+// persistent loads/stores this implementation performs.
+const (
+	allocWork   = 120
+	freeWork    = 60
+	txBeginWork = 80
+	txLogWork   = 300
+	txEndWork   = 100
+)
+
+// Alloc is pmalloc (paper Table 1): allocate size bytes in pool p and return
+// the ObjectID of the first byte.
+//
+// The allocator is a persistent segregated free list. Every block is
+// [size-word][payload]; freed blocks are threaded through their payload's
+// first word onto a per-class list whose heads live in the pool header.
+// All metadata accesses are persistent accesses, so in BASE mode they pay
+// software translation and in OPT mode they become nvld/nvst — exactly the
+// library acceleration the paper describes in §3.3.
+func (h *Heap) Alloc(p *Pool, size uint32) (oid.OID, error) {
+	if size == 0 {
+		return oid.Null, fmt.Errorf("pmem: zero-byte allocation in pool %q", p.b.name)
+	}
+	class, classSize := classOf(size)
+	hdr := h.DirectRef(p, 0)
+	h.Emit.Jump()             // call into the allocator
+	h.Emit.Compute(allocWork) // size class, handle checks, reserve/publish bookkeeping
+
+	var blockOff uint64
+	if class >= 0 {
+		head, err := hdr.Load64(p.freeHeadOff(class))
+		if err != nil {
+			return oid.Null, err
+		}
+		if head.V != 0 {
+			// Pop: the next pointer lives in the freed payload.
+			blockOff = head.V
+			blk := h.DirectRef(p, uint32(blockOff+blockHeaderBytes))
+			blk.reg = head.Reg
+			next, err := blk.Load64(0)
+			if err != nil {
+				return oid.Null, err
+			}
+			if err := hdr.Store64(p.freeHeadOff(class), next.V, next.Reg); err != nil {
+				return oid.Null, err
+			}
+			return p.OID(uint32(blockOff + blockHeaderBytes)), nil
+		}
+	}
+
+	// Bump allocation.
+	bump, err := hdr.Load64(offBump)
+	if err != nil {
+		return oid.Null, err
+	}
+	blockOff = bump.V
+	newBump := blockOff + blockHeaderBytes + uint64(classSize)
+	if newBump > p.b.size {
+		return oid.Null, fmt.Errorf("pmem: pool %q out of memory (%d requested, %d free)",
+			p.b.name, size, p.b.size-blockOff)
+	}
+	h.Emit.Compute(6, bump.Reg)
+	if err := hdr.Store64(offBump, newBump, bump.Reg); err != nil {
+		return oid.Null, err
+	}
+	// Record the block's payload size in its header word.
+	blk := h.DirectRef(p, uint32(blockOff))
+	blk.reg = bump.Reg
+	if err := blk.Store64(0, uint64(classSize), isa.RZ); err != nil {
+		return oid.Null, err
+	}
+	return p.OID(uint32(blockOff + blockHeaderBytes)), nil
+}
+
+// Free is pfree: return the object's block to its size-class free list.
+// Large (over-class) blocks are currently leaked back to the bump region
+// only on pool recreation, as in many real log-structured pools.
+func (h *Heap) Free(o oid.OID) error {
+	p, ok := h.open[o.Pool()]
+	if !ok {
+		return fmt.Errorf("pmem: free in unopened pool %d", o.Pool())
+	}
+	if o.Offset() < blockHeaderBytes {
+		return fmt.Errorf("pmem: free of non-heap ObjectID %v", o)
+	}
+	blockOff := o.Offset() - blockHeaderBytes
+	if err := p.checkOffset(blockOff, blockHeaderBytes); err != nil {
+		return err
+	}
+	blk := h.DirectRef(p, blockOff)
+	szw, err := blk.Load64(0)
+	if err != nil {
+		return err
+	}
+	class := -1
+	for i, c := range sizeClasses {
+		if uint32(szw.V) == c {
+			class = i
+			break
+		}
+	}
+	h.Emit.Jump()
+	h.Emit.Compute(freeWork, szw.Reg)
+	if class < 0 {
+		// Large block: drop it (bump memory is reclaimed when the pool
+		// is recreated).
+		return nil
+	}
+	hdr := h.DirectRef(p, 0)
+	head, err := hdr.Load64(p.freeHeadOff(class))
+	if err != nil {
+		return err
+	}
+	// Thread the old head through the payload's first word.
+	pay := h.DirectRef(p, o.Offset())
+	if err := pay.Store64(0, head.V, head.Reg); err != nil {
+		return err
+	}
+	return hdr.Store64(p.freeHeadOff(class), uint64(blockOff), isa.RZ)
+}
+
+// AllocatedBytes reports the bump watermark (diagnostics).
+func (h *Heap) AllocatedBytes(p *Pool) uint64 {
+	return h.read64(p, offBump) - p.dataStart()
+}

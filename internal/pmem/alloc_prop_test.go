@@ -1,0 +1,137 @@
+package pmem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// Property: across any interleaving of allocations and frees, live
+// allocations never overlap, stay within the pool's data region, and freed
+// blocks are recycled only after being freed.
+func TestQuickAllocatorSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := vm.NewAddressSpace(seed)
+		em := emit.New(trace.Discard{}, emit.Opt)
+		h, err := NewHeap(as, NewStore(), em, nil)
+		if err != nil {
+			return false
+		}
+		p, err := h.CreateSized("q", 1<<20, 4096)
+		if err != nil {
+			return false
+		}
+		type block struct {
+			o    oid.OID
+			size uint32
+		}
+		var live []block
+		for i := 0; i < 300; i++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				size := uint32(rng.Intn(200) + 1)
+				o, err := h.Alloc(p, size)
+				if err != nil {
+					return false
+				}
+				// In-bounds.
+				if err := p.checkOffset(o.Offset(), size); err != nil {
+					return false
+				}
+				// No overlap with any live block (conservatively
+				// using the class-rounded extent).
+				_, cs := classOf(size)
+				for _, b := range live {
+					_, bcs := classOf(b.size)
+					aLo, aHi := uint64(o.Offset()), uint64(o.Offset())+uint64(cs)
+					bLo, bHi := uint64(b.o.Offset()), uint64(b.o.Offset())+uint64(bcs)
+					if aLo < bHi && bLo < aHi {
+						return false
+					}
+				}
+				live = append(live, block{o, size})
+			} else {
+				idx := rng.Intn(len(live))
+				if err := h.Free(live[idx].o); err != nil {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allocator state round-trips through close/open — live blocks
+// keep their contents and the free list keeps working.
+func TestQuickAllocatorPersistence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+		as := vm.NewAddressSpace(seed)
+		store := NewStore()
+		em := emit.New(trace.Discard{}, emit.Opt)
+		h, err := NewHeap(as, store, em, nil)
+		if err != nil {
+			return false
+		}
+		p, err := h.CreateSized("q", 512*1024, 4096)
+		if err != nil {
+			return false
+		}
+		vals := map[oid.OID]uint64{}
+		for i := 0; i < 40; i++ {
+			o, err := h.Alloc(p, 32)
+			if err != nil {
+				return false
+			}
+			v := rng.Uint64()
+			ref, err := h.Deref(o, isa.RZ)
+			if err != nil {
+				return false
+			}
+			if err := ref.Store64(0, v, isa.RZ); err != nil {
+				return false
+			}
+			vals[o] = v
+		}
+		if err := h.Close(p); err != nil {
+			return false
+		}
+		p, err = h.Open("q")
+		if err != nil {
+			return false
+		}
+		for o, v := range vals {
+			ref, err := h.Deref(o, isa.RZ)
+			if err != nil {
+				return false
+			}
+			w, err := ref.Load64(0)
+			if err != nil || w.V != v {
+				return false
+			}
+		}
+		// The allocator keeps functioning after reopen without
+		// clobbering the old blocks.
+		o, err := h.Alloc(p, 32)
+		if err != nil {
+			return false
+		}
+		if _, dup := vals[o]; dup {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

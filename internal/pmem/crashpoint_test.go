@@ -1,0 +1,222 @@
+package pmem
+
+import (
+	"fmt"
+	"testing"
+
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// Systematic failure injection: a scripted transaction is cut short at
+// every possible API-call boundary; after each simulated crash a fresh
+// process attaches to the same NVM, recovers, and the data must be exactly
+// the pre-transaction state (undo semantics: an uncommitted transaction
+// never happened).
+//
+// This is the property the paper's failure-safety support (tx_begin /
+// tx_add_range / tx_pmalloc / tx_pfree / tx_end, §2.1.4) exists to provide.
+
+// txScript runs one scripted transaction against the heap, stopping after
+// `steps` API calls (-1 = run to completion, including commit). It returns
+// the number of steps available.
+func txScript(h *Heap, p *Pool, objs [3]oid.OID, steps int) (int, error) {
+	n := 0
+	step := func(fn func() error) error {
+		if steps >= 0 && n >= steps {
+			return errStop
+		}
+		n++
+		return fn()
+	}
+	deref := func(o oid.OID) Ref {
+		r, err := h.Deref(o, isa.RZ)
+		if err != nil {
+			panic(err)
+		}
+		return r
+	}
+	err := func() error {
+		if err := step(func() error { return h.TxBegin(p) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return h.TxAddRange(objs[0], 16) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return deref(objs[0]).Store64(0, 1111, isa.RZ) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return h.TxAddRange(objs[1], 16) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return deref(objs[1]).Store64(8, 2222, isa.RZ) }); err != nil {
+			return err
+		}
+		if err := step(func() error {
+			_, err := h.TxAlloc(p, 64)
+			return err
+		}); err != nil {
+			return err
+		}
+		if err := step(func() error { return h.TxFree(objs[2]) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return deref(objs[0]).Store64(8, 3333, isa.RZ) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return h.TxEnd() }); err != nil {
+			return err
+		}
+		return nil
+	}()
+	if err == errStop {
+		err = nil
+	}
+	return n, err
+}
+
+var errStop = fmt.Errorf("crash point reached")
+
+func freshHeap(t *testing.T, as *vm.AddressSpace, store *Store) *Heap {
+	t.Helper()
+	h, err := NewHeap(as, store, emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestCrashAtEveryStep(t *testing.T) {
+	// Discover the number of steps with a dry run.
+	as := vm.NewAddressSpace(500)
+	store := NewStore()
+	h := freshHeap(t, as, store)
+	p, err := h.Create("cp", 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs [3]oid.OID
+	for i := range objs {
+		if objs[i], err = h.Alloc(p, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := txScript(h, p, objs, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 8 {
+		t.Fatalf("script too short: %d steps", total)
+	}
+
+	// Now crash after every prefix of 0..total-1 steps (total = committed).
+	for crashAt := 0; crashAt < total; crashAt++ {
+		as := vm.NewAddressSpace(int64(1000 + crashAt))
+		store := NewStore()
+		h := freshHeap(t, as, store)
+		p, err := h.Create("cp", 256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var objs [3]oid.OID
+		for i := range objs {
+			if objs[i], err = h.Alloc(p, 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Committed pre-state.
+		for i, o := range objs {
+			ref, _ := h.Deref(o, isa.RZ)
+			if err := ref.Store64(0, uint64(100+i), isa.RZ); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Store64(8, uint64(200+i), isa.RZ); err != nil {
+				t.Fatal(err)
+			}
+			if err := h.Persist(o, 16); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if _, err := txScript(h, p, objs, crashAt); err != nil {
+			t.Fatalf("crash point %d: %v", crashAt, err)
+		}
+		if err := h.Crash(); err != nil {
+			t.Fatal(err)
+		}
+
+		// A fresh process recovers.
+		h2 := freshHeap(t, as, store)
+		p2, err := h2.Open("cp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h2.Recover(p2); err != nil {
+			t.Fatalf("crash point %d: recover: %v", crashAt, err)
+		}
+		// The uncommitted transaction must have fully vanished.
+		for i, o := range objs {
+			ref, err := h2.Deref(o, isa.RZ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w0, _ := ref.Load64(0)
+			w8, _ := ref.Load64(8)
+			if w0.V != uint64(100+i) || w8.V != uint64(200+i) {
+				t.Fatalf("crash point %d: object %d = (%d,%d), want (%d,%d)",
+					crashAt, i, w0.V, w8.V, 100+i, 200+i)
+			}
+		}
+		if h2.NeedsRecovery(p2) {
+			t.Fatalf("crash point %d: pool still dirty after recovery", crashAt)
+		}
+	}
+}
+
+func TestCommittedTransactionSurvivesCrash(t *testing.T) {
+	as := vm.NewAddressSpace(77)
+	store := NewStore()
+	h := freshHeap(t, as, store)
+	p, err := h.Create("cp", 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs [3]oid.OID
+	for i := range objs {
+		if objs[i], err = h.Alloc(p, 16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := txScript(h, p, objs, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := freshHeap(t, as, store)
+	p2, err := h2.Open("cp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NeedsRecovery(p2) {
+		t.Fatal("committed transaction must leave a clean log")
+	}
+	ref, _ := h2.Deref(objs[0], isa.RZ)
+	w0, _ := ref.Load64(0)
+	w8, _ := ref.Load64(8)
+	if w0.V != 1111 || w8.V != 3333 {
+		t.Fatalf("committed values lost: (%d,%d)", w0.V, w8.V)
+	}
+	// The committed tx_pfree of objs[2] really freed it: the block is
+	// reusable by a fresh allocation of the same class.
+	o, err := h2.Alloc(p2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != objs[2] {
+		t.Fatalf("committed free not applied: alloc = %v, want %v", o, objs[2])
+	}
+}

@@ -1,0 +1,411 @@
+package pmem
+
+import (
+	"fmt"
+
+	"potgo/internal/core"
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pot"
+	"potgo/internal/vm"
+)
+
+// Heap is a process's view of persistent memory: the set of open pools plus
+// the machinery that compiles persistent accesses into the instruction
+// stream (software translation in BASE mode, nvld/nvst in OPT mode).
+type Heap struct {
+	// AS is the process address space pools are mapped into.
+	AS *vm.AddressSpace
+	// Store is the durable pool store.
+	Store *Store
+	// Emit receives the compiled instruction stream.
+	Emit *emit.Emitter
+	// Soft is the BASE-mode software translator. Required when
+	// Emit.Mode() == emit.Base.
+	Soft *emit.SoftTranslator
+	// POT, when non-nil, receives pool mappings for the hardware walker
+	// (the OS-level half of pool_open in the paper's §3.3).
+	POT *pot.Table
+	// HW, when non-nil, has stale POLB entries invalidated on pool_close.
+	HW *core.Translator
+
+	open map[oid.PoolID]*Pool
+	tx   *txState
+}
+
+// NewHeap builds a heap. soft may be nil for OPT-mode heaps.
+func NewHeap(as *vm.AddressSpace, store *Store, em *emit.Emitter, soft *emit.SoftTranslator) (*Heap, error) {
+	if em.Mode() == emit.Base && soft == nil {
+		return nil, fmt.Errorf("pmem: BASE mode requires a software translator")
+	}
+	return &Heap{
+		AS:    as,
+		Store: store,
+		Emit:  em,
+		Soft:  soft,
+		open:  make(map[oid.PoolID]*Pool),
+	}, nil
+}
+
+// openCost approximates the system-call + mapping work of pool_open/create;
+// it is emitted once per pool and never sits in a measured loop.
+const openCost = 60
+
+// Create makes a new pool of the given size (paper: pool_create) with the
+// default undo-log capacity, maps it, and registers its translation.
+func (h *Heap) Create(name string, size uint64) (*Pool, error) {
+	return h.CreateSized(name, size, DefaultLogBytes)
+}
+
+// CreateSized is Create with an explicit undo-log capacity.
+func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
+	if size < MinPoolBytes(logBytes) {
+		return nil, fmt.Errorf("pmem: pool size %d below minimum %d", size, MinPoolBytes(logBytes))
+	}
+	b, err := h.Store.create(name, size, logBytes)
+	if err != nil {
+		return nil, err
+	}
+	p, err := h.mapPool(b)
+	if err != nil {
+		return nil, err
+	}
+	// Initialize the header (functional writes; creation is setup, the
+	// emitted cost is the flat openCost below).
+	h.mustWrite64(p, offMagic, poolMagic)
+	h.mustWrite64(p, offSize, size)
+	h.mustWrite64(p, offBump, p.dataStart())
+	h.mustWrite64(p, offLogBytes, logBytes)
+	h.Emit.Compute(openCost)
+	return p, nil
+}
+
+// Open maps a previously created pool (paper: pool_open).
+func (h *Heap) Open(name string) (*Pool, error) {
+	b, err := h.Store.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := h.mapPool(b)
+	if err != nil {
+		return nil, err
+	}
+	if got := h.read64(p, offMagic); got != poolMagic {
+		_ = h.unmapPool(p)
+		return nil, fmt.Errorf("pmem: pool %q has bad magic %#x", name, got)
+	}
+	h.Emit.Compute(openCost)
+	return p, nil
+}
+
+func (h *Heap) mapPool(b *backing) (*Pool, error) {
+	if b.open {
+		return nil, fmt.Errorf("pmem: pool %q already open", b.name)
+	}
+	region, err := h.AS.Map(b.size)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.AS.WriteAt(region.Base, b.data); err != nil {
+		return nil, err
+	}
+	p := &Pool{h: h, b: b, region: region}
+	b.open = true
+	h.open[b.id] = p
+	if h.Soft != nil {
+		if err := h.Soft.Register(b.id, region.Base); err != nil {
+			return nil, err
+		}
+	}
+	if h.POT != nil {
+		if err := h.POT.Insert(b.id, region.Base); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func (h *Heap) unmapPool(p *Pool) error {
+	// Persist the mapped bytes back to the durable store.
+	if err := h.AS.ReadAt(p.region.Base, p.b.data); err != nil {
+		return err
+	}
+	if err := h.AS.Unmap(p.region); err != nil {
+		return err
+	}
+	p.b.open = false
+	delete(h.open, p.b.id)
+	if h.Soft != nil {
+		if err := h.Soft.Unregister(p.b.id); err != nil {
+			return err
+		}
+	}
+	if h.POT != nil {
+		if err := h.POT.Remove(p.b.id); err != nil {
+			return err
+		}
+	}
+	if h.HW != nil {
+		h.HW.InvalidatePool(p.b.id)
+	}
+	return nil
+}
+
+// Close unmaps the pool and withdraws its translations (paper: pool_close).
+func (h *Heap) Close(p *Pool) error {
+	if h.tx != nil && h.tx.pool == p {
+		return fmt.Errorf("pmem: pool %q has an active transaction", p.b.name)
+	}
+	h.Emit.Compute(openCost / 2)
+	return h.unmapPool(p)
+}
+
+// Crash simulates a machine crash with the pool's NVM contents intact: the
+// mapped bytes (including any live undo log) are retained durably, all
+// volatile state — open handles, transactions, translations — is lost.
+// Reopen the pool and call Recover to restore consistency.
+func (h *Heap) Crash() error {
+	for _, p := range h.open {
+		if err := h.unmapPool(p); err != nil {
+			return err
+		}
+	}
+	h.tx = nil
+	return nil
+}
+
+// Pool returns the open pool with the given id.
+func (h *Heap) Pool(id oid.PoolID) (*Pool, bool) {
+	p, ok := h.open[id]
+	return p, ok
+}
+
+// OpenPools returns the number of currently open pools.
+func (h *Heap) OpenPools() int { return len(h.open) }
+
+// vaOf resolves an ObjectID to its current virtual address (functional; no
+// emission).
+func (h *Heap) vaOf(o oid.OID) (uint64, error) {
+	p, ok := h.open[o.Pool()]
+	if !ok {
+		return 0, fmt.Errorf("pmem: pool %d not open for %v", o.Pool(), o)
+	}
+	return p.region.Base + uint64(o.Offset()), nil
+}
+
+// --- direct byte access helpers (functional, no emission) ---
+
+func (h *Heap) read64(p *Pool, off uint32) uint64 {
+	v, err := h.AS.Read64(p.region.Base + uint64(off))
+	if err != nil {
+		panic(fmt.Sprintf("pmem: pool %q header unmapped: %v", p.b.name, err))
+	}
+	return v
+}
+
+func (h *Heap) mustWrite64(p *Pool, off uint32, v uint64) {
+	if err := h.AS.Write64(p.region.Base+uint64(off), v); err != nil {
+		panic(fmt.Sprintf("pmem: pool %q header unmapped: %v", p.b.name, err))
+	}
+}
+
+// Word is a 64-bit value loaded from persistent memory together with the
+// register that holds it, so later emitted instructions can depend on it.
+type Word struct {
+	Reg isa.Reg
+	V   uint64
+}
+
+// OID interprets the word as an ObjectID.
+func (w Word) OID() oid.OID { return oid.OID(w.V) }
+
+// Ref is a dereferenced persistent object: the result of translating an
+// ObjectID once and then accessing fields relative to it, mirroring the
+// paper's `temp = oid_direct(new_oid); temp->value = ...; temp->next = ...`
+// idiom. In BASE mode constructing a Ref emits one oid_direct call; in OPT
+// mode it is free because every field access is its own nvld/nvst.
+type Ref struct {
+	h   *Heap
+	oid oid.OID
+	va  uint64
+	// reg holds the translated address (BASE) or the ObjectID (OPT);
+	// field accesses depend on it.
+	reg isa.Reg
+	// direct marks a library-internal reference that accesses memory
+	// through a cached virtual pointer in both modes (see DirectRef).
+	direct bool
+}
+
+// DirectRef returns a reference that always compiles to regular loads and
+// stores on the pool's mapped virtual addresses, in both BASE and OPT
+// modes. It models how the library accesses its *own* metadata — the
+// allocator header, block headers and the undo log — through direct
+// pointers cached when the pool was opened (exactly as libpmemobj does);
+// only API-level object references pay ObjectID translation.
+func (h *Heap) DirectRef(p *Pool, off uint32) Ref {
+	return Ref{h: h, oid: p.OID(off), va: p.region.Base + uint64(off), direct: true}
+}
+
+// useVA reports whether the reference compiles to regular virtual-address
+// accesses (BASE or FIXED mode, or a direct library-internal reference).
+func (r Ref) useVA() bool { return r.direct || r.h.Emit.Mode() != emit.Opt }
+
+// Deref translates an ObjectID for subsequent field accesses. oidReg is the
+// register holding the ObjectID value (isa.RZ if it came from an immediate).
+func (h *Heap) Deref(o oid.OID, oidReg isa.Reg) (Ref, error) {
+	va, err := h.vaOf(o)
+	if err != nil {
+		return Ref{}, err
+	}
+	if h.Emit.Mode() == emit.Base {
+		vaReg, va2, err := h.Soft.Translate(oidReg, o)
+		if err != nil {
+			return Ref{}, err
+		}
+		if va2 != va {
+			return Ref{}, fmt.Errorf("pmem: translation mismatch for %v: %#x vs %#x", o, va, va2)
+		}
+		return Ref{h: h, oid: o, va: va, reg: vaReg}, nil
+	}
+	return Ref{h: h, oid: o, va: va, reg: oidReg}, nil
+}
+
+// OID returns the ObjectID the Ref was created from.
+func (r Ref) OID() oid.OID { return r.oid }
+
+// Load64 reads the 8-byte field at byte offset off.
+func (r Ref) Load64(off uint32) (Word, error) {
+	v, err := r.h.AS.Read64(r.va + uint64(off))
+	if err != nil {
+		return Word{}, fmt.Errorf("pmem: load %v+%d: %w", r.oid, off, err)
+	}
+	dst := r.h.Emit.Temp()
+	if r.useVA() {
+		r.h.Emit.Load(dst, r.reg, r.va+uint64(off), 8)
+	} else {
+		r.h.Emit.NVLoad(dst, r.reg, r.oid.FieldAt(off), 8)
+	}
+	return Word{Reg: dst, V: v}, nil
+}
+
+// Store64 writes the 8-byte field at byte offset off. dep is the register
+// the stored value was computed in (isa.RZ for immediates).
+func (r Ref) Store64(off uint32, v uint64, dep isa.Reg) error {
+	if err := r.h.AS.Write64(r.va+uint64(off), v); err != nil {
+		return fmt.Errorf("pmem: store %v+%d: %w", r.oid, off, err)
+	}
+	if r.useVA() {
+		r.h.Emit.Store(r.reg, r.va+uint64(off), 8, dep)
+	} else {
+		r.h.Emit.NVStore(r.reg, r.oid.FieldAt(off), 8, dep)
+	}
+	return nil
+}
+
+// ReadBytes reads len(b) bytes starting at off, emitting one load per
+// 8-byte word.
+func (r Ref) ReadBytes(off uint32, b []byte) error {
+	if err := r.h.AS.ReadAt(r.va+uint64(off), b); err != nil {
+		return fmt.Errorf("pmem: read %v+%d: %w", r.oid, off, err)
+	}
+	for w := uint32(0); w < uint32(len(b)); w += 8 {
+		dst := r.h.Emit.Temp()
+		if r.useVA() {
+			r.h.Emit.Load(dst, r.reg, r.va+uint64(off+w), 8)
+		} else {
+			r.h.Emit.NVLoad(dst, r.reg, r.oid.FieldAt(off+w), 8)
+		}
+	}
+	return nil
+}
+
+// WriteBytes writes b starting at off, emitting one store per 8-byte word.
+func (r Ref) WriteBytes(off uint32, b []byte) error {
+	if err := r.h.AS.WriteAt(r.va+uint64(off), b); err != nil {
+		return fmt.Errorf("pmem: write %v+%d: %w", r.oid, off, err)
+	}
+	for w := uint32(0); w < uint32(len(b)); w += 8 {
+		if r.useVA() {
+			r.h.Emit.Store(r.reg, r.va+uint64(off+w), 8, isa.RZ)
+		} else {
+			r.h.Emit.NVStore(r.reg, r.oid.FieldAt(off+w), 8, isa.RZ)
+		}
+	}
+	return nil
+}
+
+// Direct is the paper's oid_direct: it translates an ObjectID to a virtual
+// address in software, emitting the Figure 3 sequence. It exists for
+// BASE-mode code; OPT-mode programs dereference ObjectIDs directly.
+func (h *Heap) Direct(o oid.OID) (uint64, error) {
+	if h.Emit.Mode() != emit.Base {
+		return 0, fmt.Errorf("pmem: Direct called in OPT mode; dereference the ObjectID instead")
+	}
+	_, va, err := h.Soft.Translate(isa.RZ, o)
+	return va, err
+}
+
+// Persist makes [o, o+size) durable (paper: persist): one CLWB per cache
+// line followed by an SFENCE.
+func (h *Heap) Persist(o oid.OID, size uint32) error {
+	if err := h.persistNoFence(o, size); err != nil {
+		return err
+	}
+	h.Emit.SFence()
+	return nil
+}
+
+// persistNoFence emits the CLWBs for a range without the trailing fence so
+// that batched persists (transaction commit) can share one SFENCE.
+func (h *Heap) persistNoFence(o oid.OID, size uint32) error {
+	va, err := h.vaOf(o)
+	if err != nil {
+		return err
+	}
+	if size == 0 {
+		return nil
+	}
+	first := va &^ 63
+	last := (va + uint64(size) - 1) &^ 63
+	h.Emit.Compute(8) // address rounding, loop setup
+	for line := first; ; line += 64 {
+		h.Emit.CLWB(line)
+		adv := h.Emit.Compute(1) // line += 64
+		h.Emit.Branch("persist.loop", line != last, adv)
+		if line == last {
+			break
+		}
+	}
+	return nil
+}
+
+// Root returns the pool's root object, creating it with the given size on
+// first use (paper: pool_root). The root anchors all other content.
+func (h *Heap) Root(p *Pool, size uint32) (oid.OID, error) {
+	hdr := h.DirectRef(p, 0)
+	w, err := hdr.Load64(offRootOff)
+	if err != nil {
+		return oid.Null, err
+	}
+	if w.V != 0 {
+		if got := uint32(h.read64(p, offRootSize)); got < size {
+			return oid.Null, fmt.Errorf("pmem: root of pool %q is %d bytes, %d requested", p.b.name, got, size)
+		}
+		return p.OID(uint32(w.V)), nil
+	}
+	o, err := h.Alloc(p, size)
+	if err != nil {
+		return oid.Null, err
+	}
+	if err := hdr.Store64(offRootOff, uint64(o.Offset()), isa.RZ); err != nil {
+		return oid.Null, err
+	}
+	if err := hdr.Store64(offRootSize, uint64(size), isa.RZ); err != nil {
+		return oid.Null, err
+	}
+	if err := h.Persist(p.OID(offRootOff), 16); err != nil {
+		return oid.Null, err
+	}
+	return o, nil
+}

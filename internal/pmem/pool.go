@@ -1,0 +1,108 @@
+package pmem
+
+import (
+	"fmt"
+
+	"potgo/internal/oid"
+	"potgo/internal/vm"
+)
+
+// Persistent pool layout. The first page is the header; an undo-log region
+// follows; object data fills the rest. All header fields are 8-byte words so
+// that every metadata access is a single persistent load/store.
+//
+//	0x00  magic
+//	0x08  pool size in bytes
+//	0x10  bump pointer (offset of the next never-allocated byte)
+//	0x18  root object offset (0 = not yet created)
+//	0x20  root object size
+//	0x28  log region size in bytes
+//	0x30  free-list heads, one word per size class
+//	...
+//	0x1000            undo log: [count][records...]
+//	0x1000+logBytes   object data
+const (
+	poolMagic   = 0x504f4f4c_474f4f44 // "POOLGOOD"
+	offMagic    = 0
+	offSize     = 8
+	offBump     = 16
+	offRootOff  = 24
+	offRootSize = 32
+	offLogBytes = 40
+	offFreeHead = 48 // + 8*class
+	headerBytes = vm.PageSize
+	logStart    = headerBytes
+)
+
+// sizeClasses are the allocator's segregated free-list classes (payload
+// bytes). Larger requests are bump-allocated exactly.
+var sizeClasses = [...]uint32{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// blockHeaderBytes is the allocation header (one word holding the block's
+// payload size) that precedes every payload.
+const blockHeaderBytes = 8
+
+// DefaultLogBytes is the default undo-log capacity per pool. Kept small so
+// the EACH pattern (hundreds of single-object pools) stays cheap; the log
+// only ever needs to hold one transaction's undo records.
+const DefaultLogBytes = 8 * 1024
+
+// MinPoolBytes is the smallest legal pool: header + log + one data page.
+func MinPoolBytes(logBytes uint64) uint64 { return headerBytes + logBytes + vm.PageSize }
+
+// Pool is an open pool mapped into the process's address space.
+type Pool struct {
+	h      *Heap
+	b      *backing
+	region vm.Region
+}
+
+// ID returns the pool's system-wide identifier.
+func (p *Pool) ID() oid.PoolID { return p.b.id }
+
+// Name returns the name the pool was created under.
+func (p *Pool) Name() string { return p.b.name }
+
+// Base returns the virtual address the pool is currently mapped at.
+func (p *Pool) Base() uint64 { return p.region.Base }
+
+// Size returns the pool size in bytes.
+func (p *Pool) Size() uint64 { return p.b.size }
+
+// dataStart is the offset of the first allocatable byte.
+func (p *Pool) dataStart() uint64 { return logStart + p.b.logBytes }
+
+// LogBytes returns the pool's undo-log region capacity.
+func (p *Pool) LogBytes() uint64 { return p.b.logBytes }
+
+// LogStart is the pool offset where the log region begins (after the header
+// page). Exported for applications that manage their own log in the region,
+// like the TPC-C workload's logical transaction log.
+const LogStart = logStart
+
+// OID forms an ObjectID for an offset within this pool.
+func (p *Pool) OID(off uint32) oid.OID { return oid.New(p.b.id, off) }
+
+// classOf returns the size-class index for a payload size, or -1 for large
+// (bump-only) allocations, along with the class payload size.
+func classOf(size uint32) (int, uint32) {
+	for i, c := range sizeClasses {
+		if size <= c {
+			return i, c
+		}
+	}
+	// Large: exact size rounded to 16.
+	return -1, (size + 15) &^ 15
+}
+
+func (p *Pool) freeHeadOff(class int) uint32 {
+	return uint32(offFreeHead + 8*class)
+}
+
+// checkOffset validates that an object offset lies in the data region.
+func (p *Pool) checkOffset(off uint32, size uint32) error {
+	if uint64(off) < p.dataStart() || uint64(off)+uint64(size) > p.b.size {
+		return fmt.Errorf("pmem: offset %#x+%d outside pool %q data region", off, size, p.b.name)
+	}
+	return nil
+}

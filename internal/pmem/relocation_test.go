@@ -1,0 +1,177 @@
+package pmem
+
+import (
+	"testing"
+
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// Relocatability across processes: a pool written by one process is read by
+// another whose ASLR places it at a completely different virtual address;
+// the stored ObjectIDs (including cross-object links) resolve unchanged.
+// This is the paper's core motivation (§1, Figure 2).
+func TestPoolRelocatesAcrossProcesses(t *testing.T) {
+	store := NewStore()
+
+	// Process A.
+	asA := vm.NewAddressSpace(111)
+	hA, err := NewHeap(asA, store, emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := hA.Create("shared", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseA := pA.Base()
+	// A two-node linked structure: root -> a -> b, linked by ObjectIDs.
+	rootA, err := hA.Root(pA, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := hA.Alloc(pA, 16)
+	b, _ := hA.Alloc(pA, 16)
+	refRoot, _ := hA.Deref(rootA, isa.RZ)
+	refA, _ := hA.Deref(a, isa.RZ)
+	refB, _ := hA.Deref(b, isa.RZ)
+	if err := refRoot.Store64(0, uint64(a), isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := refA.Store64(0, 0xAAAA, isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := refA.Store64(8, uint64(b), isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := refB.Store64(0, 0xBBBB, isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := hA.Persist(rootA, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := hA.Close(pA); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process B: different address space, different ASLR seed.
+	asB := vm.NewAddressSpace(999)
+	hB, err := NewHeap(asB, store, emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := hB.Open("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pB.Base() == baseA {
+		t.Logf("note: same mapping address by chance (%#x)", baseA)
+	}
+	if pB.ID() != pA.ID() {
+		t.Fatal("pool identity must be stable across processes")
+	}
+	rootB, err := hB.Root(pB, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootB != rootA {
+		t.Fatalf("root ObjectID changed: %v vs %v", rootB, rootA)
+	}
+	ref, _ := hB.Deref(rootB, isa.RZ)
+	wa, _ := ref.Load64(0)
+	refA2, err := hB.Deref(wa.OID(), wa.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := refA2.Load64(0)
+	wb, _ := refA2.Load64(8)
+	if va.V != 0xAAAA {
+		t.Errorf("node a value = %#x", va.V)
+	}
+	refB2, err := hB.Deref(wb.OID(), wb.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, _ := refB2.Load64(0)
+	if vb.V != 0xBBBB {
+		t.Errorf("node b value = %#x", vb.V)
+	}
+}
+
+// Cross-pool links survive each pool relocating independently.
+func TestCrossPoolLinksRelocate(t *testing.T) {
+	store := NewStore()
+	asA := vm.NewAddressSpace(5)
+	hA, err := NewHeap(asA, store, emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := hA.CreateSized("p1", 64*1024, 4096)
+	p2, _ := hA.CreateSized("p2", 64*1024, 4096)
+	o1, _ := hA.Alloc(p1, 16)
+	o2, _ := hA.Alloc(p2, 16)
+	r1, _ := hA.Deref(o1, isa.RZ)
+	r2, _ := hA.Deref(o2, isa.RZ)
+	// p1's object points into p2 and vice versa.
+	if err := r1.Store64(0, uint64(o2), isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Store64(0, uint64(o1), isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	hA.Close(p1)
+	hA.Close(p2)
+
+	asB := vm.NewAddressSpace(6)
+	hB, err := NewHeap(asB, store, emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open in the opposite order for different placement.
+	q2, err := hB.Open("p2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := hB.Open("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q1
+	_ = q2
+	ref1, err := hB.Deref(o1, isa.RZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := ref1.Load64(0)
+	if w.OID() != o2 {
+		t.Fatalf("cross-pool link broken: %v, want %v", w.OID(), o2)
+	}
+	ref2, err := hB.Deref(w.OID(), w.Reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := ref2.Load64(0)
+	if back.OID() != o1 {
+		t.Fatalf("back-link broken: %v, want %v", back.OID(), o1)
+	}
+}
+
+// A pool can be null-checked: dereferencing OIDs from closed pools and the
+// reserved null pool fails cleanly (the paper's POT exception, software
+// side).
+func TestDanglingReferences(t *testing.T) {
+	as := vm.NewAddressSpace(8)
+	h, err := NewHeap(as, NewStore(), emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Deref(oid.Null, isa.RZ); err == nil {
+		t.Error("null deref must fail")
+	}
+	if _, err := h.Deref(oid.New(12345, 64), isa.RZ); err == nil {
+		t.Error("deref into never-opened pool must fail")
+	}
+}

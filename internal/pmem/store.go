@@ -1,0 +1,97 @@
+// Package pmem implements the persistent-memory programming library of the
+// paper's Table 1 — pool management, object management (a persistent
+// free-list allocator), ObjectID translation, durability (persist = CLWB +
+// SFENCE) and failure-safety (write-ahead undo-log transactions) — with the
+// two compilation modes of the evaluation:
+//
+//   - BASE: every persistent dereference emits the software oid_direct
+//     sequence (emit.SoftTranslator) followed by ordinary loads/stores on
+//     the translated virtual address.
+//   - OPT: every persistent dereference emits nvld/nvst instructions that
+//     the hardware POLB/POT translate.
+//
+// All data is functionally real: pools are byte arrays mapped into the
+// simulated address space, allocator metadata and undo logs live inside the
+// pools, and crash recovery replays the persisted log bytes.
+package pmem
+
+import (
+	"fmt"
+
+	"potgo/internal/oid"
+)
+
+// backing is the "file" behind a pool: the durable bytes that survive
+// pool_close/pool_open cycles (and simulated crashes), plus the pool's
+// system-wide identity.
+type backing struct {
+	name     string
+	id       oid.PoolID
+	data     []byte
+	size     uint64
+	logBytes uint64
+	open     bool
+}
+
+// Store is the durable home of every pool ever created — the moral
+// equivalent of the NVM-backed filesystem that pool files live on. Pool ids
+// are unique, system-wide, and stable across close/open (paper §2.1.2).
+type Store struct {
+	byName map[string]*backing
+	nextID uint32
+}
+
+// NewStore creates an empty pool store.
+func NewStore() *Store {
+	return &Store{byName: make(map[string]*backing), nextID: 1}
+}
+
+// Exists reports whether a pool of that name has been created.
+func (s *Store) Exists(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Pools returns the number of pools in the store.
+func (s *Store) Pools() int { return len(s.byName) }
+
+func (s *Store) create(name string, size, logBytes uint64) (*backing, error) {
+	if _, ok := s.byName[name]; ok {
+		return nil, fmt.Errorf("pmem: pool %q already exists", name)
+	}
+	if s.nextID == 0 { // wrapped past 2^32-1
+		return nil, fmt.Errorf("pmem: pool id space exhausted")
+	}
+	b := &backing{
+		name:     name,
+		id:       oid.PoolID(s.nextID),
+		data:     make([]byte, size),
+		size:     size,
+		logBytes: logBytes,
+	}
+	s.nextID++
+	s.byName[name] = b
+	return b, nil
+}
+
+func (s *Store) lookup(name string) (*backing, error) {
+	b, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("pmem: pool %q does not exist", name)
+	}
+	return b, nil
+}
+
+// Delete removes a closed pool from the store (not part of the paper's API,
+// but needed for cleanup in long-running hosts).
+func (s *Store) Delete(name string) error {
+	b, ok := s.byName[name]
+	if !ok {
+		return fmt.Errorf("pmem: pool %q does not exist", name)
+	}
+	if b.open {
+		return fmt.Errorf("pmem: pool %q is open", name)
+	}
+	delete(s.byName, name)
+	return nil
+}

@@ -1,0 +1,314 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+)
+
+// Transaction support: write-ahead undo logging (paper §2.1.4).
+//
+// The undo log lives inside the transaction's pool, immediately after the
+// header page. Its layout:
+//
+//	log[0]      count of valid records (0 = log empty / committed)
+//	log[8]...   records, each: {kind, oid, size, data padded to 8 bytes}
+//
+// A record is persisted (CLWB + SFENCE) before the count that publishes it,
+// so a crash can never observe a published-but-unwritten record; and the
+// count is cleared (and persisted) only after commit has persisted all
+// modified data, so recovery always sees either "nothing to undo" or a
+// complete undo description.
+const (
+	recData  = 0 // snapshot of object bytes taken by tx_add_range
+	recAlloc = 1 // allocation to undo on abort
+	recFree  = 2 // free-intent to apply on commit
+)
+
+const recHeaderBytes = 24
+
+type txRecord struct {
+	kind uint64
+	oid  oid.OID
+	size uint32
+	old  []byte // recData: the snapshotted bytes
+}
+
+type txState struct {
+	pool     *Pool
+	writeOff uint32 // next free byte in the log region (pool offset)
+	records  []txRecord
+}
+
+// InTx reports whether a transaction is active.
+func (h *Heap) InTx() bool { return h.tx != nil }
+
+// TxBegin starts a transaction whose undo log lives in pool p (paper:
+// tx_begin). Nested transactions are not supported, matching the reduced
+// API of paper Table 1.
+func (h *Heap) TxBegin(p *Pool) error {
+	if h.tx != nil {
+		return fmt.Errorf("pmem: transaction already active on pool %q", h.tx.pool.b.name)
+	}
+	if _, ok := h.open[p.b.id]; !ok {
+		return fmt.Errorf("pmem: tx_begin on closed pool %q", p.b.name)
+	}
+	h.tx = &txState{pool: p, writeOff: logStart + 8}
+	h.Emit.Jump()
+	h.Emit.Compute(txBeginWork)
+	return nil
+}
+
+// logAppend writes one record into the log, persists it, then publishes it
+// by bumping and persisting the count.
+func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) error {
+	t := h.tx
+	padded := (uint32(len(data)) + 7) &^ 7
+	if uint64(t.writeOff)+recHeaderBytes+uint64(padded) > logStart+t.pool.b.logBytes {
+		return fmt.Errorf("pmem: undo log of pool %q full", t.pool.b.name)
+	}
+	h.Emit.Jump() // call into the log layer
+	h.Emit.Compute(txLogWork)
+	recOID := t.pool.OID(t.writeOff)
+	rec, err := h.Deref(recOID, isa.RZ)
+	if err != nil {
+		return err
+	}
+	if err := rec.Store64(0, kind, isa.RZ); err != nil {
+		return err
+	}
+	if err := rec.Store64(8, uint64(target), isa.RZ); err != nil {
+		return err
+	}
+	if err := rec.Store64(16, uint64(size), isa.RZ); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		buf := make([]byte, padded)
+		copy(buf, data)
+		if err := rec.WriteBytes(recHeaderBytes, buf); err != nil {
+			return err
+		}
+	}
+	// Write-ahead: record persists before it is published.
+	if err := h.Persist(recOID, recHeaderBytes+padded); err != nil {
+		return err
+	}
+	t.writeOff += recHeaderBytes + padded
+
+	countOID := t.pool.OID(logStart)
+	cnt, err := h.Deref(countOID, isa.RZ)
+	if err != nil {
+		return err
+	}
+	n := uint64(len(t.records) + 1)
+	if err := cnt.Store64(0, n, isa.RZ); err != nil {
+		return err
+	}
+	if err := h.Persist(countOID, 8); err != nil {
+		return err
+	}
+	rcd := txRecord{kind: kind, oid: target, size: size}
+	if len(data) > 0 {
+		rcd.old = append([]byte(nil), data...)
+	}
+	t.records = append(t.records, rcd)
+	return nil
+}
+
+// TxAddRange snapshots [o, o+size) into the undo log (paper: tx_add_range).
+// Call it before modifying the range; commit makes the new contents durable,
+// abort/recovery restores the snapshot.
+func (h *Heap) TxAddRange(o oid.OID, size uint32) error {
+	if h.tx == nil {
+		return fmt.Errorf("pmem: tx_add_range outside a transaction")
+	}
+	src, err := h.Deref(o, isa.RZ)
+	if err != nil {
+		return err
+	}
+	old := make([]byte, size)
+	if err := src.ReadBytes(0, old); err != nil {
+		return err
+	}
+	return h.logAppend(recData, o, size, old)
+}
+
+// TxAlloc is tx_pmalloc: an allocation that is undone if the transaction
+// aborts. The paper's signature allocates from the transaction's pool; this
+// implementation also accepts any open pool, which the multi-pool usage
+// patterns (EACH/RANDOM) need.
+func (h *Heap) TxAlloc(p *Pool, size uint32) (oid.OID, error) {
+	if h.tx == nil {
+		return oid.Null, fmt.Errorf("pmem: tx_pmalloc outside a transaction")
+	}
+	o, err := h.Alloc(p, size)
+	if err != nil {
+		return oid.Null, err
+	}
+	if err := h.logAppend(recAlloc, o, size, nil); err != nil {
+		return oid.Null, err
+	}
+	return o, nil
+}
+
+// TxFree is tx_pfree: the free is logged now and applied at commit, so an
+// abort leaves the object intact.
+func (h *Heap) TxFree(o oid.OID) error {
+	if h.tx == nil {
+		return fmt.Errorf("pmem: tx_pfree outside a transaction")
+	}
+	if _, ok := h.open[o.Pool()]; !ok {
+		return fmt.Errorf("pmem: tx_pfree in unopened pool %d", o.Pool())
+	}
+	return h.logAppend(recFree, o, 0, nil)
+}
+
+// TxEnd commits: all snapshotted ranges are persisted, deferred frees are
+// applied, and the log is truncated (paper: tx_end).
+func (h *Heap) TxEnd() error {
+	if h.tx == nil {
+		return fmt.Errorf("pmem: tx_end outside a transaction")
+	}
+	t := h.tx
+	h.Emit.Jump()
+	h.Emit.Compute(txEndWork)
+	// Persist every range modified under the transaction (one fence for
+	// the batch), then the deferred frees, then invalidate the log.
+	fence := false
+	for _, r := range t.records {
+		if r.kind == recData || r.kind == recAlloc {
+			if err := h.persistNoFence(r.oid, r.size); err != nil {
+				return err
+			}
+			fence = true
+		}
+	}
+	if fence {
+		h.Emit.SFence()
+	}
+	for _, r := range t.records {
+		if r.kind == recFree {
+			if err := h.Free(r.oid); err != nil {
+				return err
+			}
+		}
+	}
+	if err := h.truncateLog(t.pool); err != nil {
+		return err
+	}
+	h.tx = nil
+	return nil
+}
+
+// TxAbort rolls the transaction back in place: snapshots are restored,
+// transactional allocations are freed, deferred frees are dropped.
+func (h *Heap) TxAbort() error {
+	if h.tx == nil {
+		return fmt.Errorf("pmem: tx_abort outside a transaction")
+	}
+	t := h.tx
+	for i := len(t.records) - 1; i >= 0; i-- {
+		if err := h.undoRecord(t.records[i]); err != nil {
+			return err
+		}
+	}
+	if err := h.truncateLog(t.pool); err != nil {
+		return err
+	}
+	h.tx = nil
+	return nil
+}
+
+func (h *Heap) undoRecord(r txRecord) error {
+	switch r.kind {
+	case recData:
+		dst, err := h.Deref(r.oid, isa.RZ)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, (len(r.old)+7)&^7)
+		copy(buf, r.old)
+		if err := dst.WriteBytes(0, buf); err != nil {
+			return err
+		}
+		return h.Persist(r.oid, r.size)
+	case recAlloc:
+		return h.Free(r.oid)
+	case recFree:
+		return nil // never applied
+	default:
+		return fmt.Errorf("pmem: corrupt undo record kind %d", r.kind)
+	}
+}
+
+func (h *Heap) truncateLog(p *Pool) error {
+	countOID := p.OID(logStart)
+	cnt, err := h.Deref(countOID, isa.RZ)
+	if err != nil {
+		return err
+	}
+	if err := cnt.Store64(0, 0, isa.RZ); err != nil {
+		return err
+	}
+	return h.Persist(countOID, 8)
+}
+
+// Recover replays the pool's undo log after a crash (pool just reopened):
+// if the log holds records, the interrupted transaction's effects are rolled
+// back in reverse order and the log is truncated. Records that reference
+// other pools require those pools to be open.
+func (h *Heap) Recover(p *Pool) error {
+	count := h.read64(p, logStart)
+	if count == 0 {
+		return nil
+	}
+	// Parse the records straight from the persisted log bytes.
+	type parsed struct {
+		kind uint64
+		oid  oid.OID
+		size uint32
+		old  []byte
+	}
+	var recs []parsed
+	off := uint64(logStart + 8)
+	for i := uint64(0); i < count; i++ {
+		hdr := make([]byte, recHeaderBytes)
+		if err := h.AS.ReadAt(p.region.Base+off, hdr); err != nil {
+			return fmt.Errorf("pmem: recover %q: %w", p.b.name, err)
+		}
+		kind := binary.LittleEndian.Uint64(hdr[0:])
+		target := oid.OID(binary.LittleEndian.Uint64(hdr[8:]))
+		size := uint32(binary.LittleEndian.Uint64(hdr[16:]))
+		padded := uint64((size + 7) &^ 7)
+		var old []byte
+		if kind == recData {
+			old = make([]byte, padded)
+			if err := h.AS.ReadAt(p.region.Base+off+recHeaderBytes, old); err != nil {
+				return fmt.Errorf("pmem: recover %q: %w", p.b.name, err)
+			}
+			old = old[:size]
+		}
+		if kind == recAlloc {
+			padded = 0
+		}
+		if kind == recFree {
+			padded = 0
+		}
+		recs = append(recs, parsed{kind: kind, oid: target, size: size, old: old})
+		off += recHeaderBytes + padded
+	}
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		if err := h.undoRecord(txRecord{kind: r.kind, oid: r.oid, size: r.size, old: r.old}); err != nil {
+			return err
+		}
+	}
+	return h.truncateLog(p)
+}
+
+// NeedsRecovery reports whether the pool's log holds records from an
+// interrupted transaction.
+func (h *Heap) NeedsRecovery(p *Pool) bool { return h.read64(p, logStart) != 0 }

@@ -1,0 +1,92 @@
+package polb
+
+import (
+	"testing"
+
+	"potgo/internal/oid"
+)
+
+func TestSetAssociativeGeometry(t *testing.T) {
+	if _, err := NewSetAssociative(Pipelined, 3, 4); err == nil {
+		t.Error("non-power-of-two sets must fail")
+	}
+	if _, err := NewSetAssociative(Pipelined, 0, 4); err == nil {
+		t.Error("zero sets must fail")
+	}
+	if _, err := NewSetAssociative(Pipelined, 4, -1); err == nil {
+		t.Error("negative ways must fail")
+	}
+	p, err := NewSetAssociative(Pipelined, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 32 || p.Sets() != 8 {
+		t.Errorf("size=%d sets=%d", p.Size(), p.Sets())
+	}
+}
+
+func TestSetAssociativeConflictMisses(t *testing.T) {
+	// 4 sets x 1 way: pools whose ids share low bits conflict even
+	// though the total capacity (4) could hold them all in a CAM.
+	p, err := NewSetAssociative(Pipelined, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pools 4 and 8 both index set 0.
+	p.Fill(oid.New(4, 0), 0x4000)
+	p.Fill(oid.New(8, 0), 0x8000)
+	if _, hit := p.Lookup(oid.New(4, 0)); hit {
+		t.Error("pool 4 must have been evicted by the conflicting pool 8")
+	}
+	// A CAM of the same total size holds both.
+	cam := New(Pipelined, 4)
+	cam.Fill(oid.New(4, 0), 0x4000)
+	cam.Fill(oid.New(8, 0), 0x8000)
+	if _, hit := cam.Lookup(oid.New(4, 0)); !hit {
+		t.Error("the CAM must keep both pools")
+	}
+}
+
+func TestSetAssociativeIndexesByLowTagBits(t *testing.T) {
+	p, err := NewSetAssociative(Pipelined, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pools 1, 2, 3 land in different sets: all fit regardless of ways.
+	for pool := oid.PoolID(1); pool <= 3; pool++ {
+		p.Fill(oid.New(pool, 0), uint64(pool)<<12)
+	}
+	for pool := oid.PoolID(1); pool <= 3; pool++ {
+		if v, hit := p.Lookup(oid.New(pool, 0)); !hit || v != uint64(pool)<<12 {
+			t.Errorf("pool %d: %#x, %t", pool, v, hit)
+		}
+	}
+}
+
+func TestSetAssociativeInvalidateAndFlush(t *testing.T) {
+	p, err := NewSetAssociative(Parallel, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fill(oid.New(1, 0x0000), 0xa000)
+	p.Fill(oid.New(1, 0x1000), 0xb000)
+	p.Fill(oid.New(2, 0x0000), 0xc000)
+	p.InvalidatePool(1)
+	if p.Probe(oid.New(1, 0x0000)) || p.Probe(oid.New(1, 0x1000)) {
+		t.Error("invalidated pool pages resident")
+	}
+	if !p.Probe(oid.New(2, 0x0000)) {
+		t.Error("other pool must survive")
+	}
+	p.Flush()
+	if p.Len() != 0 {
+		t.Error("flush must empty all sets")
+	}
+}
+
+func TestCAMIsOneSet(t *testing.T) {
+	cam := New(Pipelined, 32)
+	if cam.Sets() != 1 || cam.Size() != 32 {
+		t.Errorf("CAM geometry: sets=%d size=%d", cam.Sets(), cam.Size())
+	}
+}

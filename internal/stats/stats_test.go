@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean is 0")
+	}
+	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", g)
+	}
+	if g := GeoMean([]float64{3}); math.Abs(g-3) > 1e-12 {
+		t.Errorf("GeoMean(3) = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive input must panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean is 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+// Property: geomean lies between min and max.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("My Table", "Bench", "Value")
+	tb.AddRow("LL", "1.96")
+	tb.AddRow("LongerName", "2")
+	out := tb.Render()
+	if !strings.Contains(out, "My Table") || !strings.Contains(out, "Bench") {
+		t.Error("render must include title and headers")
+	}
+	if !strings.Contains(out, "LongerName") {
+		t.Error("render must include rows")
+	}
+	if tb.Rows() != 2 {
+		t.Error("Rows")
+	}
+	// Ragged rows don't panic.
+	tb.AddRow("a", "b", "c")
+	_ = tb.Render()
+}
+
+func TestBar(t *testing.T) {
+	b := Bar(1.0, 2.0, 10)
+	if !strings.HasPrefix(b, "#####.....") {
+		t.Errorf("Bar = %q", b)
+	}
+	if !strings.Contains(b, "1.00") {
+		t.Error("bar must include the value")
+	}
+	// Clamping.
+	if over := Bar(5, 2, 10); !strings.HasPrefix(over, strings.Repeat("#", 10)) {
+		t.Errorf("over-full bar = %q", over)
+	}
+	if under := Bar(-1, 2, 10); strings.Contains(under, "#") {
+		t.Errorf("negative bar = %q", under)
+	}
+	if deg := Bar(1, 0, 10); deg == "" {
+		t.Error("degenerate scale must still render")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.234) != "1.23" {
+		t.Error("F")
+	}
+	if Pct(0.325) != "32.5%" {
+		t.Error("Pct")
+	}
+}

@@ -1,0 +1,98 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"potgo/internal/oid"
+)
+
+// CheckConsistency verifies the TPC-C consistency conditions that our
+// schema carries (spec clause 3.3.2, adapted), across all warehouses:
+//
+//  1. For every district, D_NEXT_O_ID - 1 equals the maximum O_ID in the
+//     ORDER table for that district.
+//  2. Every W_YTD equals the sum of its districts' D_YTD.
+//  3. Every NEW-ORDER key has a matching ORDER row.
+//  4. For every order, O_OL_CNT equals the number of ORDER-LINE rows.
+func (db *DB) CheckConsistency() error {
+	cfg := db.cfg
+
+	maxOrder := make(map[uint64]int) // districtKey -> D_NEXT_O_ID-1
+	for w := 1; w <= cfg.Warehouses; w++ {
+		// 2: W_YTD == sum(D_YTD).
+		wRow, ok, err := db.lookupRow("warehouse", warehouseKey(w))
+		if err != nil || !ok {
+			return fmt.Errorf("tpcc: warehouse %d row missing: %w", w, err)
+		}
+		wFields, err := db.readRow(wRow, 2)
+		if err != nil {
+			return err
+		}
+		var dSum uint64
+		for d := 1; d <= cfg.Districts; d++ {
+			dRow, ok, err := db.lookupRow("district", districtKey(w, d))
+			if err != nil || !ok {
+				return fmt.Errorf("tpcc: district %d/%d missing: %w", w, d, err)
+			}
+			dFields, err := db.readRow(dRow, 3)
+			if err != nil {
+				return err
+			}
+			dSum += dFields[1]
+			maxOrder[districtKey(w, d)] = int(dFields[0]) - 1
+		}
+		if wFields[0] != dSum {
+			return fmt.Errorf("tpcc: warehouse %d: W_YTD %d != sum(D_YTD) %d", w, wFields[0], dSum)
+		}
+	}
+
+	// 1 & 4: order table scan.
+	orders, err := db.tree("order").Scan(db.ctx("order"), 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	seenMax := make(map[uint64]int)
+	for _, kv := range orders {
+		w := int(kv.Key >> 40)
+		d := int(kv.Key >> 36 & 0xF)
+		o := int(kv.Key & 0xFFFFFFFF)
+		dk := districtKey(w, d)
+		if o > seenMax[dk] {
+			seenMax[dk] = o
+		}
+		oFields, err := db.readRow(oid.OID(kv.Val), 4)
+		if err != nil {
+			return err
+		}
+		olCnt := int(oFields[1])
+		for ln := 1; ln <= olCnt; ln++ {
+			if _, ok, err := db.lookupRow("orderline", orderLineKey(w, d, o, ln)); err != nil || !ok {
+				return fmt.Errorf("tpcc: order %d/%d/%d missing line %d: %w", w, d, o, ln, err)
+			}
+		}
+		if _, ok, _ := db.lookupRow("orderline", orderLineKey(w, d, o, olCnt+1)); ok {
+			return fmt.Errorf("tpcc: order %d/%d/%d has extra line %d", w, d, o, olCnt+1)
+		}
+	}
+	for w := 1; w <= cfg.Warehouses; w++ {
+		for d := 1; d <= cfg.Districts; d++ {
+			dk := districtKey(w, d)
+			if seenMax[dk] != maxOrder[dk] {
+				return fmt.Errorf("tpcc: district %d/%d: max order %d != D_NEXT_O_ID-1 %d",
+					w, d, seenMax[dk], maxOrder[dk])
+			}
+		}
+	}
+
+	// 3: every new-order references an order.
+	newOrders, err := db.tree("neworder").Scan(db.ctx("neworder"), 0, 1<<30)
+	if err != nil {
+		return err
+	}
+	for _, kv := range newOrders {
+		if _, ok, err := db.lookupRow("order", kv.Key); err != nil || !ok {
+			return fmt.Errorf("tpcc: dangling new-order %#x: %w", kv.Key, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+// Package tpcc implements the paper's TPC-C workload (Table 5): generate
+// one warehouse according to the TPC-C specification's cardinalities and run
+// transactions from the standard mix, with every table stored as a
+// persistent B+ tree (paper §5.2: "we move the data structures in the form
+// of a B+ Tree to persistent pools").
+//
+// Two pool placements mirror Table 6's TPCC_ALL / TPCC_EACH: all trees (and
+// their rows) in one pool, or one pool per table. Failure safety uses the
+// library's write-ahead undo log around every TPC-C transaction.
+package tpcc
+
+import "math/rand"
+
+// Config fixes the database cardinalities and the transaction mix. The zero
+// value is not valid; use SpecConfig or TestConfig.
+type Config struct {
+	// Warehouses (the paper evaluates 1; the schema and transactions
+	// support more, including remote stock and remote payments).
+	Warehouses int
+	// Districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000).
+	CustomersPerDistrict int
+	// Items in the catalogue (spec: 100000).
+	Items int
+	// InitialOrdersPerDistrict pre-populated orders (spec: 3000, of
+	// which the last 900 are undelivered new-orders).
+	InitialOrdersPerDistrict int
+	// UndeliveredPerDistrict (spec: 900).
+	UndeliveredPerDistrict int
+	// Seed drives key selection and the mix.
+	Seed int64
+}
+
+// SpecConfig returns the TPC-C v5.11 cardinalities for one warehouse.
+func SpecConfig(seed int64) Config {
+	return Config{
+		Warehouses:               1,
+		Districts:                10,
+		CustomersPerDistrict:     3000,
+		Items:                    100000,
+		InitialOrdersPerDistrict: 3000,
+		UndeliveredPerDistrict:   900,
+		Seed:                     seed,
+	}
+}
+
+// TestConfig returns a down-scaled database for fast tests; ratios between
+// tables are preserved.
+func TestConfig(seed int64) Config {
+	return Config{
+		Warehouses:               1,
+		Districts:                4,
+		CustomersPerDistrict:     60,
+		Items:                    200,
+		InitialOrdersPerDistrict: 30,
+		UndeliveredPerDistrict:   9,
+		Seed:                     seed,
+	}
+}
+
+// nuRand is the TPC-C non-uniform random function NURand(A, x, y) of spec
+// clause 2.1.6, with per-run C constants.
+type nuRand struct {
+	rng              *rand.Rand
+	cLast, cCus, cID int
+}
+
+func newNuRand(rng *rand.Rand) *nuRand {
+	return &nuRand{
+		rng:   rng,
+		cLast: rng.Intn(256),
+		cCus:  rng.Intn(1024),
+		cID:   rng.Intn(8192),
+	}
+}
+
+func (n *nuRand) nu(a, c, x, y int) int {
+	return (((n.rng.Intn(a+1) | (n.rng.Intn(y-x+1) + x)) + c) % (y - x + 1)) + x
+}
+
+// CustomerID draws a customer id in [1, max] per NURand(1023, ...).
+func (n *nuRand) CustomerID(max int) int { return n.nu(1023, n.cCus, 1, max) }
+
+// ItemID draws an item id in [1, max] per NURand(8191, ...).
+func (n *nuRand) ItemID(max int) int { return n.nu(8191, n.cID, 1, max) }
+
+// Transaction types of the standard mix (spec clause 5.2.3 minimum
+// percentages: Payment 43%, Order-Status 4%, Delivery 4%, Stock-Level 4%,
+// remainder New-Order).
+type TxType int
+
+const (
+	NewOrderTx TxType = iota
+	PaymentTx
+	OrderStatusTx
+	DeliveryTx
+	StockLevelTx
+)
+
+func (t TxType) String() string {
+	switch t {
+	case NewOrderTx:
+		return "NewOrder"
+	case PaymentTx:
+		return "Payment"
+	case OrderStatusTx:
+		return "OrderStatus"
+	case DeliveryTx:
+		return "Delivery"
+	case StockLevelTx:
+		return "StockLevel"
+	default:
+		return "Unknown"
+	}
+}
+
+// pickTx draws a transaction type from the standard mix.
+func pickTx(rng *rand.Rand) TxType {
+	r := rng.Intn(100)
+	switch {
+	case r < 43:
+		return PaymentTx
+	case r < 47:
+		return OrderStatusTx
+	case r < 51:
+		return DeliveryTx
+	case r < 55:
+		return StockLevelTx
+	default:
+		return NewOrderTx
+	}
+}

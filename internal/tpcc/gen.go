@@ -1,0 +1,113 @@
+package tpcc
+
+import "fmt"
+
+// populate builds the database per the TPC-C spec's cardinalities (clause
+// 4.3.3, scaled by the Config): per warehouse, Districts districts,
+// CustomersPerDistrict customers each (with one history row), one stock row
+// per item, and InitialOrdersPerDistrict orders per district with 5–15
+// order lines, the last UndeliveredPerDistrict of which are undelivered
+// (carrier 0 and a new-order marker). The item catalogue is global.
+func (db *DB) populate() error {
+	cfg := db.cfg
+
+	for i := 1; i <= cfg.Items; i++ {
+		price := uint64(db.rng.Intn(9901) + 100) // 1.00..100.00 in cents
+		if _, err := db.insertRow("item", uint64(i), []uint64{price, uint64(db.rng.Intn(10000) + 1)}); err != nil {
+			return fmt.Errorf("tpcc: item %d: %w", i, err)
+		}
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		if err := db.populateWarehouse(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (db *DB) populateWarehouse(w int) error {
+	cfg := db.cfg
+	if _, err := db.insertRow("warehouse", warehouseKey(w), []uint64{0, uint64(db.rng.Intn(2000))}); err != nil {
+		return err
+	}
+
+	for d := 1; d <= cfg.Districts; d++ {
+		nextO := uint64(cfg.InitialOrdersPerDistrict + 1)
+		fields := []uint64{nextO, 0, uint64(db.rng.Intn(2000))}
+		if _, err := db.insertRow("district", districtKey(w, d), fields); err != nil {
+			return fmt.Errorf("tpcc: district %d/%d: %w", w, d, err)
+		}
+	}
+
+	for d := 1; d <= cfg.Districts; d++ {
+		for c := 1; c <= cfg.CustomersPerDistrict; c++ {
+			// Spec: C_BALANCE = -10.00, C_YTD_PAYMENT = 10.00.
+			balance := int64(-1000)
+			fields := []uint64{uint64(balance), 1000, 1, 0}
+			if _, err := db.insertRow("customer", customerKey(w, d, c), fields); err != nil {
+				return fmt.Errorf("tpcc: customer %d/%d/%d: %w", w, d, c, err)
+			}
+			last := db.lastNameOf(c)
+			if err := db.tree("custname").Insert(db.ctx("custname"),
+				custNameKey(w, d, last, c), uint64(c)); err != nil {
+				return fmt.Errorf("tpcc: custname %d/%d/%d: %w", w, d, c, err)
+			}
+			db.historySeq++
+			if _, err := db.insertRow("history", db.historySeq,
+				[]uint64{uint64(c), uint64(d), 1000}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for i := 1; i <= cfg.Items; i++ {
+		qty := uint64(db.rng.Intn(91) + 10) // 10..100
+		if _, err := db.insertRow("stock", stockKey(w, i), []uint64{qty, 0, 0, 0}); err != nil {
+			return fmt.Errorf("tpcc: stock %d/%d: %w", w, i, err)
+		}
+	}
+
+	for d := 1; d <= cfg.Districts; d++ {
+		// Orders reference customers via a random permutation (spec:
+		// O_C_ID selected without repetition).
+		perm := db.rng.Perm(cfg.CustomersPerDistrict)
+		for o := 1; o <= cfg.InitialOrdersPerDistrict; o++ {
+			c := perm[(o-1)%len(perm)] + 1
+			olCnt := db.rng.Intn(11) + 5 // 5..15
+			delivered := o <= cfg.InitialOrdersPerDistrict-cfg.UndeliveredPerDistrict
+			carrier := uint64(0)
+			if delivered {
+				carrier = uint64(db.rng.Intn(10) + 1)
+			}
+			fields := []uint64{uint64(c), uint64(olCnt), carrier, uint64(o)}
+			if _, err := db.insertRow("order", orderKey(w, d, o), fields); err != nil {
+				return fmt.Errorf("tpcc: order %d/%d/%d: %w", w, d, o, err)
+			}
+			if err := db.tree("ordercust").Insert(db.ctx("ordercust"),
+				orderCustKey(w, d, c, o), uint64(orderKey(w, d, o))); err != nil {
+				return err
+			}
+			if !delivered {
+				if _, err := db.insertRow("neworder", newOrderKey(w, d, o), []uint64{uint64(o), 0}); err != nil {
+					return err
+				}
+			}
+			for ln := 1; ln <= olCnt; ln++ {
+				iID := uint64(db.rng.Intn(cfg.Items) + 1)
+				qty := uint64(5)
+				amount := uint64(0)
+				deliveryD := uint64(0)
+				if delivered {
+					amount = uint64(db.rng.Intn(999999) + 1)
+					deliveryD = uint64(o)
+				}
+				if _, err := db.insertRow("orderline", orderLineKey(w, d, o, ln),
+					[]uint64{iID, qty, amount, deliveryD}); err != nil {
+					return fmt.Errorf("tpcc: orderline %d/%d/%d/%d: %w", w, d, o, ln, err)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,484 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"potgo/internal/oid"
+)
+
+// Application-side instruction costs per transaction, modelling the
+// non-persistent work a real TPC-C implementation performs around its table
+// accesses (input parsing, item-list construction, result formatting,
+// terminal handling). Without these the workload degenerates to bare index
+// operations and hardware translation looks far better than the paper's
+// measured 1.10-1.17x TPC-C speedups.
+const (
+	newOrderAppWork    = 13500
+	perLineAppWork     = 1650
+	paymentAppWork     = 12000
+	orderStatusAppWork = 7500
+	deliveryAppWork    = 22000
+	stockLevelAppWork  = 15000
+)
+
+// RunMix executes n transactions drawn from the TPC-C standard mix
+// (New-Order ~45%, Payment 43%, Order-Status 4%, Delivery 4%, Stock-Level
+// 4%), which is the paper's "perform 1000 transactions".
+func (db *DB) RunMix(n int) error {
+	for i := 0; i < n; i++ {
+		var err error
+		switch pickTx(db.rng) {
+		case NewOrderTx:
+			err = db.NewOrder()
+		case PaymentTx:
+			err = db.Payment()
+		case OrderStatusTx:
+			err = db.OrderStatus()
+		case DeliveryTx:
+			err = db.Delivery()
+		case StockLevelTx:
+			err = db.StockLevel()
+		}
+		if err != nil {
+			return fmt.Errorf("tpcc: transaction %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// homeWarehouse draws the terminal's home warehouse.
+func (db *DB) homeWarehouse() int { return db.rng.Intn(db.cfg.Warehouses) + 1 }
+
+// supplyWarehouse picks the supplying warehouse for one order line: the
+// home warehouse 99% of the time, a remote one 1% (spec 2.4.1.5.2) when
+// more than one warehouse exists.
+func (db *DB) supplyWarehouse(home int) int {
+	if db.cfg.Warehouses > 1 && db.rng.Intn(100) == 0 {
+		for {
+			if w := db.rng.Intn(db.cfg.Warehouses) + 1; w != home {
+				return w
+			}
+		}
+	}
+	return home
+}
+
+// NewOrder is TPC-C clause 2.4: place an order of 5–15 lines, updating the
+// district's next-order id and each line's (possibly remote) stock. 1% of
+// orders carry an unused item id and roll back (clause 2.4.1.4).
+func (db *DB) NewOrder() error {
+	cfg := db.cfg
+	w := db.homeWarehouse()
+	d := db.rng.Intn(cfg.Districts) + 1
+	c := db.nur.CustomerID(cfg.CustomersPerDistrict)
+	olCnt := db.rng.Intn(11) + 5
+	rollback := db.rng.Intn(100) == 0
+
+	db.h.Emit.Compute(newOrderAppWork)
+	if err := db.beginTx(); err != nil {
+		return err
+	}
+
+	// Validate the item list up front (clause 2.4.2.3: an unused item id
+	// aborts the transaction). Validation precedes any mutation, so the
+	// 1% rollback needs no undo.
+	items := make([]int, olCnt)
+	supply := make([]int, olCnt)
+	for ln := 0; ln < olCnt; ln++ {
+		items[ln] = db.nur.ItemID(cfg.Items)
+		supply[ln] = db.supplyWarehouse(w)
+	}
+	if rollback {
+		items[olCnt-1] = cfg.Items + 1 // unused item
+	}
+	for _, iID := range items {
+		if _, ok, err := db.lookupRow("item", uint64(iID)); err != nil {
+			return err
+		} else if !ok {
+			db.stats.Rollbacks++
+			return nil
+		}
+	}
+
+	dRow, ok, err := db.lookupRow("district", districtKey(w, d))
+	if err != nil || !ok {
+		return fmt.Errorf("district %d/%d missing: %w", w, d, err)
+	}
+	dFields, err := db.readRow(dRow, 3)
+	if err != nil {
+		return err
+	}
+	o := int(dFields[0])
+	if err := db.updateRow("district", dRow, districtRowBytes, 0, uint64(o+1)); err != nil {
+		return err
+	}
+
+	if _, err := db.insertRow("order", orderKey(w, d, o),
+		[]uint64{uint64(c), uint64(olCnt), 0, uint64(o)}); err != nil {
+		return err
+	}
+	if err := db.tree("ordercust").Insert(db.ctx("ordercust"),
+		orderCustKey(w, d, c, o), uint64(orderKey(w, d, o))); err != nil {
+		return err
+	}
+	if _, err := db.insertRow("neworder", newOrderKey(w, d, o), []uint64{uint64(o), 0}); err != nil {
+		return err
+	}
+
+	for ln := 1; ln <= olCnt; ln++ {
+		db.h.Emit.Compute(perLineAppWork)
+		iID := items[ln-1]
+		itemRow, ok, err := db.lookupRow("item", uint64(iID))
+		if err != nil || !ok {
+			return fmt.Errorf("item %d missing: %w", iID, err)
+		}
+		itemFields, err := db.readRow(itemRow, 2)
+		if err != nil {
+			return err
+		}
+		price := itemFields[0]
+
+		sw := supply[ln-1]
+		stockRow, ok, err := db.lookupRow("stock", stockKey(sw, iID))
+		if err != nil || !ok {
+			return fmt.Errorf("stock %d/%d missing: %w", sw, iID, err)
+		}
+		sFields, err := db.readRow(stockRow, 4)
+		if err != nil {
+			return err
+		}
+		qty := uint64(db.rng.Intn(10) + 1)
+		sQty := sFields[0]
+		if sQty >= qty+10 {
+			sQty -= qty
+		} else {
+			sQty += 91 - qty
+		}
+		remote := sFields[3]
+		if sw != w {
+			remote++
+		}
+		if err := db.updateRowFields("stock", stockRow, stockRowBytes,
+			fieldUpdate{0, sQty},
+			fieldUpdate{8, sFields[1] + qty},
+			fieldUpdate{16, sFields[2] + 1},
+			fieldUpdate{24, remote}); err != nil {
+			return err
+		}
+
+		if _, err := db.insertRow("orderline", orderLineKey(w, d, o, ln),
+			[]uint64{uint64(iID), qty, price * qty, 0}); err != nil {
+			return err
+		}
+	}
+
+	db.stats.Counts[NewOrderTx]++
+	return db.commitTx()
+}
+
+// customerByLastName implements the spec's by-name selection (2.5.2.2):
+// scan the customers of the district sharing the last name (sorted by id,
+// standing in for first-name order) and return the middle one, or 0 when
+// the name has no customers.
+func (db *DB) customerByLastName(w, d, last int) (int, error) {
+	lo := custNameKey(w, d, last, 0)
+	hi := custNameKey(w, d, last+1, 0)
+	hits, err := db.tree("custname").Scan(db.ctx("custname"), lo, 200)
+	if err != nil {
+		return 0, err
+	}
+	var ids []int
+	for _, kv := range hits {
+		if kv.Key >= hi {
+			break
+		}
+		ids = append(ids, int(kv.Val))
+	}
+	if len(ids) == 0 {
+		return 0, nil
+	}
+	return ids[len(ids)/2], nil
+}
+
+// pickCustomer draws a customer per the spec mix: 60% by last name, 40% by
+// id (clause 2.5.2.2).
+func (db *DB) pickCustomer(w, d int) (int, error) {
+	if db.rng.Intn(100) < 60 {
+		last := db.nur.nu(255, db.nur.cLast, 0, 999)
+		db.h.Emit.Compute(120) // name rendering + comparison work
+		if c, err := db.customerByLastName(w, d, last); err != nil {
+			return 0, err
+		} else if c != 0 {
+			return c, nil
+		}
+		// Name unused in this district: fall through to by-id.
+	}
+	return db.nur.CustomerID(db.cfg.CustomersPerDistrict), nil
+}
+
+// Payment is TPC-C clause 2.5: pay against a customer (60% selected by last
+// name; with several warehouses, 15% of payments come from a remote
+// customer per clause 2.5.1.2), updating warehouse, district and customer
+// balances and appending a history row.
+func (db *DB) Payment() error {
+	cfg := db.cfg
+	w := db.homeWarehouse()
+	d := db.rng.Intn(cfg.Districts) + 1
+	amount := uint64(db.rng.Intn(500000) + 100) // 1.00..5000.00 in cents
+
+	// Customer's home warehouse/district (15% remote when W > 1).
+	cw, cd := w, d
+	if cfg.Warehouses > 1 && db.rng.Intn(100) < 15 {
+		for {
+			if x := db.rng.Intn(cfg.Warehouses) + 1; x != w {
+				cw = x
+				break
+			}
+		}
+		cd = db.rng.Intn(cfg.Districts) + 1
+	}
+
+	db.h.Emit.Compute(paymentAppWork)
+	if err := db.beginTx(); err != nil {
+		return err
+	}
+	c, err := db.pickCustomer(cw, cd)
+	if err != nil {
+		return err
+	}
+
+	wRow, ok, err := db.lookupRow("warehouse", warehouseKey(w))
+	if err != nil || !ok {
+		return fmt.Errorf("warehouse %d missing: %w", w, err)
+	}
+	wFields, err := db.readRow(wRow, 2)
+	if err != nil {
+		return err
+	}
+	if err := db.updateRow("warehouse", wRow, warehouseRowBytes, 0, wFields[0]+amount); err != nil {
+		return err
+	}
+
+	dRow, ok, err := db.lookupRow("district", districtKey(w, d))
+	if err != nil || !ok {
+		return fmt.Errorf("district %d/%d missing: %w", w, d, err)
+	}
+	dFields, err := db.readRow(dRow, 3)
+	if err != nil {
+		return err
+	}
+	if err := db.updateRow("district", dRow, districtRowBytes, 8, dFields[1]+amount); err != nil {
+		return err
+	}
+
+	cRow, ok, err := db.lookupRow("customer", customerKey(cw, cd, c))
+	if err != nil || !ok {
+		return fmt.Errorf("customer %d/%d/%d missing: %w", cw, cd, c, err)
+	}
+	cFields, err := db.readRow(cRow, 4)
+	if err != nil {
+		return err
+	}
+	if err := db.updateRowFields("customer", cRow, customerRowBytes,
+		fieldUpdate{0, uint64(int64(cFields[0]) - int64(amount))},
+		fieldUpdate{8, cFields[1] + amount},
+		fieldUpdate{16, cFields[2] + 1}); err != nil {
+		return err
+	}
+
+	db.historySeq++
+	if _, err := db.insertRow("history", db.historySeq,
+		[]uint64{uint64(c), uint64(d), amount}); err != nil {
+		return err
+	}
+
+	db.stats.Counts[PaymentTx]++
+	return db.commitTx()
+}
+
+// OrderStatus is TPC-C clause 2.6 (read-only): find the customer (60% by
+// last name), then their most recent order, and read its lines.
+func (db *DB) OrderStatus() error {
+	cfg := db.cfg
+	w := db.homeWarehouse()
+	d := db.rng.Intn(cfg.Districts) + 1
+
+	db.h.Emit.Compute(orderStatusAppWork)
+	c, err := db.pickCustomer(w, d)
+	if err != nil {
+		return err
+	}
+	cRow, ok, err := db.lookupRow("customer", customerKey(w, d, c))
+	if err != nil || !ok {
+		return fmt.Errorf("customer %d/%d/%d missing: %w", w, d, c, err)
+	}
+	if _, err := db.readRow(cRow, 4); err != nil {
+		return err
+	}
+
+	hits, err := db.tree("ordercust").Scan(db.ctx("ordercust"), orderCustKey(w, d, c, 0xFFFFFF), 1)
+	if err != nil {
+		return err
+	}
+	db.stats.Counts[OrderStatusTx]++
+	if len(hits) == 0 || hits[0].Key>>24 != orderCustKey(w, d, c, 0xFFFFFF)>>24 {
+		return nil // customer has no orders
+	}
+	oKey := hits[0].Val
+	oRow, ok, err := db.lookupRow("order", oKey)
+	if err != nil || !ok {
+		return fmt.Errorf("order %#x missing: %w", oKey, err)
+	}
+	oFields, err := db.readRow(oRow, 4)
+	if err != nil {
+		return err
+	}
+	o := int(oKey & 0xFFFFFFFF)
+	olCnt := int(oFields[1])
+	for ln := 1; ln <= olCnt; ln++ {
+		olRow, ok, err := db.lookupRow("orderline", orderLineKey(w, d, o, ln))
+		if err != nil {
+			return err
+		}
+		if ok {
+			if _, err := db.readRow(olRow, 4); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delivery is TPC-C clause 2.7: for each district of one warehouse, deliver
+// the oldest undelivered order — remove its new-order marker, assign the
+// carrier, stamp the lines and credit the customer.
+func (db *DB) Delivery() error {
+	cfg := db.cfg
+	w := db.homeWarehouse()
+	carrier := uint64(db.rng.Intn(10) + 1)
+
+	db.h.Emit.Compute(deliveryAppWork)
+	if err := db.beginTx(); err != nil {
+		return err
+	}
+	for d := 1; d <= cfg.Districts; d++ {
+		hits, err := db.tree("neworder").Scan(db.ctx("neworder"), newOrderKey(w, d, 0), 1)
+		if err != nil {
+			return err
+		}
+		if len(hits) == 0 || hits[0].Key>>36 != newOrderKey(w, d, 0)>>36 {
+			continue // no undelivered orders in this district
+		}
+		o := int(hits[0].Key & 0xFFFFFFFF)
+		if ok, err := db.tree("neworder").Remove(db.ctx("neworder"), hits[0].Key); err != nil || !ok {
+			return fmt.Errorf("neworder %d/%d/%d: %w", w, d, o, err)
+		}
+
+		oRow, ok, err := db.lookupRow("order", orderKey(w, d, o))
+		if err != nil || !ok {
+			return fmt.Errorf("order %d/%d/%d missing: %w", w, d, o, err)
+		}
+		oFields, err := db.readRow(oRow, 4)
+		if err != nil {
+			return err
+		}
+		if err := db.updateRow("order", oRow, orderRowBytes, 16, carrier); err != nil {
+			return err
+		}
+
+		c := int(oFields[0])
+		olCnt := int(oFields[1])
+		var total uint64
+		for ln := 1; ln <= olCnt; ln++ {
+			olRow, ok, err := db.lookupRow("orderline", orderLineKey(w, d, o, ln))
+			if err != nil || !ok {
+				return fmt.Errorf("orderline %d/%d/%d/%d missing: %w", w, d, o, ln, err)
+			}
+			olFields, err := db.readRow(olRow, 4)
+			if err != nil {
+				return err
+			}
+			total += olFields[2]
+			if err := db.updateRow("orderline", olRow, orderLineRowBytes, 24, uint64(o)); err != nil {
+				return err
+			}
+		}
+
+		cRow, ok, err := db.lookupRow("customer", customerKey(w, d, c))
+		if err != nil || !ok {
+			return fmt.Errorf("customer %d/%d/%d missing: %w", w, d, c, err)
+		}
+		cFields, err := db.readRow(cRow, 4)
+		if err != nil {
+			return err
+		}
+		if err := db.updateRowFields("customer", cRow, customerRowBytes,
+			fieldUpdate{0, uint64(int64(cFields[0]) + int64(total))},
+			fieldUpdate{24, cFields[3] + 1}); err != nil {
+			return err
+		}
+	}
+	db.stats.Counts[DeliveryTx]++
+	return db.commitTx()
+}
+
+// StockLevel is TPC-C clause 2.8 (read-only): count the distinct items of
+// the district's last 20 orders whose stock is below a threshold.
+func (db *DB) StockLevel() error {
+	cfg := db.cfg
+	w := db.homeWarehouse()
+	d := db.rng.Intn(cfg.Districts) + 1
+	threshold := uint64(db.rng.Intn(11) + 10)
+
+	db.h.Emit.Compute(stockLevelAppWork)
+	dRow, ok, err := db.lookupRow("district", districtKey(w, d))
+	if err != nil || !ok {
+		return fmt.Errorf("district %d/%d missing: %w", w, d, err)
+	}
+	dFields, err := db.readRow(dRow, 3)
+	if err != nil {
+		return err
+	}
+	next := int(dFields[0])
+	oLow := next - 20
+	if oLow < 1 {
+		oLow = 1
+	}
+
+	lines, err := db.tree("orderline").Scan(db.ctx("orderline"), orderLineKey(w, d, oLow, 0), 20*15)
+	if err != nil {
+		return err
+	}
+	hi := orderLineKey(w, d, next, 0)
+	seen := make(map[uint64]bool)
+	low := 0
+	for _, kv := range lines {
+		if kv.Key >= hi {
+			break
+		}
+		olRow := oid.OID(kv.Val)
+		olFields, err := db.readRow(olRow, 4)
+		if err != nil {
+			return err
+		}
+		iID := olFields[0]
+		if seen[iID] {
+			continue
+		}
+		seen[iID] = true
+		stockRow, ok, err := db.lookupRow("stock", stockKey(w, int(iID)))
+		if err != nil || !ok {
+			return fmt.Errorf("stock %d/%d missing: %w", w, iID, err)
+		}
+		sFields, err := db.readRow(stockRow, 4)
+		if err != nil {
+			return err
+		}
+		if sFields[0] < threshold {
+			low++
+		}
+	}
+	_ = low
+	db.stats.Counts[StockLevelTx]++
+	return nil
+}

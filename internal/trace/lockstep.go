@@ -1,0 +1,112 @@
+package trace
+
+import "potgo/internal/isa"
+
+// Lockstep is a Source whose producer and consumer strictly alternate: the
+// producer fills one chunk and then blocks until the consumer has finished
+// executing it. This matters because the two sides share simulator state —
+// the producing workload maps pools into the address space and inserts POT
+// entries while the consuming CPU model walks the same structures — so they
+// must never run concurrently. The chunk hand-off is the only
+// synchronization point, and exactly one side is ever active.
+type Lockstep struct {
+	ch   chan []isa.Instr
+	ack  chan struct{}
+	done chan struct{}
+
+	cur    []isa.Instr
+	pos    int
+	opened bool
+}
+
+// GenerateLockstep runs producer in its own goroutine under the alternation
+// protocol and returns the consumer's Source.
+func GenerateLockstep(producer func(Sink)) *Lockstep {
+	l := &Lockstep{
+		ch:   make(chan []isa.Instr),
+		ack:  make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(l.ch)
+		sink := &lockSink{l: l, buf: make([]isa.Instr, 0, ChunkSize)}
+		defer func() {
+			if r := recover(); r != nil && r != errStreamClosed {
+				panic(r)
+			}
+		}()
+		producer(sink)
+		sink.flush()
+	}()
+	return l
+}
+
+type lockSink struct {
+	l   *Lockstep
+	buf []isa.Instr
+}
+
+// Emit implements Sink.
+func (s *lockSink) Emit(in isa.Instr) {
+	s.buf = append(s.buf, in)
+	if len(s.buf) == ChunkSize {
+		s.flush()
+	}
+}
+
+// flush hands the chunk to the consumer and blocks until it has been fully
+// executed (the ack), so the producer never mutates shared state while the
+// consumer runs.
+func (s *lockSink) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	select {
+	case s.l.ch <- s.buf:
+	case <-s.l.done:
+		panic(errStreamClosed)
+	}
+	select {
+	case <-s.l.ack:
+	case <-s.l.done:
+		panic(errStreamClosed)
+	}
+	s.buf = make([]isa.Instr, 0, ChunkSize)
+}
+
+// Next implements Source. Exhausting a chunk acks the producer before
+// blocking for the next one.
+func (l *Lockstep) Next() (isa.Instr, bool) {
+	for l.pos >= len(l.cur) {
+		if l.opened {
+			l.opened = false
+			select {
+			case l.ack <- struct{}{}:
+			case <-l.done:
+				return isa.Instr{}, false
+			}
+		}
+		chunk, ok := <-l.ch
+		if !ok {
+			return isa.Instr{}, false
+		}
+		l.cur, l.pos, l.opened = chunk, 0, true
+	}
+	in := l.cur[l.pos]
+	l.pos++
+	return in, true
+}
+
+// Close releases a blocked producer after an early consumer exit (e.g. a
+// simulation error). Safe to call multiple times and after exhaustion.
+func (l *Lockstep) Close() {
+	select {
+	case <-l.done:
+		return
+	default:
+		close(l.done)
+	}
+	l.cur, l.pos, l.opened = nil, 0, false
+	for range l.ch {
+	}
+}

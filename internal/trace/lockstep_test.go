@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"potgo/internal/isa"
+)
+
+func TestLockstepDeliversAllInOrder(t *testing.T) {
+	const n = ChunkSize*2 + 100
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < n; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU, PC: uint64(i)})
+		}
+	})
+	for i := 0; i < n; i++ {
+		in, ok := l.Next()
+		if !ok {
+			t.Fatalf("ended early at %d", i)
+		}
+		if in.PC != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, in.PC)
+		}
+	}
+	if _, ok := l.Next(); ok {
+		t.Error("must end")
+	}
+}
+
+// The heart of the protocol: the producer must never run while the consumer
+// is mid-chunk. We detect overlap with an atomic flag toggled by the
+// consumer around chunk processing.
+func TestLockstepNeverOverlaps(t *testing.T) {
+	var consumerActive atomic.Bool
+	var violations atomic.Int64
+	const n = ChunkSize * 3
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < n; i++ {
+			if consumerActive.Load() {
+				violations.Add(1)
+			}
+			sink.Emit(isa.Instr{Op: isa.ALU})
+		}
+	})
+	for {
+		in, ok := l.Next()
+		if !ok {
+			break
+		}
+		_ = in
+		// Simulate consumer work with the flag set; producer checks
+		// it on every emit.
+		consumerActive.Store(true)
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+		consumerActive.Store(false)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Errorf("producer ran during consumption %d times", v)
+	}
+}
+
+func TestLockstepEarlyClose(t *testing.T) {
+	finished := make(chan int, 1)
+	l := GenerateLockstep(func(sink Sink) {
+		i := 0
+		defer func() {
+			finished <- i
+			if r := recover(); r != nil {
+				panic(r)
+			}
+		}()
+		for ; i < ChunkSize*100; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU})
+		}
+	})
+	for i := 0; i < 5; i++ {
+		if _, ok := l.Next(); !ok {
+			t.Fatal("ended unexpectedly")
+		}
+	}
+	l.Close()
+	if n := <-finished; n >= ChunkSize*100 {
+		t.Error("producer ran to completion despite Close")
+	}
+	l.Close() // idempotent
+	if _, ok := l.Next(); ok {
+		t.Error("Next after Close must report end")
+	}
+}
+
+func TestLockstepEmptyProducer(t *testing.T) {
+	l := GenerateLockstep(func(Sink) {})
+	if _, ok := l.Next(); ok {
+		t.Error("empty producer yields empty source")
+	}
+}
+
+func TestLockstepPartialFinalChunk(t *testing.T) {
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < 7; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU})
+		}
+	})
+	count := 0
+	for {
+		if _, ok := l.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 7 {
+		t.Errorf("delivered %d, want 7", count)
+	}
+}

@@ -1,0 +1,268 @@
+// Package vm implements the simulated virtual address space that persistent
+// pools and volatile program data live in.
+//
+// The model mirrors the paper's Figure 2: every pool is mapped, in its
+// entirety, somewhere in a process's virtual address space (at an
+// ASLR-randomized location — relocatability under ASLR is the whole point of
+// ObjectIDs), and each 4 KB virtual page is individually mapped to a physical
+// frame by a conventional page table. Physical frames carry real bytes, so
+// functional execution (allocator metadata, undo logs, serialized objects)
+// happens in this memory.
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Page geometry shared with the cache/TLB models.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// mmapBase/mmapSpan delimit the randomized mmap arena, loosely modelled on
+// the x86-64 user address space.
+const (
+	mmapBase = 0x0000_7000_0000_0000
+	mmapSpan = 0x0000_0f00_0000_0000
+)
+
+// Region describes one mapped virtual range.
+type Region struct {
+	Base uint64
+	Size uint64
+}
+
+// End returns the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+func (r Region) contains(va uint64) bool { return va >= r.Base && va < r.End() }
+
+func (r Region) overlaps(o Region) bool { return r.Base < o.End() && o.Base < r.End() }
+
+// AddressSpace is one process's virtual address space plus the physical
+// memory behind it.
+type AddressSpace struct {
+	rng       *rand.Rand
+	pageTable map[uint64]uint32 // VPN -> PFN
+	frames    [][]byte          // physical frames by PFN; nil after free
+	freePFNs  []uint32
+	regions   []Region // sorted by Base
+}
+
+// NewAddressSpace creates an empty address space. The seed drives ASLR
+// placement so runs are reproducible.
+func NewAddressSpace(seed int64) *AddressSpace {
+	return &AddressSpace{
+		rng:       rand.New(rand.NewSource(seed)),
+		pageTable: make(map[uint64]uint32),
+	}
+}
+
+// Map allocates a page-aligned virtual region of at least size bytes at an
+// ASLR-randomized address, backs every page with a zeroed physical frame,
+// and returns the region.
+func (as *AddressSpace) Map(size uint64) (Region, error) {
+	if size == 0 {
+		return Region{}, fmt.Errorf("vm: cannot map empty region")
+	}
+	size = (size + PageMask) &^ uint64(PageMask)
+	var base uint64
+	for attempt := 0; ; attempt++ {
+		if attempt == 4096 {
+			return Region{}, fmt.Errorf("vm: no room for %d-byte mapping", size)
+		}
+		base = mmapBase + (uint64(as.rng.Int63n(mmapSpan/PageSize)) * PageSize)
+		if base+size <= mmapBase+mmapSpan && !as.overlapsAny(Region{base, size}) {
+			break
+		}
+	}
+	r := Region{Base: base, Size: size}
+	as.insertRegion(r)
+	for va := base; va < base+size; va += PageSize {
+		as.pageTable[va>>PageShift] = as.allocFrame()
+	}
+	return r, nil
+}
+
+// MapFixed maps a region at a caller-chosen base (used by tests and by the
+// volatile-globals arena, which wants a stable address). The base must be
+// page-aligned and the region must not overlap an existing mapping.
+func (as *AddressSpace) MapFixed(base, size uint64) (Region, error) {
+	if base&PageMask != 0 {
+		return Region{}, fmt.Errorf("vm: MapFixed base %#x not page-aligned", base)
+	}
+	if size == 0 {
+		return Region{}, fmt.Errorf("vm: cannot map empty region")
+	}
+	size = (size + PageMask) &^ uint64(PageMask)
+	r := Region{Base: base, Size: size}
+	if as.overlapsAny(r) {
+		return Region{}, fmt.Errorf("vm: MapFixed %#x+%#x overlaps existing mapping", base, size)
+	}
+	as.insertRegion(r)
+	for va := base; va < base+size; va += PageSize {
+		as.pageTable[va>>PageShift] = as.allocFrame()
+	}
+	return r, nil
+}
+
+// Unmap removes a previously mapped region and frees its frames.
+func (as *AddressSpace) Unmap(r Region) error {
+	idx := -1
+	for i, reg := range as.regions {
+		if reg == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("vm: Unmap of unknown region %#x+%#x", r.Base, r.Size)
+	}
+	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+	for va := r.Base; va < r.End(); va += PageSize {
+		vpn := va >> PageShift
+		pfn, ok := as.pageTable[vpn]
+		if !ok {
+			continue
+		}
+		delete(as.pageTable, vpn)
+		as.frames[pfn] = nil
+		as.freePFNs = append(as.freePFNs, pfn)
+	}
+	return nil
+}
+
+// Translate converts a virtual address to a physical address via the page
+// table. ok is false for unmapped addresses (the moral equivalent of a page
+// fault on an untouched address).
+func (as *AddressSpace) Translate(va uint64) (pa uint64, ok bool) {
+	pfn, ok := as.pageTable[va>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return uint64(pfn)<<PageShift | va&PageMask, true
+}
+
+// Mapped reports whether the virtual address lies in a mapped region.
+func (as *AddressSpace) Mapped(va uint64) bool {
+	_, ok := as.pageTable[va>>PageShift]
+	return ok
+}
+
+// MappedBytes returns the total number of bytes currently mapped.
+func (as *AddressSpace) MappedBytes() uint64 {
+	var n uint64
+	for _, r := range as.regions {
+		n += r.Size
+	}
+	return n
+}
+
+// ReadAt copies len(buf) bytes starting at virtual address va into buf,
+// crossing page boundaries as needed.
+func (as *AddressSpace) ReadAt(va uint64, buf []byte) error {
+	for len(buf) > 0 {
+		frame, off, err := as.frameFor(va)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, frame[off:])
+		buf = buf[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+// WriteAt copies data into memory starting at virtual address va.
+func (as *AddressSpace) WriteAt(va uint64, data []byte) error {
+	for len(data) > 0 {
+		frame, off, err := as.frameFor(va)
+		if err != nil {
+			return err
+		}
+		n := copy(frame[off:], data)
+		data = data[n:]
+		va += uint64(n)
+	}
+	return nil
+}
+
+// Read64 reads a little-endian uint64 at va.
+func (as *AddressSpace) Read64(va uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.ReadAt(va, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Write64 writes a little-endian uint64 at va.
+func (as *AddressSpace) Write64(va uint64, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.WriteAt(va, b[:])
+}
+
+// Read32 reads a little-endian uint32 at va.
+func (as *AddressSpace) Read32(va uint64) (uint32, error) {
+	var b [4]byte
+	if err := as.ReadAt(va, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// Write32 writes a little-endian uint32 at va.
+func (as *AddressSpace) Write32(va uint64, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.WriteAt(va, b[:])
+}
+
+func (as *AddressSpace) frameFor(va uint64) ([]byte, uint64, error) {
+	pfn, ok := as.pageTable[va>>PageShift]
+	if !ok {
+		return nil, 0, fmt.Errorf("vm: access to unmapped address %#x", va)
+	}
+	return as.frames[pfn], va & PageMask, nil
+}
+
+func (as *AddressSpace) allocFrame() uint32 {
+	if n := len(as.freePFNs); n > 0 {
+		pfn := as.freePFNs[n-1]
+		as.freePFNs = as.freePFNs[:n-1]
+		as.frames[pfn] = make([]byte, PageSize)
+		return pfn
+	}
+	as.frames = append(as.frames, make([]byte, PageSize))
+	return uint32(len(as.frames) - 1)
+}
+
+func (as *AddressSpace) overlapsAny(r Region) bool {
+	for _, reg := range as.regions {
+		if reg.overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (as *AddressSpace) insertRegion(r Region) {
+	as.regions = append(as.regions, r)
+	sort.Slice(as.regions, func(i, j int) bool { return as.regions[i].Base < as.regions[j].Base })
+}
+
+// RegionOf returns the mapped region containing va, if any.
+func (as *AddressSpace) RegionOf(va uint64) (Region, bool) {
+	for _, r := range as.regions {
+		if r.contains(va) {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
