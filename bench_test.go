@@ -9,6 +9,7 @@ package potgo
 
 import (
 	"testing"
+	"time"
 
 	"potgo/internal/cache"
 	"potgo/internal/core"
@@ -37,6 +38,7 @@ func benchSuite() *harness.Suite {
 
 // BenchmarkTable2 regenerates Table 2 (oid_direct instruction costs).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Table2()
@@ -50,6 +52,7 @@ func BenchmarkTable2(b *testing.B) {
 
 // BenchmarkFig9a regenerates Figure 9(a) (in-order speedups, both designs).
 func BenchmarkFig9a(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Fig9a()
@@ -63,6 +66,7 @@ func BenchmarkFig9a(b *testing.B) {
 
 // BenchmarkFig9b regenerates Figure 9(b) (out-of-order speedups).
 func BenchmarkFig9b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Fig9b()
@@ -75,6 +79,7 @@ func BenchmarkFig9b(b *testing.B) {
 
 // BenchmarkTable8 regenerates Table 8 (POLB miss rates).
 func BenchmarkTable8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Table8()
@@ -87,6 +92,7 @@ func BenchmarkTable8(b *testing.B) {
 
 // BenchmarkFig10 regenerates Figure 10 (no-failure-safety speedups).
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Fig10()
@@ -99,6 +105,7 @@ func BenchmarkFig10(b *testing.B) {
 
 // BenchmarkFig11 regenerates Figure 11 (POLB size sensitivity).
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Fig11()
@@ -112,6 +119,7 @@ func BenchmarkFig11(b *testing.B) {
 
 // BenchmarkTable9 regenerates Table 9 (POLB size vs miss rate, NTX).
 func BenchmarkTable9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Table9()
@@ -124,6 +132,7 @@ func BenchmarkTable9(b *testing.B) {
 
 // BenchmarkFig12 regenerates Figure 12 (POT-walk penalty sensitivity).
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.Fig12()
@@ -137,6 +146,7 @@ func BenchmarkFig12(b *testing.B) {
 
 // BenchmarkInsnReduction regenerates the dynamic-instruction-count claim.
 func BenchmarkInsnReduction(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
 		rep, err := s.InsnReduction()
@@ -151,6 +161,7 @@ func BenchmarkInsnReduction(b *testing.B) {
 // database.
 func BenchmarkTPCC(b *testing.B) {
 	cfg := tpcc.TestConfig(1)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		base, err := harness.Run(harness.RunSpec{
 			Bench: harness.TPCCBench, Pattern: workloads.Each, Tx: true,
@@ -179,6 +190,7 @@ func BenchmarkPOLBLookup(b *testing.B) {
 	for i := 0; i < 32; i++ {
 		p.Fill(oid.New(oid.PoolID(i+1), 0), uint64(i)<<12)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Lookup(oid.New(oid.PoolID(i%32+1), uint32(i)))
@@ -197,6 +209,7 @@ func BenchmarkPOTWalk(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := table.Walk(oid.PoolID(i%1024 + 1)); err != nil {
@@ -212,6 +225,7 @@ func BenchmarkTranslator(b *testing.B) {
 	r, _ := as.Map(1 << 20)
 	_ = table.Insert(7, r.Base)
 	tr := core.New(core.DefaultConfig(polb.Pipelined), table, as)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Translate(oid.New(7, uint32(i)&0xfffff)); err != nil {
@@ -223,6 +237,7 @@ func BenchmarkTranslator(b *testing.B) {
 // BenchmarkCacheAccess measures the set-associative cache model.
 func BenchmarkCacheAccess(b *testing.B) {
 	c := cache.New(cache.Config{Name: "L1D", Sets: 64, Ways: 8, LineShift: 6, Latency: 3})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Access(uint64(i) * 64 % (1 << 20))
@@ -235,6 +250,7 @@ func BenchmarkHierarchy(b *testing.B) {
 	as := vm.NewAddressSpace(1)
 	r, _ := as.Map(1 << 20)
 	h := mem.New(mem.DefaultConfig(), as)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := h.DataAccess(r.Base + uint64(i)%4096); err != nil {
@@ -270,6 +286,7 @@ func benchCPUModel(b *testing.B, inorder bool) {
 	}
 	machine := &cpu.Machine{Hier: mem.New(mem.DefaultConfig(), as)}
 	b.SetBytes(int64(len(instrs)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		src := &trace.BufferSource{Instrs: instrs}
@@ -285,9 +302,35 @@ func benchCPUModel(b *testing.B, inorder bool) {
 	}
 }
 
+// BenchmarkEndToEnd measures one complete timed simulation (trace generation
+// running in lockstep with the in-order timing model) and reports simulator
+// throughput as simMIPS plus steady-state allocation cost; insns/op makes the
+// allocs/op figure comparable across changes to the workload generator.
+func BenchmarkEndToEnd(b *testing.B) {
+	spec := harness.RunSpec{
+		Bench: "BST", Pattern: workloads.Random, Tx: true,
+		Core: harness.InOrder, Ops: 300, Seed: 2,
+	}
+	var insns uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		insns += res.CPU.Instructions
+	}
+	wall := time.Since(start).Seconds()
+	b.ReportMetric(float64(insns)/float64(b.N), "insns/op")
+	b.ReportMetric(float64(insns)/wall/1e6, "simMIPS")
+}
+
 // BenchmarkWorkloadEmission measures trace-generation (functional execution
 // + instruction emission) throughput.
 func BenchmarkWorkloadEmission(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec := harness.RunSpec{Bench: "BST", Pattern: workloads.Random, Tx: true, Ops: 200, Seed: 2}
 		if _, err := harness.RunFunctional(spec); err != nil {

@@ -9,16 +9,28 @@
 //	experiments -exp fig9a,table8   # a subset
 //	experiments -quick              # reduced operation counts (CI-sized)
 //	experiments -out EXPERIMENTS.md # also write the markdown report
+//	experiments -parallel 1         # serial (default: all CPUs)
+//	experiments -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
+//
+// The grid is run in two phases: every simulation any requested experiment
+// needs is enumerated up front (harness.SpecsFor) and executed on a bounded
+// pool of -parallel workers, then the reports render from the warm cache.
+// Each simulation is self-contained, so results are bit-identical at any
+// -parallel value. Simulator throughput is reported at the end and appended
+// to the -simspeed trajectory file (default BENCH_simspeed.json; empty
+// disables) so future changes can be checked for speed regressions.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"potgo/internal/harness"
+	"potgo/internal/prof"
 	"potgo/internal/tpcc"
 )
 
@@ -44,14 +56,30 @@ var paperHeadline = []struct {
 
 func main() {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(harness.ExperimentIDs, ",")+")")
-		quick    = flag.Bool("quick", false, "reduced operation counts (fast, CI-sized)")
-		seed     = flag.Int64("seed", 1, "random seed for all workloads")
-		out      = flag.String("out", "", "also write a markdown report to this file")
-		parallel = flag.Int("parallel", 1, "concurrent simulations")
-		quiet    = flag.Bool("quiet", false, "suppress per-run progress lines")
+		expFlag    = flag.String("exp", "all", "comma-separated experiment ids, or 'all' ("+strings.Join(harness.ExperimentIDs, ",")+")")
+		quick      = flag.Bool("quick", false, "reduced operation counts (fast, CI-sized)")
+		seed       = flag.Int64("seed", 1, "random seed for all workloads")
+		out        = flag.String("out", "", "also write a markdown report to this file")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations (results are identical at any value)")
+		quiet      = flag.Bool("quiet", false, "suppress per-run progress lines")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		simSpeed   = flag.String("simspeed", "BENCH_simspeed.json", "append a simulator-throughput record to this trajectory file (empty disables)")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			code = 1
+		}
+		os.Exit(code)
+	}
 
 	opts := harness.Options{Seed: *seed, Parallel: *parallel}
 	if *quick {
@@ -68,32 +96,75 @@ func main() {
 	ids := harness.ExperimentIDs
 	if *expFlag != "all" {
 		ids = strings.Split(*expFlag, ",")
+		for i := range ids {
+			ids[i] = strings.TrimSpace(ids[i])
+		}
 	}
 
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "== prefetching simulations for %d experiment(s) on %d worker(s) ==\n",
+		len(ids), suite.Options().Parallel)
+	if err := suite.PrefetchExperiments(ids); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: prefetch: %v\n", err)
+		exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "== prefetch done in %.1fs (%d Minsn simulated) ==\n",
+		time.Since(start).Seconds(), suite.SimulatedInstructions()/1e6)
+
 	var reports []harness.Report
+	var timings []harness.ExperimentTiming
 	for _, id := range ids {
-		start := time.Now()
-		fmt.Fprintf(os.Stderr, "== running %s ==\n", id)
-		rep, err := suite.RunExperiment(strings.TrimSpace(id))
+		expStart := time.Now()
+		fmt.Fprintf(os.Stderr, "== rendering %s ==\n", id)
+		rep, err := suite.RunExperiment(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
-			os.Exit(1)
+			exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "== %s done in %.1fs ==\n", id, time.Since(start).Seconds())
+		secs := time.Since(expStart).Seconds()
+		fmt.Fprintf(os.Stderr, "== %s done in %.1fs ==\n", id, secs)
 		fmt.Println(rep.Text)
 		reports = append(reports, rep)
+		timings = append(timings, harness.ExperimentTiming{ID: id, Seconds: secs})
 	}
 
 	summary := renderSummary(reports, *quick)
 	fmt.Println(summary)
 
+	wall := time.Since(start).Seconds()
+	insns := suite.SimulatedInstructions()
+	mips := float64(insns) / wall / 1e6
+	fmt.Fprintf(os.Stderr, "== grid complete: %d instructions simulated in %.1fs wall (%.2f simulated MIPS, parallel=%d) ==\n",
+		insns, wall, mips, suite.Options().Parallel)
+
+	if *simSpeed != "" {
+		rec := harness.SpeedRecord{
+			Timestamp:             time.Now().UTC().Format(time.RFC3339),
+			GoVersion:             runtime.Version(),
+			NumCPU:                runtime.NumCPU(),
+			Parallel:              suite.Options().Parallel,
+			Quick:                 *quick,
+			Experiments:           ids,
+			SimulatedInstructions: insns,
+			WallSeconds:           wall,
+			SimulatedMIPS:         mips,
+			PerExperiment:         timings,
+		}
+		if err := harness.AppendSpeedRecord(*simSpeed, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "appended throughput record to %s\n", *simSpeed)
+	}
+
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(renderMarkdown(reports, summary, *quick, *seed)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *out, err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
+	exit(0)
 }
 
 func renderSummary(reports []harness.Report, quick bool) string {

@@ -9,6 +9,10 @@
 //	potsim -bench B+T -pattern EACH -opt -design parallel
 //	potsim -bench TPCC -pattern ALL -opt -core ooo
 //	potsim -bench BST -pattern RANDOM -opt -polb 4 -ntx
+//	potsim -bench LL -pattern EACH -opt -cpuprofile cpu.pb.gz
+//
+// Simulator throughput (simulated MIPS) is reported on stderr; the
+// statistics block on stdout is deterministic for a given spec.
 package main
 
 import (
@@ -16,31 +20,41 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"potgo/internal/harness"
 	"potgo/internal/polb"
+	"potgo/internal/prof"
 	"potgo/internal/tpcc"
 	"potgo/internal/workloads"
 )
 
 func main() {
 	var (
-		bench     = flag.String("bench", "LL", "benchmark: LL BST SPS RBT BT B+T TPCC")
-		pattern   = flag.String("pattern", "ALL", "pool usage pattern: ALL EACH RANDOM")
-		opt       = flag.Bool("opt", false, "use hardware translation (OPT); default BASE")
-		design    = flag.String("design", "pipelined", "POLB design: pipelined or parallel")
-		ntx       = flag.Bool("ntx", false, "disable failure-safety/durability (the *_NTX configs)")
-		coreKind  = flag.String("core", "inorder", "core model: inorder or ooo")
-		polbSize  = flag.Int("polb", 0, "POLB entries (0 = paper default 32; -1 = no POLB)")
-		potWalk   = flag.Int64("walk", 0, "POT walk latency in cycles (0 = design default)")
-		ideal     = flag.Bool("ideal", false, "zero-cost translation (upper bound)")
-		polbSets  = flag.Int("polb-sets", 0, "POLB sets (0/1 = fully-associative CAM; >1 = set-associative ablation)")
-		probeWalk = flag.Bool("probe-walk", false, "probe-accurate POT walk latency (ablation)")
-		ops       = flag.Int("ops", 0, "operation count (0 = paper default)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		quick     = flag.Bool("quick-tpcc", false, "use the down-scaled TPC-C database")
+		bench      = flag.String("bench", "LL", "benchmark: LL BST SPS RBT BT B+T TPCC")
+		pattern    = flag.String("pattern", "ALL", "pool usage pattern: ALL EACH RANDOM")
+		opt        = flag.Bool("opt", false, "use hardware translation (OPT); default BASE")
+		design     = flag.String("design", "pipelined", "POLB design: pipelined or parallel")
+		ntx        = flag.Bool("ntx", false, "disable failure-safety/durability (the *_NTX configs)")
+		coreKind   = flag.String("core", "inorder", "core model: inorder or ooo")
+		polbSize   = flag.Int("polb", 0, "POLB entries (0 = paper default 32; -1 = no POLB)")
+		potWalk    = flag.Int64("walk", 0, "POT walk latency in cycles (0 = design default)")
+		ideal      = flag.Bool("ideal", false, "zero-cost translation (upper bound)")
+		polbSets   = flag.Int("polb-sets", 0, "POLB sets (0/1 = fully-associative CAM; >1 = set-associative ablation)")
+		probeWalk  = flag.Bool("probe-walk", false, "probe-accurate POT walk latency (ablation)")
+		ops        = flag.Int("ops", 0, "operation count (0 = paper default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		quick      = flag.Bool("quick-tpcc", false, "use the down-scaled TPC-C database")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
+		os.Exit(1)
+	}
 
 	spec := harness.RunSpec{
 		Bench:     strings.ToUpper(*bench),
@@ -88,11 +102,15 @@ func main() {
 		spec.TPCC = &cfg
 	}
 
+	start := time.Now()
 	res, err := harness.Run(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
 		os.Exit(1)
 	}
+	wall := time.Since(start).Seconds()
+	fmt.Fprintf(os.Stderr, "potsim: simulated %d instructions in %.2fs (%.2f simulated MIPS)\n",
+		res.CPU.Instructions, wall, float64(res.CPU.Instructions)/wall/1e6)
 
 	fmt.Printf("configuration   %s\n", spec.Label())
 	fmt.Printf("cycles          %d\n", res.CPU.Cycles)
@@ -118,5 +136,10 @@ func main() {
 	} else {
 		fmt.Printf("oid_direct      %d calls, %.1f insns/call, %.1f%% predictor miss\n",
 			res.Soft.Calls, res.Soft.InsnsPerCall(), 100*res.Soft.PredictorMissRate())
+	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -50,14 +50,18 @@ func (s Stats) MissRate() float64 {
 	return 0
 }
 
-// Cache is a set-associative tag array with true-LRU replacement.
+// Cache is a set-associative tag array with true-LRU replacement. Tags and
+// valid bits live in single contiguous arrays indexed by set*ways+way (the
+// ways of one set are adjacent, most-recently-used first), so a whole set is
+// one cache-line-friendly scan and building a cache is three allocations
+// regardless of geometry.
 type Cache struct {
-	cfg     Config
-	setMask uint64
-	// ways are ordered most-recently-used first within each set.
-	tags  [][]uint64
-	valid [][]bool
-	stats Stats
+	cfg      Config
+	setMask  uint64
+	tagShift uint
+	tags     []uint64
+	valid    []bool
+	stats    Stats
 }
 
 // New builds a cache. It panics on an invalid configuration since cache
@@ -66,26 +70,27 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{
-		cfg:     cfg,
-		setMask: uint64(cfg.Sets - 1),
-		tags:    make([][]uint64, cfg.Sets),
-		valid:   make([][]bool, cfg.Sets),
+	return &Cache{
+		cfg:      cfg,
+		setMask:  uint64(cfg.Sets - 1),
+		tagShift: uintLog2(uint64(cfg.Sets)),
+		tags:     make([]uint64, cfg.Sets*cfg.Ways),
+		valid:    make([]bool, cfg.Sets*cfg.Ways),
 	}
-	for i := range c.tags {
-		c.tags[i] = make([]uint64, cfg.Ways)
-		c.valid[i] = make([]bool, cfg.Ways)
-	}
-	return c
+}
+
+// set returns the tag and valid slices of the set holding addr, plus the tag
+// to match.
+func (c *Cache) set(addr uint64) (tags []uint64, valid []bool, tag uint64) {
+	block := addr >> c.cfg.LineShift
+	base := int(block&c.setMask) * c.cfg.Ways
+	return c.tags[base : base+c.cfg.Ways], c.valid[base : base+c.cfg.Ways], block >> c.tagShift
 }
 
 // Access looks up the block containing addr, updating LRU state and
 // statistics; on a miss the block is filled (victim = LRU way).
 func (c *Cache) Access(addr uint64) (hit bool) {
-	block := addr >> c.cfg.LineShift
-	set := block & c.setMask
-	tag := block >> uintLog2(uint64(c.cfg.Sets))
-	tags, valid := c.tags[set], c.valid[set]
+	tags, valid, tag := c.set(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
 		if valid[w] && tags[w] == tag {
 			moveToFront(tags, valid, w)
@@ -104,11 +109,9 @@ func (c *Cache) Access(addr uint64) (hit bool) {
 // Probe reports whether the block containing addr is present without
 // touching LRU state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
-	block := addr >> c.cfg.LineShift
-	set := block & c.setMask
-	tag := block >> uintLog2(uint64(c.cfg.Sets))
+	tags, valid, tag := c.set(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+		if valid[w] && tags[w] == tag {
 			return true
 		}
 	}
@@ -117,12 +120,10 @@ func (c *Cache) Probe(addr uint64) bool {
 
 // Invalidate removes the block containing addr if present.
 func (c *Cache) Invalidate(addr uint64) {
-	block := addr >> c.cfg.LineShift
-	set := block & c.setMask
-	tag := block >> uintLog2(uint64(c.cfg.Sets))
+	tags, valid, tag := c.set(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.valid[set][w] = false
+		if valid[w] && tags[w] == tag {
+			valid[w] = false
 			return
 		}
 	}
@@ -131,9 +132,7 @@ func (c *Cache) Invalidate(addr uint64) {
 // Flush empties the cache, keeping statistics.
 func (c *Cache) Flush() {
 	for i := range c.valid {
-		for w := range c.valid[i] {
-			c.valid[i][w] = false
-		}
+		c.valid[i] = false
 	}
 }
 

@@ -23,8 +23,6 @@
 package emit
 
 import (
-	"hash/fnv"
-
 	"potgo/internal/isa"
 	"potgo/internal/oid"
 	"potgo/internal/trace"
@@ -245,7 +243,8 @@ func (e *Emitter) Compute(n int, srcs ...isa.Reg) isa.Reg {
 	if chains > n-1 {
 		chains = n - 1
 	}
-	heads := make([]isa.Reg, chains)
+	var headsArr [computeILP]isa.Reg
+	heads := headsArr[:chains]
 	for i := range heads {
 		heads[i] = e.Temp()
 		e.ALU(heads[i], s1, s2)
@@ -298,9 +297,17 @@ func (e *Emitter) stackSlot() uint64 {
 	return va
 }
 
-// labelPC hashes a static-branch label to a stable synthetic PC.
+// labelPC hashes a static-branch label to a stable synthetic PC (FNV-1a,
+// computed inline so per-branch emission does not allocate).
 func labelPC(label string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(label))
-	return h.Sum64() &^ 3
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= prime64
+	}
+	return h &^ 3
 }

@@ -74,11 +74,13 @@ func (s *Suite) AblationAssoc() (Report, error) {
 // probe chains in a crowded table show up as real cycles. The paper's
 // 16384-entry default keeps occupancy low; a crowded table clusters and
 // probes get longer.
+// ablationPOTSizes are the AblationPOT capacities. The smallest size still
+// holds every pool the EACH pattern creates at paper scale (~5000 for the
+// tree workloads), but at >50% occupancy, where linear-probe chains grow.
+var ablationPOTSizes = []int{8192, 16384, 65536}
+
 func (s *Suite) AblationPOT() (Report, error) {
-	// The smallest size still holds every pool the EACH pattern creates at
-	// paper scale (~5000 for the tree workloads), but at >50% occupancy,
-	// where linear-probe chains grow.
-	sizes := []int{8192, 16384, 65536}
+	sizes := ablationPOTSizes
 	tb := stats.NewTable("Ablation — POT capacity under EACH (probe-accurate walk, in-order, Pipelined)",
 		"Bench", "pools", "POT 8192", "POT 16384 (paper)", "POT 65536")
 	values := map[string]float64{}

@@ -302,8 +302,11 @@ func (s *Suite) Fig11() (Report, error) {
 
 // Table9 reproduces paper Table 9: POLB miss rates on OPT_NTX with the
 // RANDOM pattern while sweeping the POLB size, for both designs.
+// table9Sizes are the Table 9 POLB capacities.
+var table9Sizes = []int{1, 4, 32, 128}
+
 func (s *Suite) Table9() (Report, error) {
-	sizes := []int{1, 4, 32, 128}
+	sizes := table9Sizes
 	tb := stats.NewTable("Table 9: POLB miss rate, OPT_NTX RANDOM",
 		"Bench", "Pipe 1", "Pipe 4", "Pipe 32", "Pipe 128", "Par 1", "Par 4", "Par 32", "Par 128")
 	values := map[string]float64{}

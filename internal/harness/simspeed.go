@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// SpeedRecord is one simulator-throughput measurement, appended to a
+// trajectory file (BENCH_simspeed.json) by cmd/experiments so successive PRs
+// can track simulation-speed regressions.
+type SpeedRecord struct {
+	// Timestamp is RFC 3339 UTC.
+	Timestamp string `json:"timestamp"`
+	// GoVersion and NumCPU describe the machine the measurement ran on.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Parallel is the worker-pool width used.
+	Parallel int `json:"parallel"`
+	// Quick records whether the reduced (CI-sized) scale was used.
+	Quick bool `json:"quick"`
+	// Experiments lists the experiment ids regenerated.
+	Experiments []string `json:"experiments"`
+	// SimulatedInstructions is the total across all fresh runs.
+	SimulatedInstructions uint64 `json:"simulated_instructions"`
+	// WallSeconds is end-to-end wall-clock including rendering.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimulatedMIPS is SimulatedInstructions / WallSeconds / 1e6.
+	SimulatedMIPS float64 `json:"simulated_mips"`
+	// PerExperiment breaks wall-clock down by experiment (render phase;
+	// simulation time is shared via the prefetched cache).
+	PerExperiment []ExperimentTiming `json:"per_experiment,omitempty"`
+}
+
+// ExperimentTiming is one experiment's render wall-clock.
+type ExperimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
+
+// AppendSpeedRecord appends rec to the JSON-array trajectory file at path,
+// creating it if absent.
+func AppendSpeedRecord(path string, rec SpeedRecord) error {
+	var records []SpeedRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("harness: %s holds invalid trajectory data: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("harness: %w", err)
+	}
+	records = append(records, rec)
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"potgo/internal/polb"
+	"potgo/internal/workloads"
+)
+
+// This file is the spec-enumeration phase of the experiment pipeline: for
+// every experiment id, SpecsFor lists the timed RunSpecs the experiment will
+// Get, without running anything. cmd/experiments prefetches the union of the
+// requested experiments' specs on a bounded worker pool (Suite.Prefetch)
+// before rendering, so the rendering phase is pure cache hits and the grid's
+// wall-clock is bounded by the slowest simulation, not the sum.
+//
+// Enumeration must stay in lockstep with the experiment bodies in
+// experiments.go and ablations.go; TestSpecsForCoversExperiments asserts that
+// running an experiment after prefetching its specs performs no new
+// simulations.
+
+// SpecsFor returns every timed RunSpec the experiment will request, in the
+// order the experiment requests them. Experiments that only execute
+// functionally (table2) or outside the Suite cache (recovery) return nil, as
+// does an unknown id (RunExperiment reports those).
+func (s *Suite) SpecsFor(id string) []RunSpec {
+	var specs []RunSpec
+	add := func(sp ...RunSpec) { specs = append(specs, sp...) }
+
+	// tpccPatterns are the patterns the TPC-C rows cover where present.
+	tpccPatterns := []workloads.Pattern{workloads.All, workloads.Each}
+
+	switch id {
+	case "fig9a", "fig9b":
+		kind, withParallel := InOrder, true
+		if id == "fig9b" {
+			kind, withParallel = OutOfOrder, false
+		}
+		rows := func(bench string, pats []workloads.Pattern) {
+			for _, pat := range pats {
+				base, pipe, par, ideal := fig9Specs(bench, pat, kind)
+				add(base, pipe)
+				if withParallel {
+					add(par)
+				}
+				add(ideal)
+			}
+		}
+		for _, bench := range MicroBenches {
+			rows(bench, patterns)
+		}
+		if !s.opts.SkipTPCC {
+			rows(TPCCBench, tpccPatterns)
+		}
+	case "table8":
+		rows := func(bench string, pats []workloads.Pattern) {
+			for _, pat := range pats {
+				_, _, par, _ := fig9Specs(bench, pat, InOrder)
+				add(par)
+			}
+			_, pipe, _, _ := fig9Specs(bench, workloads.Each, InOrder)
+			add(pipe)
+		}
+		for _, bench := range MicroBenches {
+			rows(bench, patterns)
+		}
+		if !s.opts.SkipTPCC {
+			rows(TPCCBench, tpccPatterns)
+		}
+	case "fig10":
+		for _, bench := range MicroBenches {
+			for _, pat := range patterns {
+				base, pipe, par, _ := fig9Specs(bench, pat, InOrder)
+				base.Tx, pipe.Tx, par.Tx = false, false, false
+				add(base, pipe, par)
+			}
+		}
+	case "fig11":
+		for _, bench := range MicroBenches {
+			base, pipe, par, _ := fig9Specs(bench, workloads.Random, InOrder)
+			add(base)
+			for _, design := range []RunSpec{pipe, par} {
+				for _, size := range polbSweepSizes {
+					spec := design
+					spec.POLBSize = size
+					add(spec)
+				}
+			}
+		}
+	case "table9":
+		for _, bench := range MicroBenches {
+			for _, design := range []polb.Design{polb.Pipelined, polb.Parallel} {
+				for _, size := range table9Sizes {
+					add(RunSpec{
+						Bench: bench, Pattern: workloads.Random, Tx: false,
+						Core: InOrder, Opt: true, Design: design, POLBSize: size,
+					})
+				}
+			}
+		}
+	case "fig12":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Each, InOrder)
+			add(base)
+			for _, walk := range potSweep {
+				spec := pipe
+				if walk == 0 {
+					spec.POTWalk = -1
+				} else {
+					spec.POTWalk = walk
+				}
+				add(spec)
+			}
+		}
+	case "insns":
+		for _, bench := range MicroBenches {
+			for _, pat := range patterns {
+				base, pipe, _, _ := fig9Specs(bench, pat, InOrder)
+				add(base, pipe)
+			}
+		}
+	case "ablation-assoc":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Each, InOrder)
+			add(base)
+			for _, g := range ablationAssocGeoms {
+				spec := pipe
+				spec.POLBSets = g.sets
+				add(spec)
+			}
+		}
+	case "ablation-walk":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Each, InOrder)
+			probe := pipe
+			probe.ProbeWalk = true
+			add(base, pipe, probe)
+		}
+	case "ablation-pot":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Each, InOrder)
+			add(base)
+			for _, size := range ablationPOTSizes {
+				spec := pipe
+				spec.ProbeWalk = true
+				spec.POTEntries = size
+				add(spec)
+			}
+		}
+	case "fixedcmp":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Random, InOrder)
+			fixed := base
+			fixed.FixedMap = true
+			add(base, pipe, fixed)
+		}
+	case "cpistack":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Random, InOrder)
+			add(base, pipe)
+		}
+	case "ablation-prefetch":
+		for _, bench := range MicroBenches {
+			base, pipe, _, _ := fig9Specs(bench, workloads.Random, InOrder)
+			basePF, pipePF := base, pipe
+			basePF.Prefetch, pipePF.Prefetch = true, true
+			add(base, pipe, basePF, pipePF)
+		}
+	}
+	return specs
+}
+
+// PrefetchExperiments concurrently runs every simulation the given
+// experiments will need (the deduplicated union of their SpecsFor lists) on
+// the suite's worker pool. Rendering the experiments afterwards hits only
+// the cache. Unknown ids enumerate no specs and are reported by
+// RunExperiment instead.
+func (s *Suite) PrefetchExperiments(ids []string) error {
+	var union []RunSpec
+	for _, id := range ids {
+		union = append(union, s.SpecsFor(id)...)
+	}
+	return s.Prefetch(union)
+}

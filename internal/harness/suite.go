@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"potgo/internal/tpcc"
 )
@@ -21,10 +22,13 @@ type Options struct {
 	TPCC *tpcc.Config
 	// SkipTPCC drops the TPC-C rows from experiments that include them.
 	SkipTPCC bool
-	// Parallel is the number of concurrent simulations (default 1; each
-	// run is single-threaded and the grid is CPU-bound).
+	// Parallel bounds the number of concurrent simulations during
+	// Prefetch (default 1). Each run is single-threaded, self-contained
+	// (its own vm.AddressSpace and seeded PRNGs) and CPU-bound, so
+	// results are bit-identical at any Parallel value.
 	Parallel int
-	// Progress, when non-nil, receives a line per completed run.
+	// Progress, when non-nil, receives a line per completed run. Calls
+	// are serialized even when runs complete concurrently.
 	Progress func(string)
 }
 
@@ -41,9 +45,11 @@ func (o Options) withDefaults() Options {
 // Suite memoizes simulation runs so experiments that share configurations
 // (Figure 9 and Table 8; Figure 11 and the BASE columns) execute them once.
 type Suite struct {
-	opts  Options
-	mu    sync.Mutex
-	cache map[string]RunResult
+	opts   Options
+	mu     sync.Mutex
+	cache  map[string]RunResult
+	progMu sync.Mutex
+	insns  atomic.Uint64
 }
 
 // NewSuite builds a suite.
@@ -53,6 +59,11 @@ func NewSuite(opts Options) *Suite {
 
 // Options returns the suite's options (with defaults applied).
 func (s *Suite) Options() Options { return s.opts }
+
+// SimulatedInstructions returns the total number of instructions simulated
+// by fresh (non-memoized) runs so far — the numerator of the simulator's
+// throughput in simulated MIPS.
+func (s *Suite) SimulatedInstructions() uint64 { return s.insns.Load() }
 
 // finish applies suite-wide option overrides to a spec.
 func (s *Suite) finish(spec RunSpec) RunSpec {
@@ -87,9 +98,12 @@ func (s *Suite) Get(spec RunSpec) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	s.insns.Add(r.CPU.Instructions)
 	if s.opts.Progress != nil {
+		s.progMu.Lock()
 		s.opts.Progress(fmt.Sprintf("%-44s cycles=%-12d insns=%-11d polbMiss=%5.2f%%",
 			spec.Label(), r.CPU.Cycles, r.CPU.Instructions, 100*r.CPU.POLB.MissRate()))
+		s.progMu.Unlock()
 	}
 	s.mu.Lock()
 	s.cache[k] = r
@@ -97,25 +111,54 @@ func (s *Suite) Get(spec RunSpec) (RunResult, error) {
 	return r, nil
 }
 
-// Prefetch runs all uncached specs, up to Parallel at a time.
+// Prefetch runs all uncached specs on a bounded pool of Options.Parallel
+// workers, then returns the first error in spec order (deterministic no
+// matter which worker failed first). Specs that finish() to the same
+// configuration are deduplicated up front so the pool never runs the same
+// simulation twice.
 func (s *Suite) Prefetch(specs []RunSpec) error {
-	sem := make(chan struct{}, s.opts.Parallel)
-	errCh := make(chan error, len(specs))
-	var wg sync.WaitGroup
+	seen := make(map[string]struct{}, len(specs))
+	uniq := specs[:0:0]
 	for _, spec := range specs {
-		wg.Add(1)
-		go func(sp RunSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if _, err := s.Get(sp); err != nil {
-				errCh <- err
-			}
-		}(spec)
+		k := key(s.finish(spec))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		uniq = append(uniq, spec)
 	}
+	workers := s.opts.Parallel
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	work := make(chan int)
+	errs := make([]error, len(uniq))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if _, err := s.Get(uniq[i]); err != nil {
+					errs[i] = err
+				}
+			}
+		}()
+	}
+	for i := range uniq {
+		work <- i
+	}
+	close(work)
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // speedup returns base cycles / variant cycles, verifying that the two runs

@@ -1,0 +1,49 @@
+// Package prof wraps runtime/pprof profile capture for the command-line
+// tools: Start begins an optional CPU profile and returns a stop function
+// that finishes it and writes an optional allocation profile, so a command's
+// main needs a single defer.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling. cpuPath and memPath may each be empty to disable
+// that profile. The returned stop function must be called exactly once at
+// exit; it reports any write failure.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

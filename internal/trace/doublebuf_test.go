@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"testing"
+
+	"potgo/internal/isa"
+)
+
+// chunkHash fingerprints a chunk's contents so mutation while the consumer
+// holds it is detectable.
+func chunkHash(c []isa.Instr) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := range c {
+		h = (h ^ c[i].PC) * 1099511628211
+	}
+	return h
+}
+
+// TestLockstepProducerNeverMutatesHeldChunk drives the double-buffered
+// hand-off and asserts the producer never writes into a chunk the consumer
+// still holds: each chunk is fingerprinted on receipt and re-checked after
+// the consumer has read every instruction, immediately before the ack is
+// sent (the only point the buffer is released back to the producer).
+func TestLockstepProducerNeverMutatesHeldChunk(t *testing.T) {
+	const n = ChunkSize*5 + 123
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < n; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU, PC: uint64(i)})
+		}
+	})
+	defer l.Close()
+	var expect uint64
+	var sumAtReceipt uint64
+	for {
+		if l.opened && l.pos >= len(l.cur) {
+			// Chunk fully consumed but not yet acked: the producer is
+			// still blocked, so the contents must be exactly as received.
+			if h := chunkHash(l.cur); h != sumAtReceipt {
+				t.Fatalf("chunk mutated while held (at instruction %d)", expect)
+			}
+		}
+		in, ok := l.Next()
+		if !ok {
+			break
+		}
+		if l.pos == 1 {
+			// First instruction of a freshly received chunk: fingerprint
+			// it while the producer is parked awaiting our ack.
+			sumAtReceipt = chunkHash(l.cur)
+		}
+		if in.PC != expect {
+			t.Fatalf("instruction %d carries PC %d: stream corrupted by buffer reuse", expect, in.PC)
+		}
+		expect++
+	}
+	if expect != n {
+		t.Fatalf("delivered %d instructions, want %d", expect, n)
+	}
+}
+
+// TestLockstepChunksAlternateBuffers pins the double-buffering itself:
+// consecutive chunks must arrive in different backing arrays (the producer
+// refills the released buffer, never the one just handed over).
+func TestLockstepChunksAlternateBuffers(t *testing.T) {
+	const n = ChunkSize * 4
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < n; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU, PC: uint64(i)})
+		}
+	})
+	defer l.Close()
+	var prev *isa.Instr
+	chunks := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		if l.pos == 1 {
+			chunks++
+			cur := &l.cur[0]
+			if prev != nil && cur == prev {
+				t.Fatalf("chunk %d reuses the buffer the consumer just held", chunks)
+			}
+			prev = cur
+		}
+	}
+	if chunks != n/ChunkSize {
+		t.Fatalf("saw %d chunks, want %d", chunks, n/ChunkSize)
+	}
+}
+
+// TestLockstepSteadyStateAllocs asserts the chunk hand-off allocates nothing
+// once the two buffers exist: consuming a full chunk must average (well)
+// under one allocation.
+func TestLockstepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	const chunks = 140
+	l := GenerateLockstep(func(sink Sink) {
+		for i := 0; i < ChunkSize*chunks; i++ {
+			sink.Emit(isa.Instr{Op: isa.ALU, PC: uint64(i)})
+		}
+	})
+	defer l.Close()
+	// Warm up past the initial buffer allocations.
+	for i := 0; i < ChunkSize*2; i++ {
+		if _, ok := l.Next(); !ok {
+			t.Fatal("stream ended during warm-up")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < ChunkSize; i++ {
+			if _, ok := l.Next(); !ok {
+				t.Fatal("stream ended mid-measurement")
+			}
+		}
+	})
+	if avg >= 1 {
+		t.Errorf("steady-state chunk hand-off allocates %.1f times per chunk, want 0", avg)
+	}
+}

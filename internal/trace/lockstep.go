@@ -29,7 +29,11 @@ func GenerateLockstep(producer func(Sink)) *Lockstep {
 	}
 	go func() {
 		defer close(l.ch)
-		sink := &lockSink{l: l, buf: make([]isa.Instr, 0, ChunkSize)}
+		sink := &lockSink{
+			l:     l,
+			buf:   make([]isa.Instr, 0, ChunkSize),
+			spare: make([]isa.Instr, 0, ChunkSize),
+		}
 		defer func() {
 			if r := recover(); r != nil && r != errStreamClosed {
 				panic(r)
@@ -41,9 +45,14 @@ func GenerateLockstep(producer func(Sink)) *Lockstep {
 	return l
 }
 
+// lockSink double-buffers its chunks: the alternation protocol means the
+// consumer has acked (and will never touch again) the previously handed-over
+// chunk by the time the producer needs a fresh buffer, so two buffers cycle
+// for the whole trace and steady-state hand-off allocates nothing.
 type lockSink struct {
-	l   *Lockstep
-	buf []isa.Instr
+	l     *Lockstep
+	buf   []isa.Instr
+	spare []isa.Instr
 }
 
 // Emit implements Sink.
@@ -56,7 +65,9 @@ func (s *lockSink) Emit(in isa.Instr) {
 
 // flush hands the chunk to the consumer and blocks until it has been fully
 // executed (the ack), so the producer never mutates shared state while the
-// consumer runs.
+// consumer runs. After the ack the consumer is done with the sent chunk, and
+// the spare buffer has been unreferenced since the ack before that, so the
+// buffers alternate without allocation.
 func (s *lockSink) flush() {
 	if len(s.buf) == 0 {
 		return
@@ -71,7 +82,7 @@ func (s *lockSink) flush() {
 	case <-s.l.done:
 		panic(errStreamClosed)
 	}
-	s.buf = make([]isa.Instr, 0, ChunkSize)
+	s.buf, s.spare = s.spare[:0], s.buf
 }
 
 // Next implements Source. Exhausting a chunk acks the producer before

@@ -31,6 +31,97 @@ const (
 	mmapSpan = 0x0000_0f00_0000_0000
 )
 
+// Page-table geometry: translations are on the per-simulated-instruction hot
+// path (every load, store and POT probe), so the VPN→PFN mapping is a
+// two-level radix array over the mmap arena instead of a hash map, fronted by
+// a last-VPN memo that short-circuits the common same-page access run.
+//
+// Leaf entries store PFN+1 so the zero value means "unmapped" and a leaf is
+// usable straight from the allocator. A leaf covers 2^ptLeafBits pages
+// (32 MB of virtual space at 16 KB per leaf), and the top level is one
+// pointer per possible leaf of the arena (~3.7 MB per address space, a single
+// allocation). The rare mapping outside the arena (MapFixed at a
+// caller-chosen low address — tests) falls back to a small map.
+const (
+	ptLeafBits = 13
+	ptLeafSize = 1 << ptLeafBits
+	ptLeafMask = ptLeafSize - 1
+
+	arenaVPNBase = mmapBase >> PageShift
+	arenaVPNs    = mmapSpan >> PageShift
+)
+
+type ptLeaf [ptLeafSize]uint32
+
+// pageTable maps virtual page numbers to physical frame numbers.
+type pageTable struct {
+	top []*ptLeaf         // arena leaves, indexed by (vpn-arenaVPNBase)>>ptLeafBits
+	out map[uint64]uint32 // out-of-arena VPNs (MapFixed; cold), PFN+1
+
+	// Last-translation memo. memoPFN is PFN+1; 0 means no memo.
+	memoVPN uint64
+	memoPFN uint32
+}
+
+func (pt *pageTable) lookup(vpn uint64) (uint32, bool) {
+	if pt.memoPFN != 0 && vpn == pt.memoVPN {
+		return pt.memoPFN - 1, true
+	}
+	var e uint32
+	if rel := vpn - arenaVPNBase; rel < arenaVPNs {
+		leaf := pt.top[rel>>ptLeafBits]
+		if leaf == nil {
+			return 0, false
+		}
+		e = leaf[rel&ptLeafMask]
+	} else {
+		e = pt.out[vpn]
+	}
+	if e == 0 {
+		return 0, false
+	}
+	pt.memoVPN, pt.memoPFN = vpn, e
+	return e - 1, true
+}
+
+func (pt *pageTable) set(vpn uint64, pfn uint32) {
+	if rel := vpn - arenaVPNBase; rel < arenaVPNs {
+		leaf := pt.top[rel>>ptLeafBits]
+		if leaf == nil {
+			leaf = new(ptLeaf)
+			pt.top[rel>>ptLeafBits] = leaf
+		}
+		leaf[rel&ptLeafMask] = pfn + 1
+		return
+	}
+	if pt.out == nil {
+		pt.out = make(map[uint64]uint32)
+	}
+	pt.out[vpn] = pfn + 1
+}
+
+// clear unmaps vpn, returning its PFN (ok=false if it was not mapped).
+func (pt *pageTable) clear(vpn uint64) (uint32, bool) {
+	if pt.memoPFN != 0 && vpn == pt.memoVPN {
+		pt.memoPFN = 0
+	}
+	if rel := vpn - arenaVPNBase; rel < arenaVPNs {
+		leaf := pt.top[rel>>ptLeafBits]
+		if leaf == nil || leaf[rel&ptLeafMask] == 0 {
+			return 0, false
+		}
+		pfn := leaf[rel&ptLeafMask] - 1
+		leaf[rel&ptLeafMask] = 0
+		return pfn, true
+	}
+	e, ok := pt.out[vpn]
+	if !ok {
+		return 0, false
+	}
+	delete(pt.out, vpn)
+	return e - 1, true
+}
+
 // Region describes one mapped virtual range.
 type Region struct {
 	Base uint64
@@ -48,18 +139,29 @@ func (r Region) overlaps(o Region) bool { return r.Base < o.End() && o.Base < r.
 // memory behind it.
 type AddressSpace struct {
 	rng       *rand.Rand
-	pageTable map[uint64]uint32 // VPN -> PFN
-	frames    [][]byte          // physical frames by PFN; nil after free
+	pageTable pageTable
+	frames    [][]byte // physical frames by PFN
 	freePFNs  []uint32
 	regions   []Region // sorted by Base
+
+	// Fresh frames are carved from slabs so backing a region costs one
+	// allocation per frameSlabPages pages instead of one per page.
+	slab    []byte
+	slabOff int
 }
+
+// frameSlabPages is the number of physical frames carved from one backing
+// slab allocation.
+const frameSlabPages = 64
 
 // NewAddressSpace creates an empty address space. The seed drives ASLR
 // placement so runs are reproducible.
 func NewAddressSpace(seed int64) *AddressSpace {
 	return &AddressSpace{
-		rng:       rand.New(rand.NewSource(seed)),
-		pageTable: make(map[uint64]uint32),
+		rng: rand.New(rand.NewSource(seed)),
+		pageTable: pageTable{
+			top: make([]*ptLeaf, (arenaVPNs+ptLeafSize-1)>>ptLeafBits),
+		},
 	}
 }
 
@@ -84,7 +186,7 @@ func (as *AddressSpace) Map(size uint64) (Region, error) {
 	r := Region{Base: base, Size: size}
 	as.insertRegion(r)
 	for va := base; va < base+size; va += PageSize {
-		as.pageTable[va>>PageShift] = as.allocFrame()
+		as.pageTable.set(va>>PageShift, as.allocFrame())
 	}
 	return r, nil
 }
@@ -106,7 +208,7 @@ func (as *AddressSpace) MapFixed(base, size uint64) (Region, error) {
 	}
 	as.insertRegion(r)
 	for va := base; va < base+size; va += PageSize {
-		as.pageTable[va>>PageShift] = as.allocFrame()
+		as.pageTable.set(va>>PageShift, as.allocFrame())
 	}
 	return r, nil
 }
@@ -125,13 +227,12 @@ func (as *AddressSpace) Unmap(r Region) error {
 	}
 	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
 	for va := r.Base; va < r.End(); va += PageSize {
-		vpn := va >> PageShift
-		pfn, ok := as.pageTable[vpn]
+		pfn, ok := as.pageTable.clear(va >> PageShift)
 		if !ok {
 			continue
 		}
-		delete(as.pageTable, vpn)
-		as.frames[pfn] = nil
+		// The frame's slab memory is shared with neighbouring frames, so
+		// keep the subslice and zero it on reuse (allocFrame).
 		as.freePFNs = append(as.freePFNs, pfn)
 	}
 	return nil
@@ -141,7 +242,7 @@ func (as *AddressSpace) Unmap(r Region) error {
 // table. ok is false for unmapped addresses (the moral equivalent of a page
 // fault on an untouched address).
 func (as *AddressSpace) Translate(va uint64) (pa uint64, ok bool) {
-	pfn, ok := as.pageTable[va>>PageShift]
+	pfn, ok := as.pageTable.lookup(va >> PageShift)
 	if !ok {
 		return 0, false
 	}
@@ -150,7 +251,7 @@ func (as *AddressSpace) Translate(va uint64) (pa uint64, ok bool) {
 
 // Mapped reports whether the virtual address lies in a mapped region.
 func (as *AddressSpace) Mapped(va uint64) bool {
-	_, ok := as.pageTable[va>>PageShift]
+	_, ok := as.pageTable.lookup(va >> PageShift)
 	return ok
 }
 
@@ -225,7 +326,7 @@ func (as *AddressSpace) Write32(va uint64, v uint32) error {
 }
 
 func (as *AddressSpace) frameFor(va uint64) ([]byte, uint64, error) {
-	pfn, ok := as.pageTable[va>>PageShift]
+	pfn, ok := as.pageTable.lookup(va >> PageShift)
 	if !ok {
 		return nil, 0, fmt.Errorf("vm: access to unmapped address %#x", va)
 	}
@@ -236,10 +337,16 @@ func (as *AddressSpace) allocFrame() uint32 {
 	if n := len(as.freePFNs); n > 0 {
 		pfn := as.freePFNs[n-1]
 		as.freePFNs = as.freePFNs[:n-1]
-		as.frames[pfn] = make([]byte, PageSize)
+		clear(as.frames[pfn])
 		return pfn
 	}
-	as.frames = append(as.frames, make([]byte, PageSize))
+	if as.slabOff == len(as.slab) {
+		as.slab = make([]byte, frameSlabPages*PageSize)
+		as.slabOff = 0
+	}
+	frame := as.slab[as.slabOff : as.slabOff+PageSize : as.slabOff+PageSize]
+	as.slabOff += PageSize
+	as.frames = append(as.frames, frame)
 	return uint32(len(as.frames) - 1)
 }
 
