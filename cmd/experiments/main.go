@@ -22,9 +22,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strings"
 	"time"
@@ -140,6 +142,7 @@ func main() {
 	if *simSpeed != "" {
 		rec := harness.SpeedRecord{
 			Timestamp:             time.Now().UTC().Format(time.RFC3339),
+			GitSHA:                gitSHA(),
 			GoVersion:             runtime.Version(),
 			NumCPU:                runtime.NumCPU(),
 			Parallel:              suite.Options().Parallel,
@@ -150,11 +153,17 @@ func main() {
 			SimulatedMIPS:         mips,
 			PerExperiment:         timings,
 		}
-		if err := harness.AppendSpeedRecord(*simSpeed, rec); err != nil {
+		switch err := harness.AppendSpeedRecord(*simSpeed, rec); {
+		case errors.Is(err, harness.ErrDuplicateSpeedRecord):
+			// Same tree, same configuration: refuse the duplicate but
+			// don't fail the run — the measurement itself succeeded.
+			fmt.Fprintf(os.Stderr, "experiments: %v; not appending\n", err)
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			exit(1)
+		default:
+			fmt.Fprintf(os.Stderr, "appended throughput record to %s\n", *simSpeed)
 		}
-		fmt.Fprintf(os.Stderr, "appended throughput record to %s\n", *simSpeed)
 	}
 
 	if *out != "" {
@@ -165,6 +174,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
 	exit(0)
+}
+
+// gitSHA identifies the working tree for the throughput trajectory:
+// the short commit hash, "-dirty" when uncommitted changes exist, or ""
+// when git is unavailable (then duplicate detection is skipped).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(status) > 0 {
+		sha += "-dirty"
+	}
+	return sha
 }
 
 func renderSummary(reports []harness.Report, quick bool) string {

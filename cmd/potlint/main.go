@@ -1,0 +1,99 @@
+// Command potlint runs potgo's persistence-invariant analyzers over the
+// tree (see internal/analysis and DESIGN.md "Persistence invariants"):
+//
+//	go run ./cmd/potlint ./...
+//
+// It prints one line per finding (file:line:col: [analyzer] message) and
+// exits non-zero if there are any, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"potgo/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: potlint [flags] [packages]\n\n"+
+			"Checks potgo's persistence invariants. Packages default to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-22s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fatalf("unknown analyzer %q (try -list)", n)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	paths, err := loader.ExpandPatterns(patterns)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	requested := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		requested[p] = true
+		if _, err := loader.Load(p); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Analyze every loaded package (dependencies included, so facts flow),
+	// but report only for the requested ones.
+	diags, err := analysis.Run(analyzers, loader.Packages())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	n := 0
+	for _, d := range diags {
+		if !requested[d.Pkg] {
+			continue
+		}
+		pos := loader.Fset.Position(d.Pos)
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		n++
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "potlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "potlint: "+format+"\n", args...)
+	os.Exit(1)
+}

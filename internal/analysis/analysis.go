@@ -1,0 +1,157 @@
+// Package analysis is potgo's static-analysis suite: four analyzers that
+// machine-check the persistence invariants the pmem/pds code must follow for
+// crash consistency (see DESIGN.md "Persistence invariants"):
+//
+//   - touchbeforestore: in-place stores to persistent objects inside a
+//     transactional context must be preceded by an undo-log snapshot
+//     (Ctx.Touch / Heap.TxAddRange) of the stored object.
+//   - persistbeforepublish: an ObjectID may only be linked into another
+//     persistent object after the referenced object is durable (Persist) or
+//     the link target is undo-logged (Touch).
+//   - refescape: Deref-derived Refs are raw views into mapped pool memory;
+//     they must not outlive the mapping (escape the API surface, or be used
+//     across Close/Crash/TxAbort/Recover).
+//   - emitbalance: every path that emits CLWBs must emit a trailing SFENCE
+//     before returning, unless the function's name declares it unfenced
+//     ("NoFence").
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, facts) but is self-contained on the standard
+// library: the build environment is offline, so x/tools cannot be vendored.
+// Analyzers therefore work on typed ASTs with a flow-sensitive walker
+// (flow.go) rather than SSA; the abstractions are conservative where SSA
+// would be exact, and each analyzer documents its over- and
+// under-approximations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one analysis: a name, documentation, and a Run
+// function applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the command line.
+	Name string
+	// Doc is the analyzer's documentation, first sentence first.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics and
+	// exporting facts through the pass.
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one analyzer and one package being
+// analyzed, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// facts is the driver-wide fact store, shared across packages so
+	// facts exported while analyzing a dependency are visible when its
+	// importers are analyzed (packages are processed in dependency
+	// order).
+	facts *FactStore
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+	Pkg      string // import path of the package the finding is in
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+		Pkg:      p.Pkg.Path(),
+	})
+}
+
+// ExportObjectFact attaches a fact to obj, visible to later passes of the
+// same analyzer over importing packages.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts.put(p.Analyzer, obj, fact)
+}
+
+// ImportObjectFact returns the fact attached to obj by this analyzer, or
+// nil.
+func (p *Pass) ImportObjectFact(obj types.Object) any {
+	return p.facts.get(p.Analyzer, obj)
+}
+
+// FactStore holds analyzer-scoped object facts for one driver run. All
+// packages in a run share one type-checker universe, so types.Object
+// identity is stable across packages.
+type FactStore struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer *Analyzer
+	obj      types.Object
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey]any)} }
+
+func (s *FactStore) put(a *Analyzer, obj types.Object, fact any) {
+	s.m[factKey{a, obj}] = fact
+}
+
+func (s *FactStore) get(a *Analyzer, obj types.Object) any {
+	return s.m[factKey{a, obj}]
+}
+
+// Run applies each analyzer to each package in order and returns all
+// diagnostics sorted by position. Packages must be in dependency order for
+// facts to flow from dependencies to importers.
+func Run(analyzers []*Analyzer, pkgs []*LoadedPackage) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				facts:     facts,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			diags = append(diags, pass.diagnostics...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// All returns the full potlint suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		TouchBeforeStore,
+		PersistBeforePublish,
+		RefEscape,
+		EmitBalance,
+	}
+}

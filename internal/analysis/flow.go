@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The flow walker is the shared intra-procedural engine behind the
+// analyzers: a forward abstract interpretation over the typed AST in
+// evaluation order. It is deliberately simpler than an SSA CFG —
+//
+//   - if/switch/select branches are walked with cloned states and joined
+//     with the analyzer's Merge;
+//   - loop bodies are walked once after "havocking" (invalidating) every
+//     variable the loop assigns, which soundly models facts established in
+//     a previous iteration being stale;
+//   - break/continue/goto end their path (the state at the jump is
+//     dropped, which loses precision but never invents facts, because loop
+//     exits already join with the pre-loop state);
+//   - function literals are walked inline at their definition point and
+//     joined with the fall-through state (a closure may or may not run);
+//     return statements inside them do not count as returns of the
+//     enclosing function;
+//   - an if whose condition is `x != nil` (or `x == nil`) for an
+//     error-typed x marks the corresponding branch as an error path, so
+//     analyzers can exempt early error returns (by Go convention an
+//     emission helper that fails has not emitted).
+//
+// Each analyzer supplies a State (its abstract domain) and hooks invoked
+// at calls, assignments and returns.
+
+// State is an analyzer-defined abstract state. A nil State means
+// "unreachable".
+type State interface {
+	// Clone returns an independent copy.
+	Clone() State
+	// Merge joins another reachable state into the receiver and returns
+	// the result (the receiver may be mutated).
+	Merge(State) State
+}
+
+// FlowHooks receives the walker's events. Embed NopHooks for defaults.
+type FlowHooks interface {
+	// OnCall fires after a call's function and arguments were walked.
+	OnCall(call *ast.CallExpr, st State) State
+	// OnAssign fires for assignments and declarations after the
+	// right-hand sides were walked. rhs is nil for x++/x--.
+	OnAssign(lhs []ast.Expr, rhs []ast.Expr, st State) State
+	// OnReturn fires at each return of the function being walked.
+	// errPath is true when the return sits under an `err != nil` guard.
+	OnReturn(ret *ast.ReturnStmt, st State, errPath bool)
+	// OnHavoc fires at loop entry with the set of variables the loop
+	// body assigns; the hook must drop facts depending on them.
+	OnHavoc(assigned map[types.Object]bool, st State) State
+	// AfterIf may replace the default branch join. Returning ok=false
+	// uses the default merge.
+	AfterIf(stmt *ast.IfStmt, pre, thenSt, elseSt State) (State, bool)
+}
+
+// NopHooks provides default no-op hook implementations.
+type NopHooks struct{}
+
+func (NopHooks) OnCall(_ *ast.CallExpr, st State) State             { return st }
+func (NopHooks) OnAssign(_, _ []ast.Expr, st State) State           { return st }
+func (NopHooks) OnReturn(_ *ast.ReturnStmt, _ State, _ bool)        {}
+func (NopHooks) OnHavoc(_ map[types.Object]bool, st State) State    { return st }
+func (NopHooks) AfterIf(_ *ast.IfStmt, _, _, _ State) (State, bool) { return nil, false }
+
+type walker struct {
+	info     *types.Info
+	hooks    FlowHooks
+	errDepth int
+	litDepth int
+}
+
+// WalkFunc interprets body starting from initial, firing hooks, and
+// returns the fall-through state (nil if all paths return).
+func WalkFunc(info *types.Info, body *ast.BlockStmt, initial State, hooks FlowHooks) State {
+	w := &walker{info: info, hooks: hooks}
+	return w.stmts(body.List, initial)
+}
+
+func mergeStates(a, b State) State {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	default:
+		return a.Merge(b)
+	}
+}
+
+func (w *walker) stmts(list []ast.Stmt, st State) State {
+	for _, s := range list {
+		if st == nil {
+			return nil
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *walker) stmt(s ast.Stmt, st State) State {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.ExprStmt:
+		return w.expr(s.X, st)
+	case *ast.SendStmt:
+		st = w.expr(s.Chan, st)
+		return w.expr(s.Value, st)
+	case *ast.IncDecStmt:
+		st = w.expr(s.X, st)
+		return w.hooks.OnAssign([]ast.Expr{s.X}, nil, st)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			st = w.expr(r, st)
+		}
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				st = w.expr(l, st)
+			}
+		}
+		return w.hooks.OnAssign(s.Lhs, s.Rhs, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					st = w.expr(v, st)
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				st = w.hooks.OnAssign(lhs, vs.Values, st)
+			}
+		}
+		return st
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.expr(r, st)
+		}
+		if w.litDepth == 0 {
+			w.hooks.OnReturn(s, st, w.errDepth > 0)
+		}
+		return nil
+	case *ast.BranchStmt:
+		return nil // break/continue/goto end the path (see package doc)
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		st = w.hooks.OnHavoc(assignedIn(s.Body, s.Post, w.info), st)
+		if s.Cond != nil {
+			st = w.expr(s.Cond, st)
+		}
+		bodyOut := w.stmts(s.Body.List, st.Clone())
+		if s.Post != nil && bodyOut != nil {
+			bodyOut = w.stmt(s.Post, bodyOut)
+		}
+		return mergeStates(st, bodyOut)
+	case *ast.RangeStmt:
+		st = w.expr(s.X, st)
+		st = w.hooks.OnHavoc(assignedIn(s, nil, w.info), st)
+		var lhs []ast.Expr
+		if s.Key != nil {
+			lhs = append(lhs, s.Key)
+		}
+		if s.Value != nil {
+			lhs = append(lhs, s.Value)
+		}
+		if len(lhs) > 0 {
+			st = w.hooks.OnAssign(lhs, nil, st)
+		}
+		bodyOut := w.stmts(s.Body.List, st.Clone())
+		return mergeStates(st, bodyOut)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.expr(s.Tag, st)
+		}
+		return w.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+		}
+		st = w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		var out State
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := st.Clone()
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				branch = w.stmt(cc.Comm, branch)
+			}
+			out = mergeStates(out, w.stmts(cc.Body, branch))
+		}
+		if !hasDefault || len(s.Body.List) == 0 {
+			out = mergeStates(out, st)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.DeferStmt:
+		// A deferred call runs at function exit, not here: walk its
+		// function (an inline func literal may run) and arguments, but do
+		// not fire OnCall — `defer h.Close()` must not invalidate state at
+		// the defer site.
+		st = w.expr(s.Call.Fun, st)
+		for _, a := range s.Call.Args {
+			st = w.expr(a, st)
+		}
+		return st
+	case *ast.GoStmt:
+		return w.expr(s.Call, st)
+	default: // EmptyStmt, BadStmt
+		return st
+	}
+}
+
+// caseClauses joins the bodies of a switch; without a default the zero-case
+// fall-through state joins in too.
+func (w *walker) caseClauses(body *ast.BlockStmt, st State) State {
+	var out State
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := st.Clone()
+		for _, e := range cc.List {
+			branch = w.expr(e, branch)
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		out = mergeStates(out, w.stmts(cc.Body, branch))
+	}
+	if !hasDefault {
+		out = mergeStates(out, st)
+	}
+	return out
+}
+
+func (w *walker) ifStmt(s *ast.IfStmt, st State) State {
+	if s.Init != nil {
+		st = w.stmt(s.Init, st)
+	}
+	st = w.expr(s.Cond, st)
+	errBranch := errNilBranch(w.info, s.Cond) // +1 = then is error path, -1 = else is
+
+	if errBranch == +1 {
+		w.errDepth++
+	}
+	thenSt := w.stmts(s.Body.List, st.Clone())
+	if errBranch == +1 {
+		w.errDepth--
+	}
+
+	var elseSt State
+	if s.Else != nil {
+		if errBranch == -1 {
+			w.errDepth++
+		}
+		elseSt = w.stmt(s.Else, st.Clone())
+		if errBranch == -1 {
+			w.errDepth--
+		}
+	} else {
+		elseSt = st
+	}
+	if merged, ok := w.hooks.AfterIf(s, st, thenSt, elseSt); ok {
+		return merged
+	}
+	return mergeStates(thenSt, elseSt)
+}
+
+// expr walks an expression in evaluation order, firing OnCall post-order.
+func (w *walker) expr(e ast.Expr, st State) State {
+	if st == nil || e == nil {
+		return st
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.expr(e.X, st)
+	case *ast.CallExpr:
+		st = w.expr(e.Fun, st)
+		for _, a := range e.Args {
+			st = w.expr(a, st)
+		}
+		return w.hooks.OnCall(e, st)
+	case *ast.SelectorExpr:
+		return w.expr(e.X, st)
+	case *ast.BinaryExpr:
+		st = w.expr(e.X, st)
+		return w.expr(e.Y, st)
+	case *ast.UnaryExpr:
+		return w.expr(e.X, st)
+	case *ast.StarExpr:
+		return w.expr(e.X, st)
+	case *ast.IndexExpr:
+		st = w.expr(e.X, st)
+		return w.expr(e.Index, st)
+	case *ast.IndexListExpr:
+		st = w.expr(e.X, st)
+		for _, i := range e.Indices {
+			st = w.expr(i, st)
+		}
+		return st
+	case *ast.SliceExpr:
+		st = w.expr(e.X, st)
+		st = w.expr(e.Low, st)
+		st = w.expr(e.High, st)
+		return w.expr(e.Max, st)
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, st)
+	case *ast.KeyValueExpr:
+		return w.expr(e.Value, st)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			st = w.expr(el, st)
+		}
+		return st
+	case *ast.FuncLit:
+		w.litDepth++
+		out := w.stmts(e.Body.List, st.Clone())
+		w.litDepth--
+		return mergeStates(st, out)
+	default: // Ident, BasicLit, type exprs
+		return st
+	}
+}
+
+// errNilBranch classifies an if condition: +1 when the then-branch is an
+// error path (`err != nil`), -1 when the else-branch is (`err == nil`),
+// 0 otherwise.
+func errNilBranch(info *types.Info, cond ast.Expr) int {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return 0
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		other = be.X
+	case isNilIdent(be.X):
+		other = be.Y
+	default:
+		return 0
+	}
+	t := info.TypeOf(other)
+	if t == nil || !types.Implements(t, errorIface) {
+		return 0
+	}
+	switch be.Op {
+	case token.NEQ:
+		return +1
+	case token.EQL:
+		return -1
+	}
+	return 0
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// assignedIn collects the variables assigned anywhere inside the given
+// nodes (loop bodies), for havocking at loop entry.
+func assignedIn(n ast.Node, extra ast.Node, info *types.Info) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	collect := func(node ast.Node) {
+		if node == nil {
+			return
+		}
+		ast.Inspect(node, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.AssignStmt:
+				for _, l := range x.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if id, ok := x.X.(*ast.Ident); ok {
+					if obj := objOf(info, id); obj != nil {
+						out[obj] = true
+					}
+				}
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{x.Key, x.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := objOf(info, id); obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, id := range x.Names {
+					if obj := objOf(info, id); obj != nil {
+						out[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	collect(n)
+	collect(extra)
+	return out
+}
+
+// objOf resolves an identifier to its object via Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

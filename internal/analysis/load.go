@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadedPackage is one parsed and type-checked package.
+type LoadedPackage struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader parses and type-checks packages of the enclosing module. Imports
+// within the module are resolved to source directories; standard-library
+// imports are type-checked from GOROOT source (the environment has no
+// export data for a foreign toolchain and no network for modules).
+type Loader struct {
+	Fset       *token.FileSet
+	ModulePath string
+	ModuleDir  string
+
+	pkgs    map[string]*LoadedPackage
+	loading map[string]bool
+	order   []*LoadedPackage
+	std     types.ImporterFrom
+}
+
+// NewLoader locates the module enclosing dir (or the working directory if
+// dir is empty) and returns a loader for it.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		var err error
+		dir, err = os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModulePath: modPath,
+		ModuleDir:  root,
+		pkgs:       make(map[string]*LoadedPackage),
+		loading:    make(map[string]bool),
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module directory and path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Packages returns every package loaded so far in dependency order
+// (dependencies before importers).
+func (l *Loader) Packages() []*LoadedPackage { return l.order }
+
+// Load type-checks the package with the given module-relative or full
+// import path.
+func (l *Loader) Load(path string) (*LoadedPackage, error) {
+	dir, err := l.dirOf(path)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDir(path, dir)
+}
+
+// LoadDir type-checks the package rooted at dir under the given import
+// path. The path need not be resolvable from the module root, which lets
+// test fixtures under testdata/ be loaded as ordinary packages.
+func (l *Loader) LoadDir(path, dir string) (*LoadedPackage, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			return l.importPkg(importPath)
+		}),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &LoadedPackage{
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      l.Fset,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[path] = p
+	l.order = append(l.order, p)
+	return p, nil
+}
+
+// importPkg resolves one import: module-internal packages recurse through
+// the loader, everything else is standard library.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// dirOf maps a module import path to its source directory.
+func (l *Loader) dirOf(path string) (string, error) {
+	if path == l.ModulePath {
+		return l.ModuleDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), nil
+	}
+	return "", fmt.Errorf("analysis: %s is outside module %s", path, l.ModulePath)
+}
+
+// parseDir parses the non-test Go files of one directory, honouring build
+// constraints for the host platform.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	bctx := build.Default
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := bctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ExpandPatterns resolves command-line package patterns ("./...", "./x",
+// "potgo/internal/pmem") to module import paths. A trailing "..." matches
+// every package under the prefix; testdata and hidden directories are
+// skipped as the go tool does.
+func (l *Loader) ExpandPatterns(patterns []string) ([]string, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(strings.TrimPrefix(pat, "./"), "/")
+		recursive := false
+		if pat == "..." {
+			pat, recursive = "", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		pat = strings.TrimPrefix(pat, l.ModulePath)
+		pat = strings.TrimPrefix(pat, "/")
+		base := filepath.Join(l.ModuleDir, filepath.FromSlash(pat))
+		if !recursive {
+			if hasGoFiles(base) {
+				add(pathJoin(l.ModulePath, pat))
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				rel, err := filepath.Rel(l.ModuleDir, p)
+				if err != nil {
+					return err
+				}
+				add(pathJoin(l.ModulePath, filepath.ToSlash(rel)))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func pathJoin(mod, rel string) string {
+	if rel == "" || rel == "." {
+		return mod
+	}
+	return mod + "/" + rel
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"potgo/internal/analysis"
+	"potgo/internal/analysis/analysistest"
+)
+
+func TestTouchBeforeStore(t *testing.T) {
+	analysistest.Run(t, analysis.TouchBeforeStore, "touchbeforestore")
+}
+
+func TestPersistBeforePublish(t *testing.T) {
+	analysistest.Run(t, analysis.PersistBeforePublish, "persistbeforepublish")
+}
+
+func TestRefEscape(t *testing.T) {
+	analysistest.Run(t, analysis.RefEscape, "refescape")
+}
+
+func TestEmitBalance(t *testing.T) {
+	analysistest.Run(t, analysis.EmitBalance, "emitbalance")
+}
+
+// TestTreeIsClean is the potlint gate in test form: the full suite must
+// report nothing on the tree itself. If this fails, either real code broke
+// a persistence invariant or an analyzer grew a false positive — both need
+// fixing before merge.
+func TestTreeIsClean(t *testing.T) {
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	paths, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	for _, p := range paths {
+		if _, err := loader.Load(p); err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+	}
+	diags, err := analysis.Run(analysis.All(), loader.Packages())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+}

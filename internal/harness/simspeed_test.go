@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func speedRec(sha string) SpeedRecord {
+	return SpeedRecord{
+		Timestamp:     "2026-08-05T00:00:00Z",
+		GitSHA:        sha,
+		GoVersion:     "go1.24",
+		NumCPU:        8,
+		Parallel:      4,
+		Quick:         true,
+		Experiments:   []string{"table2", "fig9a"},
+		SimulatedMIPS: 10,
+	}
+}
+
+func readTrajectory(t *testing.T, path string) []SpeedRecord {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []SpeedRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAppendSpeedRecordRefusesDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "speed.json")
+
+	if err := AppendSpeedRecord(path, speedRec("abc123")); err != nil {
+		t.Fatalf("first append: %v", err)
+	}
+	err := AppendSpeedRecord(path, speedRec("abc123"))
+	if !errors.Is(err, ErrDuplicateSpeedRecord) {
+		t.Fatalf("second append: got %v, want ErrDuplicateSpeedRecord", err)
+	}
+	if n := len(readTrajectory(t, path)); n != 1 {
+		t.Fatalf("trajectory has %d records after refused duplicate, want 1", n)
+	}
+
+	// A different tree, a different configuration of the same tree, and an
+	// unknown tree are all new measurements.
+	next := speedRec("def456")
+	if err := AppendSpeedRecord(path, next); err != nil {
+		t.Fatalf("new sha: %v", err)
+	}
+	diffCfg := speedRec("abc123")
+	diffCfg.Quick = false
+	if err := AppendSpeedRecord(path, diffCfg); err != nil {
+		t.Fatalf("new config: %v", err)
+	}
+	diffExp := speedRec("abc123")
+	diffExp.Experiments = []string{"table2"}
+	if err := AppendSpeedRecord(path, diffExp); err != nil {
+		t.Fatalf("new experiment set: %v", err)
+	}
+	unknown := speedRec("")
+	for i := 0; i < 2; i++ {
+		if err := AppendSpeedRecord(path, unknown); err != nil {
+			t.Fatalf("unknown sha append %d: %v", i, err)
+		}
+	}
+
+	// Dirty trees share a SHA but not contents: never deduplicated.
+	dirty := speedRec("abc123-dirty")
+	for i := 0; i < 2; i++ {
+		if err := AppendSpeedRecord(path, dirty); err != nil {
+			t.Fatalf("dirty append %d: %v", i, err)
+		}
+	}
+	if n := len(readTrajectory(t, path)); n != 8 {
+		t.Fatalf("trajectory has %d records, want 8", n)
+	}
+}

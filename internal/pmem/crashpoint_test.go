@@ -176,6 +176,161 @@ func TestCrashAtEveryStep(t *testing.T) {
 	}
 }
 
+// freeScript is the recFree-focused script: a transaction whose only
+// effect is tx_pfree of the victim. Steps: TxBegin, TxFree, TxEnd.
+func freeScript(h *Heap, p *Pool, victim oid.OID, steps int) (int, error) {
+	n := 0
+	step := func(fn func() error) error {
+		if steps >= 0 && n >= steps {
+			return errStop
+		}
+		n++
+		return fn()
+	}
+	err := func() error {
+		if err := step(func() error { return h.TxBegin(p) }); err != nil {
+			return err
+		}
+		if err := step(func() error { return h.TxFree(victim) }); err != nil {
+			return err
+		}
+		return step(func() error { return h.TxEnd() })
+	}()
+	if err == errStop {
+		err = nil
+	}
+	return n, err
+}
+
+// freeWorld builds a heap with a victim object holding known contents.
+func freeWorld(t *testing.T, seed int64) (*vm.AddressSpace, *Store, *Heap, *Pool, oid.OID) {
+	t.Helper()
+	as := vm.NewAddressSpace(seed)
+	store := NewStore()
+	h := freshHeap(t, as, store)
+	p, err := h.Create("cp", 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := h.Alloc(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h.Deref(victim, isa.RZ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Store64(0, 0xDEAD, isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Store64(8, 0xBEEF, isa.RZ); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Persist(victim, 16); err != nil {
+		t.Fatal(err)
+	}
+	return as, store, h, p, victim
+}
+
+// checkVictimAlive asserts the free was NOT applied: contents intact (the
+// free-list threading would have overwritten the payload) and the block is
+// not handed out again by a same-class allocation.
+func checkVictimAlive(t *testing.T, label string, h *Heap, p *Pool, victim oid.OID) {
+	t.Helper()
+	ref, err := h.Deref(victim, isa.RZ)
+	if err != nil {
+		t.Fatalf("%s: deref victim: %v", label, err)
+	}
+	w0, _ := ref.Load64(0)
+	w8, _ := ref.Load64(8)
+	if w0.V != 0xDEAD || w8.V != 0xBEEF {
+		t.Fatalf("%s: victim contents = (%#x,%#x), want (0xdead,0xbeef)", label, w0.V, w8.V)
+	}
+	o, err := h.Alloc(p, 16)
+	if err != nil {
+		t.Fatalf("%s: alloc: %v", label, err)
+	}
+	if o == victim {
+		t.Fatalf("%s: free was applied: allocator handed the victim back", label)
+	}
+}
+
+// TestFreeCrashMatrix crashes the free-only transaction at every API-call
+// boundary (tx_pfree is write-ahead: the record is logged during the
+// transaction, the block only hits the free list at commit, §2.1.4):
+//
+//	crash after TxBegin, after TxFree  → free not applied, victim intact
+//	run through TxEnd, then crash      → free applied, block reusable
+func TestFreeCrashMatrix(t *testing.T) {
+	const total = 3 // TxBegin, TxFree, TxEnd
+	for crashAt := 0; crashAt <= total; crashAt++ {
+		label := fmt.Sprintf("crash point %d", crashAt)
+		as, store, h, p, victim := freeWorld(t, int64(3000+crashAt))
+		if n, err := freeScript(h, p, victim, crashAt); err != nil {
+			t.Fatalf("%s: %v", label, err)
+		} else if crashAt == total && n != total {
+			t.Fatalf("%s: script has %d steps, want %d", label, n, total)
+		}
+		if err := h.Crash(); err != nil {
+			t.Fatal(err)
+		}
+
+		h2 := freshHeap(t, as, store)
+		p2, err := h2.Open("cp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h2.Recover(p2); err != nil {
+			t.Fatalf("%s: recover: %v", label, err)
+		}
+		if h2.NeedsRecovery(p2) {
+			t.Fatalf("%s: pool still dirty after recovery", label)
+		}
+		if crashAt < total {
+			// Uncommitted: the free intent must have vanished with the
+			// transaction.
+			checkVictimAlive(t, label, h2, p2, victim)
+		} else {
+			// Committed: the free must be durable — the block comes back.
+			o, err := h2.Alloc(p2, 16)
+			if err != nil {
+				t.Fatalf("%s: alloc: %v", label, err)
+			}
+			if o != victim {
+				t.Fatalf("%s: committed free not applied: alloc = %v, want %v", label, o, victim)
+			}
+		}
+	}
+}
+
+// TestFreeIntentDroppedOnAbort aborts the free-only transaction (no crash)
+// and checks the victim survives, then frees it for real to prove the
+// block was still accounted as allocated.
+func TestFreeIntentDroppedOnAbort(t *testing.T) {
+	_, _, h, p, victim := freeWorld(t, 4000)
+	if err := h.TxBegin(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TxFree(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TxAbort(); err != nil {
+		t.Fatal(err)
+	}
+	checkVictimAlive(t, "abort", h, p, victim)
+	// The victim is still a live allocation: a real free recycles it.
+	if err := h.Free(victim); err != nil {
+		t.Fatalf("free after abort: %v", err)
+	}
+	o, err := h.Alloc(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != victim {
+		t.Fatalf("free-list head = %v, want the freed victim %v", o, victim)
+	}
+}
+
 func TestCommittedTransactionSurvivesCrash(t *testing.T) {
 	as := vm.NewAddressSpace(77)
 	store := NewStore()
