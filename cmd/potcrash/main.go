@@ -1,0 +1,258 @@
+// Command potcrash runs adversarial crash-injection campaigns against the
+// persistent heap and its client structures (internal/crashtest). Each
+// campaign sweeps crash points over a target's transactional workload,
+// crashes the volatile persistence domain under a line-loss adversary,
+// recovers from the surviving durable bytes and verifies invariants against
+// a deterministic model.
+//
+// Usage:
+//
+//	potcrash [flags]                      run a campaign
+//	potcrash -replay 'rbt@267#none' ...   reproduce one recorded case
+//
+// The exit status is 0 when every case passes and 1 when any fails;
+// -expect-failure inverts that, for CI mutation checks that must prove the
+// engine catches an injected missing-flush bug.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"potgo/internal/crashtest"
+	"potgo/internal/harness"
+	"potgo/internal/nvmsim"
+)
+
+func main() {
+	var (
+		targetsFlag = flag.String("targets", "all", "comma-separated targets, or 'all' (list,bst,rbt,btree,bplus,alloc,tpcc)")
+		seed        = flag.Uint64("seed", 1, "campaign seed: workload streams, point sampling, policy seeds")
+		ops         = flag.Int("ops", 12, "workload transactions per case")
+		points      = flag.Int("points", 48, "max crash points per target (<=0: exhaustive)")
+		policies    = flag.String("policies", "drop-all,torn", "comma-separated adversaries (drop-all,keep-random,torn)")
+		maxFailures = flag.Int("max-failures", 1, "stop a target's campaign after this many failures")
+		noMinimize  = flag.Bool("no-minimize", false, "skip counterexample minimization on failures")
+		mutCLWB     = flag.Int("mutate-drop-clwb", 0, "bug injection: drop every Nth cache-line write-back (1 = all)")
+		mutFence    = flag.Int("mutate-drop-fence", 0, "bug injection: drop every Nth store fence (1 = all)")
+		expectFail  = flag.Bool("expect-failure", false, "invert the exit status: succeed only if the campaign finds a failure")
+		jsonOut     = flag.String("json", "", "write the campaign summary as JSON to this file ('-' for stdout)")
+		benchPath   = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_crash.json)")
+		replayTok   = flag.String("replay", "", "reproduce one case from its replay token instead of sweeping")
+	)
+	flag.Parse()
+
+	opt := crashtest.Options{
+		Seed:        *seed,
+		Ops:         *ops,
+		MaxPoints:   *points,
+		MaxFailures: *maxFailures,
+		Minimize:    !*noMinimize,
+		Mutate: crashtest.MutationSpec{
+			DropCLWBEveryN:  *mutCLWB,
+			DropFenceEveryN: *mutFence,
+		},
+	}
+	var polNames []string
+	for _, s := range strings.Split(*policies, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		k, err := nvmsim.ParseKind(s)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Policies = append(opt.Policies, k)
+		polNames = append(polNames, s)
+	}
+	if len(opt.Policies) == 0 {
+		fatal(fmt.Errorf("potcrash: no policies selected"))
+	}
+
+	if *replayTok != "" {
+		os.Exit(replay(*replayTok, opt, *expectFail))
+	}
+
+	targets, err := selectTargets(*targetsFlag, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	var (
+		summaries []crashtest.Summary
+		names     []string
+		failures  int
+	)
+	for _, tg := range targets {
+		sum, err := crashtest.RunTarget(tg, opt)
+		if err != nil {
+			fatal(err)
+		}
+		summaries = append(summaries, sum)
+		names = append(names, sum.Target)
+		failures += len(sum.Failures)
+		printSummary(sum)
+	}
+	wall := time.Since(start).Seconds()
+
+	var span uint64
+	var pointsTotal, cases int
+	for _, s := range summaries {
+		span += s.Span
+		pointsTotal += s.Points
+		cases += s.Cases
+	}
+	fmt.Printf("campaign: %d targets, %d events spanned, %d points, %d cases, %d failures (%.1fs)\n",
+		len(summaries), span, pointsTotal, cases, failures, wall)
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, opt, polNames, summaries, wall); err != nil {
+			fatal(err)
+		}
+	}
+	if *benchPath != "" {
+		sort.Strings(names)
+		rec := harness.CrashRecord{
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GitSHA:    gitSHA(),
+			GoVersion: runtime.Version(),
+			NumCPU:    runtime.NumCPU(),
+			Seed:      opt.Seed,
+			Ops:       opt.Ops,
+			MaxPoints: opt.MaxPoints,
+			Policies:  polNames,
+			Targets:   names,
+			EventSpan: span,
+			Points:    pointsTotal,
+			Cases:     cases,
+			Failures:  failures,
+		}
+		rec.WallSeconds = wall
+		switch err := harness.AppendCrashRecord(*benchPath, rec); {
+		case err == nil:
+			fmt.Printf("appended trajectory record to %s\n", *benchPath)
+		case strings.Contains(err.Error(), harness.ErrDuplicateCrashRecord.Error()):
+			fmt.Fprintf(os.Stderr, "potcrash: %v (not recording)\n", err)
+		default:
+			fatal(err)
+		}
+	}
+
+	os.Exit(status(failures > 0, *expectFail))
+}
+
+// replay reproduces one recorded case and reports whether it still fails.
+func replay(tok string, opt crashtest.Options, expectFail bool) int {
+	name, event, keep, err := crashtest.ParseReplayToken(tok)
+	if err != nil {
+		fatal(err)
+	}
+	tg, err := crashtest.TargetByName(name, opt.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	if err := crashtest.Replay(tg, opt, event, keep); err != nil {
+		fmt.Printf("replay %s: FAIL: %v\n", tok, err)
+		return status(true, expectFail)
+	}
+	fmt.Printf("replay %s: pass\n", tok)
+	return status(false, expectFail)
+}
+
+func selectTargets(spec string, seed uint64) ([]crashtest.Target, error) {
+	if spec == "all" {
+		return crashtest.Targets(seed), nil
+	}
+	var out []crashtest.Target
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		tg, err := crashtest.TargetByName(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tg)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("potcrash: no targets selected")
+	}
+	return out, nil
+}
+
+func printSummary(sum crashtest.Summary) {
+	mode := "sampled"
+	if sum.Exhaustive {
+		mode = "exhaustive"
+	}
+	fmt.Printf("%-6s span %5d events, %3d points (%s), %4d cases, %d failures\n",
+		sum.Target, sum.Span, sum.Points, mode, sum.Cases, len(sum.Failures))
+	for _, f := range sum.Failures {
+		fmt.Printf("  FAIL %s [%s seed %d, %d lines lost]\n", f.ReplayToken(), f.Policy, f.Seed, f.Dropped)
+		fmt.Printf("       %s\n", f.Err)
+		if len(f.MinLost) > 0 {
+			fmt.Printf("       minimal counterexample: %s\n", strings.Join(f.MinLost, " "))
+		}
+	}
+}
+
+// campaign is the -json output shape.
+type campaign struct {
+	Options   crashtest.Options   `json:"options"`
+	Policies  []string            `json:"policies"`
+	Summaries []crashtest.Summary `json:"summaries"`
+	Wall      float64             `json:"wall_seconds"`
+}
+
+func writeJSON(path string, opt crashtest.Options, pols []string, sums []crashtest.Summary, wall float64) error {
+	data, err := json.MarshalIndent(campaign{Options: opt, Policies: pols, Summaries: sums, Wall: wall}, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// status folds -expect-failure into the exit code.
+func status(failed, expectFail bool) int {
+	if failed != expectFail {
+		if expectFail {
+			fmt.Fprintln(os.Stderr, "potcrash: expected the campaign to find a failure, but it passed")
+		}
+		return 1
+	}
+	return 0
+}
+
+// gitSHA identifies the working tree for trajectory records, with a "-dirty"
+// suffix when uncommitted changes are present; "" if git is unavailable.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "potcrash: %v\n", err)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@ import (
 
 	"potgo/internal/emit"
 	"potgo/internal/isa"
+	"potgo/internal/nvmsim"
 	"potgo/internal/oid"
 	"potgo/internal/pmem"
 	"potgo/internal/trace"
@@ -76,7 +77,7 @@ func run() error {
 		return err
 	}
 	fmt.Println("debited A by 250 ... crashing before crediting B")
-	if err := heap.Crash(); err != nil {
+	if _, err := heap.Crash(nvmsim.DropAllPolicy()); err != nil {
 		return err
 	}
 

@@ -75,7 +75,27 @@ type Emitter struct {
 	stackBase uint64
 	stackSize uint64
 	stackOff  uint64
+
+	// persistObs, when set, observes every CLWB and SFence — even while
+	// emission is paused, because durability is a property of the
+	// simulated machine, not of the measured region.
+	persistObs PersistObserver
 }
+
+// PersistObserver receives the durability-relevant instructions as they
+// are issued. The persistent-memory heap registers itself here so its
+// volatile write-back cache model (internal/nvmsim) tracks which lines a
+// fence actually made durable.
+type PersistObserver interface {
+	// ObserveCLWB is called with the line-aligned virtual address of
+	// every cache-line write-back.
+	ObserveCLWB(va uint64)
+	// ObserveSFence is called for every store fence.
+	ObserveSFence()
+}
+
+// SetPersistObserver installs (or, with nil, removes) the observer.
+func (e *Emitter) SetPersistObserver(o PersistObserver) { e.persistObs = o }
 
 // New creates an Emitter in the given mode.
 func New(sink trace.Sink, mode Mode) *Emitter {
@@ -196,11 +216,19 @@ func (e *Emitter) NVStore(oidReg isa.Reg, o oid.OID, size uint8, data isa.Reg) {
 
 // CLWB emits a cache-line write-back of the line containing va.
 func (e *Emitter) CLWB(va uint64) {
+	if e.persistObs != nil {
+		e.persistObs.ObserveCLWB(va &^ 63)
+	}
 	e.emit(isa.Instr{Op: isa.CLWB, Addr: va &^ 63, Size: 64})
 }
 
 // SFence emits a store fence.
-func (e *Emitter) SFence() { e.emit(isa.Instr{Op: isa.SFence}) }
+func (e *Emitter) SFence() {
+	if e.persistObs != nil {
+		e.persistObs.ObserveSFence()
+	}
+	e.emit(isa.Instr{Op: isa.SFence})
+}
 
 // computeILP is the instruction-level parallelism of emitted straight-line
 // bookkeeping code: Compute arranges its instructions as this many

@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func crashRec(sha string) CrashRecord {
+	return CrashRecord{
+		Timestamp: "2026-01-01T00:00:00Z",
+		GitSHA:    sha,
+		Seed:      1,
+		Ops:       12,
+		MaxPoints: 48,
+		Policies:  []string{"drop-all", "torn"},
+		Targets:   []string{"list", "bst"},
+		Cases:     96,
+	}
+}
+
+func TestAppendCrashRecordRefusesDuplicates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_crash.json")
+	if err := AppendCrashRecord(path, crashRec("abc123")); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendCrashRecord(path, crashRec("abc123")); !errors.Is(err, ErrDuplicateCrashRecord) {
+		t.Fatalf("second append: got %v, want ErrDuplicateCrashRecord", err)
+	}
+	// A different configuration of the same tree is a new measurement.
+	diff := crashRec("abc123")
+	diff.Seed = 2
+	if err := AppendCrashRecord(path, diff); err != nil {
+		t.Fatal(err)
+	}
+	diffT := crashRec("abc123")
+	diffT.Targets = []string{"rbt"}
+	if err := AppendCrashRecord(path, diffT); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty trees are exempt.
+	for i := 0; i < 2; i++ {
+		if err := AppendCrashRecord(path, crashRec("abc123-dirty")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unknown trees are exempt.
+	for i := 0; i < 2; i++ {
+		if err := AppendCrashRecord(path, crashRec("")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

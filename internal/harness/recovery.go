@@ -100,7 +100,10 @@ func measureRecovery(mode emit.Mode, n int, seed int64) (insns, clwbs uint64, er
 			return 0, 0, err
 		}
 	}
-	if err := h.Crash(); err != nil {
+	// CrashClean: this experiment measures log-replay cost in isolation,
+	// so the durable image keeps every cache line (the adversarial
+	// line-loss policies live in the crash-injection engine instead).
+	if err := h.CrashClean(); err != nil {
 		return 0, 0, err
 	}
 

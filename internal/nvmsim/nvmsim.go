@@ -1,0 +1,286 @@
+// Package nvmsim models the volatile write-back cache that sits between a
+// program's stores and the durable NVM cells (paper §2.1.3: persist =
+// CLWB + SFENCE). Without it, every store would be durable the moment it
+// executes and a missing flush or fence could never be observed.
+//
+// The model is line-granular (64-byte cache lines) and sits between two
+// byte images that the host (internal/pmem) owns:
+//
+//   - the cache view: the pool bytes mapped into the simulated address
+//     space, which every load and store operates on directly (caches are
+//     coherent, so loads always see the newest store);
+//   - the durable view: the backing bytes that survive a crash.
+//
+// A store marks its lines dirty (newer in cache than in NVM). A CLWB
+// snapshots the line's current content and moves it in-flight: the
+// write-back has *started*, but nothing is ordered yet. An SFENCE drains
+// every in-flight snapshot to the durable view — that, and only that, is
+// the durability point. At a crash, the dirty and in-flight lines are the
+// volatile set; an adversarial Policy decides, line by line (and under
+// torn-write policies word by word, matching the 8-byte store atomicity of
+// the simulated machine), which of them reach durability anyway — modelling
+// cache evictions and write-backs that happened to complete before power
+// was lost.
+//
+// The Domain also numbers every store, CLWB and SFENCE as an event and can
+// be armed to panic with a CrashSignal just before applying a chosen
+// event, giving crash-injection engines (internal/crashtest) an
+// instruction-granular crash point inside any library or structure
+// operation.
+package nvmsim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// LineBytes is the cache-line size of the simulated machine.
+const LineBytes = 64
+
+// wordsPerLine is the number of 8-byte atomic units per line; survival
+// masks carry one bit per word.
+const wordsPerLine = LineBytes / 8
+
+// Line names one cache line of one pool: the pool id and the line-aligned
+// pool offset.
+type Line struct {
+	Pool uint32
+	Off  uint32
+}
+
+func (l Line) String() string { return fmt.Sprintf("%d:%#x", l.Pool, l.Off) }
+
+// Memory is the Domain's window onto the two byte images. The host
+// (internal/pmem's Heap) implements it.
+type Memory interface {
+	// ReadCacheLine copies the line's current cache-view content into
+	// dst. It reports false when the pool is no longer mapped.
+	ReadCacheLine(pool, off uint32, dst *[LineBytes]byte) bool
+	// WriteDurableWords writes the 8-byte words of src selected by mask
+	// (bit i = word i) into the durable view of the line.
+	WriteDurableWords(pool, off uint32, src *[LineBytes]byte, mask byte)
+}
+
+// CrashSignal is the panic payload thrown when an armed Domain reaches its
+// crash point. Crash-injection engines recover it, apply a Policy via
+// Heap.Crash, and proceed to reopen-and-verify.
+type CrashSignal struct {
+	// Event is the event index the crash preempted (the event did not
+	// happen).
+	Event uint64
+}
+
+func (c *CrashSignal) String() string { return fmt.Sprintf("nvmsim: crash at event %d", c.Event) }
+
+// AsCrashSignal extracts a CrashSignal from a recovered panic value.
+func AsCrashSignal(r any) (*CrashSignal, bool) {
+	c, ok := r.(*CrashSignal)
+	return c, ok
+}
+
+// poolState tracks one pool's volatile lines: a dirty bitmap (one bit per
+// line; compact enough for multi-megabyte pools) plus the in-flight
+// snapshots captured by CLWB and not yet drained by SFENCE.
+type poolState struct {
+	lines    uint32
+	dirty    []uint64
+	inflight map[uint32]*[LineBytes]byte
+}
+
+func (ps *poolState) setDirty(line uint32)  { ps.dirty[line/64] |= 1 << (line % 64) }
+func (ps *poolState) clrDirty(line uint32)  { ps.dirty[line/64] &^= 1 << (line % 64) }
+func (ps *poolState) isDirty(line uint32) bool {
+	return ps.dirty[line/64]&(1<<(line%64)) != 0
+}
+
+// Domain is one persistence domain: the volatile cache state of every
+// mapped pool plus the event counter used for crash-point injection.
+type Domain struct {
+	pools  map[uint32]*poolState
+	events uint64
+	armed  bool
+	armAt  uint64
+}
+
+// NewDomain returns an empty persistence domain.
+func NewDomain() *Domain {
+	return &Domain{pools: make(map[uint32]*poolState)}
+}
+
+// AddPool starts tracking a pool of the given byte size. Mapping is clean:
+// cache and durable views agree at that instant.
+func (d *Domain) AddPool(pool uint32, size uint64) {
+	lines := uint32((size + LineBytes - 1) / LineBytes)
+	d.pools[pool] = &poolState{
+		lines:    lines,
+		dirty:    make([]uint64, (lines+63)/64),
+		inflight: make(map[uint32]*[LineBytes]byte),
+	}
+}
+
+// DropPool stops tracking a pool (it was unmapped; the host has already
+// decided what became of its bytes).
+func (d *Domain) DropPool(pool uint32) { delete(d.pools, pool) }
+
+// Clean discards a pool's volatile state without unmapping it: the host
+// just synced the cache view to the durable view wholesale (pool creation,
+// bulk load), so nothing is newer in cache any more.
+func (d *Domain) Clean(pool uint32) {
+	ps, ok := d.pools[pool]
+	if !ok {
+		return
+	}
+	for i := range ps.dirty {
+		ps.dirty[i] = 0
+	}
+	for k := range ps.inflight {
+		delete(ps.inflight, k)
+	}
+}
+
+// step numbers one event and, when armed, crashes just before applying it.
+func (d *Domain) step() {
+	if d.armed && d.events == d.armAt {
+		d.armed = false
+		panic(&CrashSignal{Event: d.armAt})
+	}
+	d.events++
+}
+
+// Events returns the number of events applied so far.
+func (d *Domain) Events() uint64 { return d.events }
+
+// Arm schedules a crash just before event index at (as numbered from the
+// Domain's creation, see Events). The panic carries a *CrashSignal.
+func (d *Domain) Arm(at uint64) { d.armed, d.armAt = true, at }
+
+// Disarm cancels a pending Arm.
+func (d *Domain) Disarm() { d.armed = false }
+
+// Store records a store of size bytes at a pool offset: one event, and the
+// covered lines become dirty.
+func (d *Domain) Store(pool, off, size uint32) {
+	d.step()
+	ps, ok := d.pools[pool]
+	if !ok || size == 0 {
+		return
+	}
+	for line := off / LineBytes; line <= (off+size-1)/LineBytes && line < ps.lines; line++ {
+		ps.setDirty(line)
+	}
+}
+
+// CLWB records a cache-line write-back: one event; if the line is dirty its
+// current cache content is snapshotted in-flight (write-back started, not
+// yet ordered). A clean-line CLWB is a no-op, as on hardware.
+func (d *Domain) CLWB(pool, off uint32, mem Memory) {
+	d.step()
+	ps, ok := d.pools[pool]
+	if !ok {
+		return
+	}
+	line := off / LineBytes
+	if line >= ps.lines || !ps.isDirty(line) {
+		return
+	}
+	buf, ok := ps.inflight[line*LineBytes]
+	if !ok {
+		buf = new([LineBytes]byte)
+		ps.inflight[line*LineBytes] = buf
+	}
+	if mem.ReadCacheLine(pool, line*LineBytes, buf) {
+		ps.clrDirty(line)
+	}
+}
+
+// SFence records a store fence: one event, and every in-flight snapshot in
+// the domain drains to the durable view. Lines re-dirtied after their CLWB
+// stay dirty — the fence ordered the snapshot, not the newer stores.
+func (d *Domain) SFence(mem Memory) {
+	d.step()
+	for pool, ps := range d.pools {
+		for off, buf := range ps.inflight {
+			mem.WriteDurableWords(pool, off, buf, 0xFF)
+			delete(ps.inflight, off)
+		}
+	}
+}
+
+// VolatileLines counts the lines currently newer in cache than in NVM
+// (dirty or in-flight) across all pools.
+func (d *Domain) VolatileLines() int {
+	n := 0
+	for _, ps := range d.pools {
+		for _, w := range ps.dirty {
+			n += bits.OnesCount64(w)
+		}
+		for off := range ps.inflight {
+			if ps.isDirty(off / LineBytes) {
+				continue // counted once
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// volatileSet returns every volatile line sorted by (pool, offset), so
+// seeded policies consume randomness in a deterministic order.
+func (d *Domain) volatileSet() []Line {
+	var lines []Line
+	for pool, ps := range d.pools {
+		for wi, w := range ps.dirty {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				w &^= 1 << b
+				lines = append(lines, Line{Pool: pool, Off: (uint32(wi)*64 + uint32(b)) * LineBytes})
+			}
+		}
+		for off := range ps.inflight {
+			if !ps.isDirty(off / LineBytes) {
+				lines = append(lines, Line{Pool: pool, Off: off})
+			}
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Pool != lines[j].Pool {
+			return lines[i].Pool < lines[j].Pool
+		}
+		return lines[i].Off < lines[j].Off
+	})
+	return lines
+}
+
+// Crash loses power: the policy decides which volatile lines (and which
+// 8-byte words of them) reach the durable view anyway; everything else is
+// gone. All volatile state is discarded. The report records the exact
+// survivor set so the outcome can be replayed with an Explicit policy.
+func (d *Domain) Crash(pol Policy, mem Memory) Report {
+	lines := d.volatileSet()
+	rng := newRng(pol.Seed)
+	rep := Report{Kind: pol.Kind, Seed: pol.Seed, Volatile: len(lines)}
+	var buf [LineBytes]byte
+	for _, ln := range lines {
+		mask := pol.mask(ln, &rng)
+		if mask == 0 {
+			rep.Dropped = append(rep.Dropped, ln)
+			continue
+		}
+		if !mem.ReadCacheLine(ln.Pool, ln.Off, &buf) {
+			rep.Dropped = append(rep.Dropped, ln)
+			continue
+		}
+		mem.WriteDurableWords(ln.Pool, ln.Off, &buf, mask)
+		rep.Kept = append(rep.Kept, LineOutcome{Line: ln, Mask: mask})
+	}
+	for _, ps := range d.pools {
+		for i := range ps.dirty {
+			ps.dirty[i] = 0
+		}
+		for k := range ps.inflight {
+			delete(ps.inflight, k)
+		}
+	}
+	return rep
+}

@@ -29,8 +29,17 @@ const (
 // software translation and in OPT mode they become nvld/nvst — exactly the
 // library acceleration the paper describes in §3.3.
 func (h *Heap) Alloc(p *Pool, size uint32) (oid.OID, error) {
+	o, _, err := h.alloc(p, size)
+	return o, err
+}
+
+// alloc additionally reports the free-list class the block was popped from
+// (-1 for a bump allocation), so the transactional path can make the pop
+// durable before the caller overwrites the block. Like Free, the
+// non-transactional Alloc makes no crash-consistency promise.
+func (h *Heap) alloc(p *Pool, size uint32) (oid.OID, int, error) {
 	if size == 0 {
-		return oid.Null, fmt.Errorf("pmem: zero-byte allocation in pool %q", p.b.name)
+		return oid.Null, -1, fmt.Errorf("pmem: zero-byte allocation in pool %q", p.b.name)
 	}
 	class, classSize := classOf(size)
 	hdr := h.DirectRef(p, 0)
@@ -41,7 +50,7 @@ func (h *Heap) Alloc(p *Pool, size uint32) (oid.OID, error) {
 	if class >= 0 {
 		head, err := hdr.Load64(p.freeHeadOff(class))
 		if err != nil {
-			return oid.Null, err
+			return oid.Null, -1, err
 		}
 		if head.V != 0 {
 			// Pop: the next pointer lives in the freed payload.
@@ -50,37 +59,37 @@ func (h *Heap) Alloc(p *Pool, size uint32) (oid.OID, error) {
 			blk.reg = head.Reg
 			next, err := blk.Load64(0)
 			if err != nil {
-				return oid.Null, err
+				return oid.Null, -1, err
 			}
 			if err := hdr.Store64(p.freeHeadOff(class), next.V, next.Reg); err != nil {
-				return oid.Null, err
+				return oid.Null, -1, err
 			}
-			return p.OID(uint32(blockOff + blockHeaderBytes)), nil
+			return p.OID(uint32(blockOff + blockHeaderBytes)), class, nil
 		}
 	}
 
 	// Bump allocation.
 	bump, err := hdr.Load64(offBump)
 	if err != nil {
-		return oid.Null, err
+		return oid.Null, -1, err
 	}
 	blockOff = bump.V
 	newBump := blockOff + blockHeaderBytes + uint64(classSize)
 	if newBump > p.b.size {
-		return oid.Null, fmt.Errorf("pmem: pool %q out of memory (%d requested, %d free)",
+		return oid.Null, -1, fmt.Errorf("pmem: pool %q out of memory (%d requested, %d free)",
 			p.b.name, size, p.b.size-blockOff)
 	}
 	h.Emit.Compute(6, bump.Reg)
 	if err := hdr.Store64(offBump, newBump, bump.Reg); err != nil {
-		return oid.Null, err
+		return oid.Null, -1, err
 	}
 	// Record the block's payload size in its header word.
 	blk := h.DirectRef(p, uint32(blockOff))
 	blk.reg = bump.Reg
 	if err := blk.Store64(0, uint64(classSize), isa.RZ); err != nil {
-		return oid.Null, err
+		return oid.Null, -1, err
 	}
-	return p.OID(uint32(blockOff + blockHeaderBytes)), nil
+	return p.OID(uint32(blockOff + blockHeaderBytes)), -1, nil
 }
 
 // Free is pfree: return the object's block to its size-class free list.
@@ -133,4 +142,104 @@ func (h *Heap) Free(o oid.OID) error {
 // AllocatedBytes reports the bump watermark (diagnostics).
 func (h *Heap) AllocatedBytes(p *Pool) uint64 {
 	return h.read64(p, offBump) - p.dataStart()
+}
+
+// freeDurable is Free with crash-safe ordering: the block's next pointer is
+// made durable (own fence) before the head store that publishes it, so no
+// crash can expose a durable free list whose head points at a block with a
+// volatile next word. Transaction commit/abort and recovery use it; the
+// plain Free stays single-fence-free because non-transactional frees make
+// no crash-consistency promise.
+func (h *Heap) freeDurable(o oid.OID) error {
+	p, ok := h.open[o.Pool()]
+	if !ok {
+		return fmt.Errorf("pmem: free in unopened pool %d", o.Pool())
+	}
+	if o.Offset() < blockHeaderBytes {
+		return fmt.Errorf("pmem: free of non-heap ObjectID %v", o)
+	}
+	blockOff := o.Offset() - blockHeaderBytes
+	if err := p.checkOffset(blockOff, blockHeaderBytes); err != nil {
+		return err
+	}
+	blk := h.DirectRef(p, blockOff)
+	szw, err := blk.Load64(0)
+	if err != nil {
+		return err
+	}
+	class := -1
+	for i, c := range sizeClasses {
+		if uint32(szw.V) == c {
+			class = i
+			break
+		}
+	}
+	h.Emit.Jump()
+	h.Emit.Compute(freeWork, szw.Reg)
+	if class < 0 {
+		return nil // large block: dropped, as in Free
+	}
+	hdr := h.DirectRef(p, 0)
+	head, err := hdr.Load64(p.freeHeadOff(class))
+	if err != nil {
+		return err
+	}
+	pay := h.DirectRef(p, o.Offset())
+	if err := pay.Store64(0, head.V, head.Reg); err != nil {
+		return err
+	}
+	// Persist the size word together with the next pointer: an aborted
+	// transactional allocation reaches here with its Alloc-time size word
+	// still volatile, and a block must never be durably reachable from a
+	// free list without its class being durable too.
+	if err := h.Persist(p.OID(blockOff), blockHeaderBytes+8); err != nil {
+		return err
+	}
+	if err := hdr.Store64(p.freeHeadOff(class), uint64(blockOff), isa.RZ); err != nil {
+		return err
+	}
+	return h.Persist(p.OID(p.freeHeadOff(class)), 8)
+}
+
+// recoverFree applies a logged free during recovery. Recovery itself can be
+// interrupted by a crash and re-run over the same log, so the application
+// must be idempotent: if the block already sits on its free list (a
+// previous, interrupted recovery threaded it), threading it again would
+// create a cycle and double-allocation. The membership walk is bounded as a
+// corruption backstop.
+func (h *Heap) recoverFree(o oid.OID) error {
+	p, ok := h.open[o.Pool()]
+	if !ok {
+		return fmt.Errorf("pmem: recover free in unopened pool %d", o.Pool())
+	}
+	if o.Offset() < blockHeaderBytes {
+		return fmt.Errorf("pmem: recover free of non-heap ObjectID %v", o)
+	}
+	blockOff := o.Offset() - blockHeaderBytes
+	if err := p.checkOffset(blockOff, blockHeaderBytes); err != nil {
+		return err
+	}
+	size := h.read64(p, blockOff)
+	class := -1
+	for i, c := range sizeClasses {
+		if size == uint64(c) {
+			class = i
+			break
+		}
+	}
+	if class < 0 {
+		return nil
+	}
+	const maxWalk = 1 << 20
+	cur := h.read64(p, p.freeHeadOff(class))
+	for steps := 0; cur != 0 && steps < maxWalk; steps++ {
+		if cur == uint64(blockOff) {
+			return nil // already threaded
+		}
+		if uint64(cur)+blockHeaderBytes+8 > p.b.size {
+			return fmt.Errorf("pmem: recover: corrupt free list in pool %q (class %d)", p.b.name, class)
+		}
+		cur = h.read64(p, uint32(cur)+blockHeaderBytes)
+	}
+	return h.freeDurable(o)
 }

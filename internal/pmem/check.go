@@ -1,0 +1,97 @@
+package pmem
+
+import "fmt"
+
+// CheckPool validates a pool's allocator metadata against the structural
+// invariants every crash + recovery must preserve. It reads the mapped
+// bytes functionally (no instruction emission), so the crash-injection
+// engine can call it on a freshly reopened, recovered heap without
+// perturbing the event stream.
+//
+// Checked invariants:
+//
+//   - header sanity: magic, size, log bounds match the backing; the bump
+//     pointer and root object lie inside the data region;
+//   - every free-list entry is a properly aligned block below the bump
+//     pointer whose size word equals its class size;
+//   - no block appears twice (within one list or across lists), and no two
+//     free blocks overlap — the double-free / double-threading detector;
+//   - free lists are acyclic (bounded walk).
+func (h *Heap) CheckPool(p *Pool) error {
+	if got := h.read64(p, offMagic); got != poolMagic {
+		return fmt.Errorf("pmem: check %q: bad magic %#x", p.b.name, got)
+	}
+	if got := h.read64(p, offSize); got != p.b.size {
+		return fmt.Errorf("pmem: check %q: header size %d != backing size %d", p.b.name, got, p.b.size)
+	}
+	if got := h.read64(p, offLogBytes); got != p.b.logBytes {
+		return fmt.Errorf("pmem: check %q: header log size %d != backing %d", p.b.name, got, p.b.logBytes)
+	}
+	bump := h.read64(p, offBump)
+	if bump < p.dataStart() || bump > p.b.size {
+		return fmt.Errorf("pmem: check %q: bump %#x outside data region [%#x,%#x]",
+			p.b.name, bump, p.dataStart(), p.b.size)
+	}
+	rootOff := h.read64(p, offRootOff)
+	rootSize := h.read64(p, offRootSize)
+	if rootOff != 0 {
+		if rootOff < p.dataStart() || rootOff+rootSize > bump {
+			return fmt.Errorf("pmem: check %q: root %#x+%d outside allocated region",
+				p.b.name, rootOff, rootSize)
+		}
+	}
+
+	// Walk every free list, collecting [start,end) extents of free blocks.
+	type extent struct {
+		start, end uint64
+		class      int
+	}
+	var extents []extent
+	seen := make(map[uint64]int)
+	for class, classSize := range sizeClasses {
+		cur := h.read64(p, uint32(p.freeHeadOff(class)))
+		for steps := 0; cur != 0; steps++ {
+			if steps >= 1<<20 {
+				return fmt.Errorf("pmem: check %q: free list class %d longer than %d entries (cycle?)",
+					p.b.name, class, 1<<20)
+			}
+			if cur < p.dataStart() || cur%8 != 0 ||
+				cur+blockHeaderBytes+uint64(classSize) > bump {
+				return fmt.Errorf("pmem: check %q: free list class %d holds invalid block %#x",
+					p.b.name, class, cur)
+			}
+			if prev, dup := seen[cur]; dup {
+				return fmt.Errorf("pmem: check %q: block %#x on free lists %d and %d",
+					p.b.name, cur, prev, class)
+			}
+			seen[cur] = class
+			if got := h.read64(p, uint32(cur)); got != uint64(classSize) {
+				return fmt.Errorf("pmem: check %q: free block %#x has size word %d, class %d expects %d",
+					p.b.name, cur, got, class, classSize)
+			}
+			extents = append(extents, extent{cur, cur + blockHeaderBytes + uint64(classSize), class})
+			cur = h.read64(p, uint32(cur)+blockHeaderBytes)
+		}
+	}
+	// Overlap check across classes (same-class duplicates already caught).
+	for i := range extents {
+		for j := i + 1; j < len(extents); j++ {
+			a, b := extents[i], extents[j]
+			if a.start < b.end && b.start < a.end {
+				return fmt.Errorf("pmem: check %q: free blocks %#x (class %d) and %#x (class %d) overlap",
+					p.b.name, a.start, a.class, b.start, b.class)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAll runs CheckPool over every open pool.
+func (h *Heap) CheckAll() error {
+	for _, p := range h.open {
+		if err := h.CheckPool(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"potgo/internal/emit"
 	"potgo/internal/isa"
+	"potgo/internal/nvmsim"
 	"potgo/internal/oid"
 	"potgo/internal/trace"
 	"potgo/internal/vm"
@@ -140,11 +141,16 @@ func TestCrashAtEveryStep(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
+		// The setup phase is not under test: sync it wholesale so the
+		// adversary only operates on the transaction's own stores.
+		if err := h.SyncPool(p); err != nil {
+			t.Fatal(err)
+		}
 
 		if _, err := txScript(h, p, objs, crashAt); err != nil {
 			t.Fatalf("crash point %d: %v", crashAt, err)
 		}
-		if err := h.Crash(); err != nil {
+		if _, err := h.Crash(nvmsim.DropAllPolicy()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -229,6 +235,11 @@ func freeWorld(t *testing.T, seed int64) (*vm.AddressSpace, *Store, *Heap, *Pool
 	if err := h.Persist(victim, 16); err != nil {
 		t.Fatal(err)
 	}
+	// Make the setup durable; only the scripted transaction's stores are
+	// exposed to the crash adversary.
+	if err := h.SyncPool(p); err != nil {
+		t.Fatal(err)
+	}
 	return as, store, h, p, victim
 }
 
@@ -271,7 +282,7 @@ func TestFreeCrashMatrix(t *testing.T) {
 		} else if crashAt == total && n != total {
 			t.Fatalf("%s: script has %d steps, want %d", label, n, total)
 		}
-		if err := h.Crash(); err != nil {
+		if _, err := h.Crash(nvmsim.DropAllPolicy()); err != nil {
 			t.Fatal(err)
 		}
 
@@ -345,10 +356,13 @@ func TestCommittedTransactionSurvivesCrash(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	if err := h.SyncPool(p); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := txScript(h, p, objs, -1); err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Crash(); err != nil {
+	if _, err := h.Crash(nvmsim.DropAllPolicy()); err != nil {
 		t.Fatal(err)
 	}
 	h2 := freshHeap(t, as, store)
@@ -373,5 +387,134 @@ func TestCommittedTransactionSurvivesCrash(t *testing.T) {
 	}
 	if o != objs[2] {
 		t.Fatalf("committed free not applied: alloc = %v, want %v", o, objs[2])
+	}
+}
+
+// TestCrashAtEveryEvent is the instruction-granular strengthening of
+// TestCrashAtEveryStep: instead of cutting the scripted transaction at API
+// boundaries, the persistence domain is armed to crash just before every
+// single persistent store / CLWB / SFENCE the script issues, under both the
+// drop-all and torn-line adversaries. After recovery the world must be
+// exactly the pre-transaction state or exactly the committed state — never a
+// mixture — with a walkable allocator and a clean log.
+func TestCrashAtEveryEvent(t *testing.T) {
+	build := func(seed int64) (*vm.AddressSpace, *Store, *Heap, *Pool, [3]oid.OID) {
+		as := vm.NewAddressSpace(seed)
+		store := NewStore()
+		h := freshHeap(t, as, store)
+		p, err := h.Create("cp", 256*1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var objs [3]oid.OID
+		for i := range objs {
+			if objs[i], err = h.Alloc(p, 16); err != nil {
+				t.Fatal(err)
+			}
+			ref, _ := h.Deref(objs[i], isa.RZ)
+			if err := ref.Store64(0, uint64(100+i), isa.RZ); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.Store64(8, uint64(200+i), isa.RZ); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := h.SyncPool(p); err != nil {
+			t.Fatal(err)
+		}
+		return as, store, h, p, objs
+	}
+
+	// Dry run sizes the event span of the full script.
+	_, _, h, p, objs := build(7000)
+	base := h.NV.Events()
+	if _, err := txScript(h, p, objs, -1); err != nil {
+		t.Fatal(err)
+	}
+	span := h.NV.Events() - base
+	if span < 20 {
+		t.Fatalf("script spans only %d events; expected instruction granularity", span)
+	}
+
+	policies := []func(e uint64) nvmsim.Policy{
+		func(uint64) nvmsim.Policy { return nvmsim.DropAllPolicy() },
+		func(e uint64) nvmsim.Policy { return nvmsim.TornPolicy(e) },
+	}
+	for e := base; e < base+span; e++ {
+		for pi, mk := range policies {
+			as, store, h, p, objs := build(7000)
+			crashed := func() (crashed bool) {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := nvmsim.AsCrashSignal(r); !ok {
+							panic(r)
+						}
+						crashed = true
+					}
+				}()
+				h.NV.Arm(e)
+				defer h.NV.Disarm()
+				if _, err := txScript(h, p, objs, -1); err != nil {
+					t.Fatal(err)
+				}
+				return false
+			}()
+			if !crashed {
+				t.Fatalf("event %d never reached (span %d)", e, span)
+			}
+			if _, err := h.Crash(mk(e)); err != nil {
+				t.Fatal(err)
+			}
+
+			h2 := freshHeap(t, as, store)
+			p2, err := h2.Open("cp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := h2.Recover(p2); err != nil {
+				t.Fatalf("event %d policy %d: recover: %v", e, pi, err)
+			}
+			if h2.NeedsRecovery(p2) {
+				t.Fatalf("event %d policy %d: pool still dirty after recovery", e, pi)
+			}
+			if err := h2.CheckPool(p2); err != nil {
+				t.Fatalf("event %d policy %d: %v", e, pi, err)
+			}
+			read := func(o oid.OID, off uint32) uint64 {
+				ref, err := h2.Deref(o, isa.RZ)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w, _ := ref.Load64(off)
+				return w.V
+			}
+			switch w := read(objs[0], 0); w {
+			case 100: // undone: the transaction never happened
+				want := [3][2]uint64{{100, 200}, {101, 201}, {102, 202}}
+				for i, o := range objs {
+					if g0, g8 := read(o, 0), read(o, 8); g0 != want[i][0] || g8 != want[i][1] {
+						t.Fatalf("event %d policy %d: undone obj %d = (%d,%d), want (%d,%d)",
+							e, pi, i, g0, g8, want[i][0], want[i][1])
+					}
+				}
+			case 1111: // committed: every effect landed, including the free
+				if g8 := read(objs[0], 8); g8 != 3333 {
+					t.Fatalf("event %d policy %d: committed objs[0] = (1111,%d)", e, pi, g8)
+				}
+				if g0, g8 := read(objs[1], 0), read(objs[1], 8); g0 != 101 || g8 != 2222 {
+					t.Fatalf("event %d policy %d: committed objs[1] = (%d,%d)", e, pi, g0, g8)
+				}
+				o, err := h2.Alloc(p2, 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if o != objs[2] {
+					t.Fatalf("event %d policy %d: committed free not applied (alloc %v, want %v)",
+						e, pi, o, objs[2])
+				}
+			default:
+				t.Fatalf("event %d policy %d: objs[0] word 0 = %d: neither pre nor post state", e, pi, w)
+			}
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"potgo/internal/emit"
 	"potgo/internal/isa"
+	"potgo/internal/nvmsim"
 	"potgo/internal/pmem"
 	"potgo/internal/trace"
 	"potgo/internal/vm"
@@ -75,7 +76,7 @@ func ExampleHeap_Recover() {
 	_ = heap.TxBegin(pool)
 	_ = heap.TxAddRange(obj, 8)
 	_ = ref.Store64(0, 8, isa.RZ)
-	_ = heap.Crash() // power loss mid-transaction
+	_, _ = heap.Crash(nvmsim.DropAllPolicy()) // power loss mid-transaction
 
 	heap2, _ := pmem.NewHeap(as, store, emit.New(trace.Discard{}, emit.Opt), nil)
 	pool2, _ := heap2.Open("crash")

@@ -2,12 +2,15 @@ package pmem
 
 import (
 	"fmt"
+	"sort"
 
 	"potgo/internal/core"
 	"potgo/internal/emit"
 	"potgo/internal/isa"
+	"potgo/internal/nvmsim"
 	"potgo/internal/oid"
 	"potgo/internal/pot"
+	"potgo/internal/trace"
 	"potgo/internal/vm"
 )
 
@@ -29,9 +32,16 @@ type Heap struct {
 	POT *pot.Table
 	// HW, when non-nil, has stale POLB entries invalidated on pool_close.
 	HW *core.Translator
+	// NV is the volatile write-back cache model: it tracks which pool
+	// lines are newer in cache than in durable NVM, drains them on
+	// fences, and decides their fate at a Crash.
+	NV *nvmsim.Domain
 
 	open map[oid.PoolID]*Pool
 	tx   *txState
+	// clwbPool memoizes the pool the last observed CLWB landed in;
+	// persist loops write back runs of lines from one pool.
+	clwbPool *Pool
 }
 
 // NewHeap builds a heap. soft may be nil for OPT-mode heaps.
@@ -39,13 +49,23 @@ func NewHeap(as *vm.AddressSpace, store *Store, em *emit.Emitter, soft *emit.Sof
 	if em.Mode() == emit.Base && soft == nil {
 		return nil, fmt.Errorf("pmem: BASE mode requires a software translator")
 	}
-	return &Heap{
+	h := &Heap{
 		AS:    as,
 		Store: store,
 		Emit:  em,
 		Soft:  soft,
+		NV:    nvmsim.NewDomain(),
 		open:  make(map[oid.PoolID]*Pool),
-	}, nil
+	}
+	em.SetPersistObserver(h)
+	return h, nil
+}
+
+// NewHeapDiscard builds an OPT-mode heap that discards its instruction
+// stream — the configuration crash-injection and fuzzing harnesses use,
+// where only the persistence-domain events matter, not the emitted code.
+func NewHeapDiscard(as *vm.AddressSpace, store *Store) (*Heap, error) {
+	return NewHeap(as, store, emit.New(trace.Discard{}, emit.Opt), nil)
 }
 
 // openCost approximates the system-call + mapping work of pool_open/create;
@@ -72,11 +92,16 @@ func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
 		return nil, err
 	}
 	// Initialize the header (functional writes; creation is setup, the
-	// emitted cost is the flat openCost below).
+	// emitted cost is the flat openCost below) and sync it durably —
+	// pool_create ends with the equivalent of an msync, so a crash can
+	// never observe a half-initialized header.
 	h.mustWrite64(p, offMagic, poolMagic)
 	h.mustWrite64(p, offSize, size)
 	h.mustWrite64(p, offBump, p.dataStart())
 	h.mustWrite64(p, offLogBytes, logBytes)
+	if err := h.SyncPool(p); err != nil {
+		return nil, err
+	}
 	h.Emit.Compute(openCost)
 	return p, nil
 }
@@ -113,6 +138,7 @@ func (h *Heap) mapPool(b *backing) (*Pool, error) {
 	p := &Pool{h: h, b: b, region: region}
 	b.open = true
 	h.open[b.id] = p
+	h.NV.AddPool(uint32(b.id), b.size)
 	if h.Soft != nil {
 		if err := h.Soft.Register(b.id, region.Base); err != nil {
 			return nil, err
@@ -127,15 +153,24 @@ func (h *Heap) mapPool(b *backing) (*Pool, error) {
 }
 
 func (h *Heap) unmapPool(p *Pool) error {
-	// Persist the mapped bytes back to the durable store.
+	// A clean unmap flushes the mapped bytes back to the durable store
+	// (the OS writes dirty pages back on munmap of a file mapping).
 	if err := h.AS.ReadAt(p.region.Base, p.b.data); err != nil {
 		return err
 	}
+	return h.discardPool(p)
+}
+
+// discardPool unmaps a pool without writing the cache view back: whatever
+// the durable bytes hold at this point is what survives.
+func (h *Heap) discardPool(p *Pool) error {
 	if err := h.AS.Unmap(p.region); err != nil {
 		return err
 	}
 	p.b.open = false
 	delete(h.open, p.b.id)
+	h.NV.DropPool(uint32(p.b.id))
+	h.clwbPool = nil
 	if h.Soft != nil {
 		if err := h.Soft.Unregister(p.b.id); err != nil {
 			return err
@@ -152,6 +187,35 @@ func (h *Heap) unmapPool(p *Pool) error {
 	return nil
 }
 
+// SyncPool flushes a pool's entire cache view to the durable store (the
+// msync analogue): after it returns, cache and durable views agree and no
+// line of the pool is volatile. Bulk setup phases (pool creation, database
+// population) end with a SyncPool, so the crash engine's adversary only
+// operates on the stores made after it.
+func (h *Heap) SyncPool(p *Pool) error {
+	if err := h.AS.ReadAt(p.region.Base, p.b.data); err != nil {
+		return err
+	}
+	h.NV.Clean(uint32(p.b.id))
+	return nil
+}
+
+// SyncAll is SyncPool over every open pool, in pool-id order so the
+// instruction/event stream stays deterministic.
+func (h *Heap) SyncAll() error {
+	ids := make([]oid.PoolID, 0, len(h.open))
+	for id := range h.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := h.SyncPool(h.open[id]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close unmaps the pool and withdraws its translations (paper: pool_close).
 func (h *Heap) Close(p *Pool) error {
 	if h.tx != nil && h.tx.pool == p {
@@ -161,11 +225,32 @@ func (h *Heap) Close(p *Pool) error {
 	return h.unmapPool(p)
 }
 
-// Crash simulates a machine crash with the pool's NVM contents intact: the
-// mapped bytes (including any live undo log) are retained durably, all
-// volatile state — open handles, transactions, translations — is lost.
-// Reopen the pool and call Recover to restore consistency.
-func (h *Heap) Crash() error {
+// Crash simulates losing power. What a fence made durable is durable; the
+// fate of every other volatile line is decided by the adversarial policy
+// (see nvmsim): dropped, kept (a cache eviction that happened to complete),
+// or torn at 8-byte granularity. All process state — open handles,
+// transactions, translations — is lost. Reopen the pool and call Recover
+// to restore consistency. The report records the exact survivor set so the
+// outcome can be replayed with an Explicit policy.
+func (h *Heap) Crash(pol nvmsim.Policy) (nvmsim.Report, error) {
+	rep := h.NV.Crash(pol, h)
+	for _, p := range h.open {
+		if err := h.discardPool(p); err != nil {
+			return rep, err
+		}
+	}
+	h.tx = nil
+	return rep, nil
+}
+
+// CrashClean simulates the gentlest possible failure: the machine stops,
+// but every volatile line happens to have been written back first — the
+// durable image equals the cache view, exactly as if the caches were
+// flushed at the instant of death. Process state is still lost, so an
+// interrupted transaction's undo log remains live and must be recovered.
+// The recovery-cost experiment uses this to measure log replay in
+// isolation from line loss.
+func (h *Heap) CrashClean() error {
 	for _, p := range h.open {
 		if err := h.unmapPool(p); err != nil {
 			return err
@@ -205,8 +290,62 @@ func (h *Heap) read64(p *Pool, off uint32) uint64 {
 }
 
 func (h *Heap) mustWrite64(p *Pool, off uint32, v uint64) {
+	h.NV.Store(uint32(p.b.id), off, 8)
 	if err := h.AS.Write64(p.region.Base+uint64(off), v); err != nil {
 		panic(fmt.Sprintf("pmem: pool %q header unmapped: %v", p.b.name, err))
+	}
+}
+
+// --- persistence-domain plumbing (nvmsim.Memory + emit.PersistObserver) ---
+
+// poolOf resolves a virtual address to the open pool containing it.
+func (h *Heap) poolOf(va uint64) *Pool {
+	if p := h.clwbPool; p != nil && p.b.open &&
+		va >= p.region.Base && va < p.region.Base+p.b.size {
+		return p
+	}
+	for _, p := range h.open {
+		if va >= p.region.Base && va < p.region.Base+p.b.size {
+			h.clwbPool = p
+			return p
+		}
+	}
+	return nil
+}
+
+// ObserveCLWB feeds every emitted cache-line write-back into the volatile
+// write-back model (emit.PersistObserver).
+func (h *Heap) ObserveCLWB(va uint64) {
+	if p := h.poolOf(va); p != nil {
+		h.NV.CLWB(uint32(p.b.id), uint32(va-p.region.Base), h)
+	}
+}
+
+// ObserveSFence drains every in-flight line to the durable store
+// (emit.PersistObserver).
+func (h *Heap) ObserveSFence() { h.NV.SFence(h) }
+
+// ReadCacheLine copies a line's current mapped (cache-view) content
+// (nvmsim.Memory).
+func (h *Heap) ReadCacheLine(pool, off uint32, dst *[nvmsim.LineBytes]byte) bool {
+	p, ok := h.open[oid.PoolID(pool)]
+	if !ok {
+		return false
+	}
+	return h.AS.ReadAt(p.region.Base+uint64(off), dst[:]) == nil
+}
+
+// WriteDurableWords writes the selected 8-byte words of a line into the
+// pool's durable backing bytes (nvmsim.Memory).
+func (h *Heap) WriteDurableWords(pool, off uint32, src *[nvmsim.LineBytes]byte, mask byte) {
+	p, ok := h.open[oid.PoolID(pool)]
+	if !ok {
+		return
+	}
+	for w := 0; w < nvmsim.LineBytes/8; w++ {
+		if mask&(1<<w) != 0 {
+			copy(p.b.data[int(off)+w*8:int(off)+w*8+8], src[w*8:(w+1)*8])
+		}
 	}
 }
 
@@ -292,6 +431,7 @@ func (r Ref) Load64(off uint32) (Word, error) {
 // Store64 writes the 8-byte field at byte offset off. dep is the register
 // the stored value was computed in (isa.RZ for immediates).
 func (r Ref) Store64(off uint32, v uint64, dep isa.Reg) error {
+	r.h.NV.Store(uint32(r.oid.Pool()), r.oid.Offset()+off, 8)
 	if err := r.h.AS.Write64(r.va+uint64(off), v); err != nil {
 		return fmt.Errorf("pmem: store %v+%d: %w", r.oid, off, err)
 	}
@@ -321,11 +461,18 @@ func (r Ref) ReadBytes(off uint32, b []byte) error {
 }
 
 // WriteBytes writes b starting at off, emitting one store per 8-byte word.
+// Each word is written (and becomes a crash-point event) individually, so
+// a crash can land between any two words of the range.
 func (r Ref) WriteBytes(off uint32, b []byte) error {
-	if err := r.h.AS.WriteAt(r.va+uint64(off), b); err != nil {
-		return fmt.Errorf("pmem: write %v+%d: %w", r.oid, off, err)
-	}
 	for w := uint32(0); w < uint32(len(b)); w += 8 {
+		n := uint32(len(b)) - w
+		if n > 8 {
+			n = 8
+		}
+		r.h.NV.Store(uint32(r.oid.Pool()), r.oid.Offset()+off+w, n)
+		if err := r.h.AS.WriteAt(r.va+uint64(off+w), b[w:w+n]); err != nil {
+			return fmt.Errorf("pmem: write %v+%d: %w", r.oid, off, err)
+		}
 		if r.useVA() {
 			r.h.Emit.Store(r.reg, r.va+uint64(off+w), 8, isa.RZ)
 		} else {

@@ -5,6 +5,7 @@ import (
 
 	"potgo/internal/emit"
 	"potgo/internal/isa"
+	"potgo/internal/nvmsim"
 	"potgo/internal/oid"
 	"potgo/internal/trace"
 	"potgo/internal/vm"
@@ -574,7 +575,7 @@ func TestCrashRecovery(t *testing.T) {
 	e.h.TxBegin(p)
 	e.h.TxAddRange(o, 16)
 	ref.Store64(0, 2000, isa.RZ)
-	if err := e.h.Crash(); err != nil {
+	if _, err := e.h.Crash(nvmsim.DropAllPolicy()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -611,7 +612,7 @@ func TestCrashRecoveryUndoesAllocs(t *testing.T) {
 	p := e.create(t, "p")
 	e.h.TxBegin(p)
 	o, _ := e.h.TxAlloc(p, 64)
-	e.h.Crash()
+	e.h.Crash(nvmsim.DropAllPolicy())
 
 	e2 := attach(t, as, store, emit.Opt)
 	p2, _ := e2.h.Open("p")

@@ -19,7 +19,7 @@ import (
 //	0x28  log region size in bytes
 //	0x30  free-list heads, one word per size class
 //	...
-//	0x1000            undo log: [count][records...]
+//	0x1000            undo log: [count][state][records...]
 //	0x1000+logBytes   object data
 const (
 	poolMagic   = 0x504f4f4c_474f4f44 // "POOLGOOD"
@@ -32,6 +32,20 @@ const (
 	offFreeHead = 48 // + 8*class
 	headerBytes = vm.PageSize
 	logStart    = headerBytes
+)
+
+// Undo-log region layout (offsets relative to logStart). The count word
+// publishes records; the state word is the commit marker that decides
+// whether recovery undoes (active) or redoes (committed) the logged
+// transaction. Count and state share a cache line but are separate 8-byte
+// words, so each is atomic even under torn-line crashes.
+const (
+	logOffCount   = 0
+	logOffState   = 8
+	logOffRecords = 16
+
+	txStateActive    = 0 // records describe an uncommitted transaction: undo
+	txStateCommitted = 1 // data is durable, deferred frees may be half-applied: redo
 )
 
 // sizeClasses are the allocator's segregated free-list classes (payload

@@ -14,13 +14,21 @@ import (
 // header page. Its layout:
 //
 //	log[0]      count of valid records (0 = log empty / committed)
-//	log[8]...   records, each: {kind, oid, size, data padded to 8 bytes}
+//	log[8]      state: active (undo on recovery) or committed (redo frees)
+//	log[16]...  records, each: {kind, oid, size, data padded to 8 bytes}
 //
 // A record is persisted (CLWB + SFENCE) before the count that publishes it,
-// so a crash can never observe a published-but-unwritten record; and the
-// count is cleared (and persisted) only after commit has persisted all
-// modified data, so recovery always sees either "nothing to undo" or a
-// complete undo description.
+// so a crash can never observe a published-but-unwritten record. Commit
+// first persists every range the transaction modified (plus the allocator
+// metadata of every pool that served a transactional allocation), then —
+// when the transaction holds deferred frees — durably sets the state word
+// to committed before applying them, so a crash mid-commit redoes the frees
+// instead of undoing a transaction whose data is already durable.
+//
+// Truncation must never expose (count>0, state=active) after the commit
+// point, so it clears the count first and the state word second, each with
+// its own fence; the intermediate (0, committed) state reads as a clean
+// log and is swept by the next Recover or TxBegin.
 const (
 	recData  = 0 // snapshot of object bytes taken by tx_add_range
 	recAlloc = 1 // allocation to undo on abort
@@ -28,6 +36,12 @@ const (
 )
 
 const recHeaderBytes = 24
+
+// allocMetaBytes is the span of pool-header bytes holding the allocator's
+// durable state: bump pointer, root slot and every free-list head. Commit
+// persists it for each pool that served a transactional allocation, so the
+// durable bump can never lag behind a durably published object.
+const allocMetaBytes = offFreeHead + 8*uint32(len(sizeClasses))
 
 type txRecord struct {
 	kind uint64
@@ -55,7 +69,15 @@ func (h *Heap) TxBegin(p *Pool) error {
 	if _, ok := h.open[p.b.id]; !ok {
 		return fmt.Errorf("pmem: tx_begin on closed pool %q", p.b.name)
 	}
-	h.tx = &txState{pool: p, writeOff: logStart + 8}
+	// A crash between the two truncation fences can leave a stale
+	// committed marker behind an empty log; clear it before this
+	// transaction publishes any record under it.
+	if h.read64(p, logStart+logOffState) != txStateActive {
+		if err := h.clearLogState(p); err != nil {
+			return err
+		}
+	}
+	h.tx = &txState{pool: p, writeOff: logStart + logOffRecords}
 	h.Emit.Jump()
 	h.Emit.Compute(txBeginWork)
 	return nil
@@ -98,7 +120,7 @@ func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) 
 	}
 	t.writeOff += recHeaderBytes + padded
 
-	countOID := t.pool.OID(logStart)
+	countOID := t.pool.OID(logStart + logOffCount)
 	cnt, err := h.Deref(countOID, isa.RZ)
 	if err != nil {
 		return err
@@ -144,12 +166,25 @@ func (h *Heap) TxAlloc(p *Pool, size uint32) (oid.OID, error) {
 	if h.tx == nil {
 		return oid.Null, fmt.Errorf("pmem: tx_pmalloc outside a transaction")
 	}
-	o, err := h.Alloc(p, size)
+	o, popped, err := h.alloc(p, size)
 	if err != nil {
 		return oid.Null, err
 	}
 	if err := h.logAppend(recAlloc, o, size, nil); err != nil {
 		return oid.Null, err
+	}
+	if popped >= 0 {
+		// A free-list pop must be durable before the block is handed out:
+		// the caller will persist new contents over the payload (whose
+		// first word is the free list's next pointer), and if the head
+		// advance were still volatile at a crash, the durable head would
+		// point at a block with object data for a next word — which
+		// recovery's membership walk sees as "already threaded" and leaves
+		// in place. The pop persists after the recAlloc record so a crash
+		// between the two re-frees the block instead of leaking it.
+		if err := h.Persist(p.OID(p.freeHeadOff(popped)), 8); err != nil {
+			return oid.Null, err
+		}
 	}
 	return o, nil
 }
@@ -166,33 +201,85 @@ func (h *Heap) TxFree(o oid.OID) error {
 	return h.logAppend(recFree, o, 0, nil)
 }
 
-// TxEnd commits: all snapshotted ranges are persisted, deferred frees are
-// applied, and the log is truncated (paper: tx_end).
+// resolveAllocPools returns the pools that served the transaction's
+// allocations, in first-allocation order (deterministic emission order
+// matters: the same program must produce a bit-identical instruction stream
+// on every run). Resolution happens before commit/abort emit anything, so
+// a closed pool fails the operation cleanly.
+func (h *Heap) resolveAllocPools(records []txRecord, op string) ([]*Pool, error) {
+	var pools []*Pool
+	seen := make(map[oid.PoolID]bool, 4)
+	for _, r := range records {
+		if r.kind == recAlloc && !seen[r.oid.Pool()] {
+			seen[r.oid.Pool()] = true
+			p, ok := h.open[r.oid.Pool()]
+			if !ok {
+				return nil, fmt.Errorf("pmem: %s: alloc pool %d closed mid-transaction", op, r.oid.Pool())
+			}
+			pools = append(pools, p)
+		}
+	}
+	return pools, nil
+}
+
+// TxEnd commits: all snapshotted ranges and transactional allocations are
+// persisted (one fence for the batch), the allocator metadata of every pool
+// that served an allocation is persisted, deferred frees are applied
+// durably under a committed-state marker, and the log is truncated (paper:
+// tx_end).
 func (h *Heap) TxEnd() error {
 	if h.tx == nil {
 		return fmt.Errorf("pmem: tx_end outside a transaction")
 	}
 	t := h.tx
+	allocPools, err := h.resolveAllocPools(t.records, "tx_end")
+	if err != nil {
+		return err
+	}
 	h.Emit.Jump()
 	h.Emit.Compute(txEndWork)
-	// Persist every range modified under the transaction (one fence for
-	// the batch), then the deferred frees, then invalidate the log.
 	fence := false
+	hasFree := false
 	for _, r := range t.records {
-		if r.kind == recData || r.kind == recAlloc {
+		switch r.kind {
+		case recData:
 			if err := h.persistNoFence(r.oid, r.size); err != nil {
 				return err
 			}
 			fence = true
+		case recAlloc:
+			// Include the block's size-header word: the durable image
+			// must know the block's class for a later free to recycle it.
+			blockOID := oid.New(r.oid.Pool(), r.oid.Offset()-blockHeaderBytes)
+			if err := h.persistNoFence(blockOID, r.size+blockHeaderBytes); err != nil {
+				return err
+			}
+			fence = true
+		case recFree:
+			hasFree = true
 		}
+	}
+	for _, p := range allocPools {
+		if err := h.persistNoFence(p.OID(0), allocMetaBytes); err != nil {
+			return err
+		}
+		fence = true
 	}
 	if fence {
 		h.Emit.SFence()
 	}
-	for _, r := range t.records {
-		if r.kind == recFree {
-			if err := h.Free(r.oid); err != nil {
-				return err
+	if hasFree {
+		// Commit point with deferred work: once the committed marker is
+		// durable, a crash redoes the frees instead of undoing the
+		// transaction.
+		if err := h.setLogCommitted(t.pool); err != nil {
+			return err
+		}
+		for _, r := range t.records {
+			if r.kind == recFree {
+				if err := h.freeDurable(r.oid); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -204,12 +291,26 @@ func (h *Heap) TxEnd() error {
 }
 
 // TxAbort rolls the transaction back in place: snapshots are restored,
-// transactional allocations are freed, deferred frees are dropped.
+// transactional allocations are freed, deferred frees are dropped. The
+// allocator metadata of alloc pools is persisted first so that the free
+// list can never durably reference a block above the durable bump pointer.
 func (h *Heap) TxAbort() error {
 	if h.tx == nil {
 		return fmt.Errorf("pmem: tx_abort outside a transaction")
 	}
 	t := h.tx
+	allocPools, err := h.resolveAllocPools(t.records, "tx_abort")
+	if err != nil {
+		return err
+	}
+	if len(allocPools) > 0 {
+		for _, p := range allocPools {
+			if err := h.persistNoFence(p.OID(0), allocMetaBytes); err != nil {
+				return err
+			}
+		}
+		h.Emit.SFence()
+	}
 	for i := len(t.records) - 1; i >= 0; i-- {
 		if err := h.undoRecord(t.records[i]); err != nil {
 			return err
@@ -236,7 +337,7 @@ func (h *Heap) undoRecord(r txRecord) error {
 		}
 		return h.Persist(r.oid, r.size)
 	case recAlloc:
-		return h.Free(r.oid)
+		return h.freeDurable(r.oid)
 	case recFree:
 		return nil // never applied
 	default:
@@ -244,25 +345,61 @@ func (h *Heap) undoRecord(r txRecord) error {
 	}
 }
 
-func (h *Heap) truncateLog(p *Pool) error {
-	countOID := p.OID(logStart)
-	cnt, err := h.Deref(countOID, isa.RZ)
-	if err != nil {
+// setLogCommitted durably marks the log's records as describing a committed
+// transaction whose deferred frees must be redone, not undone.
+func (h *Heap) setLogCommitted(p *Pool) error {
+	st := h.DirectRef(p, logStart+logOffState)
+	if err := st.Store64(0, txStateCommitted, isa.RZ); err != nil {
 		return err
 	}
+	return h.Persist(p.OID(logStart+logOffState), 8)
+}
+
+// clearLogState durably resets the state word to active.
+func (h *Heap) clearLogState(p *Pool) error {
+	st := h.DirectRef(p, logStart+logOffState)
+	if err := st.Store64(0, txStateActive, isa.RZ); err != nil {
+		return err
+	}
+	return h.Persist(p.OID(logStart+logOffState), 8)
+}
+
+// truncateLog retires the log: count first, then the state word, each under
+// its own fence. The order matters — clearing state first could expose
+// (count>0, active) for a committed transaction, which recovery would undo.
+func (h *Heap) truncateLog(p *Pool) error {
+	cnt := h.DirectRef(p, logStart+logOffCount)
 	if err := cnt.Store64(0, 0, isa.RZ); err != nil {
 		return err
 	}
-	return h.Persist(countOID, 8)
+	if err := h.Persist(p.OID(logStart+logOffCount), 8); err != nil {
+		return err
+	}
+	if h.read64(p, logStart+logOffState) != txStateActive {
+		return h.clearLogState(p)
+	}
+	return nil
 }
 
-// Recover replays the pool's undo log after a crash (pool just reopened):
-// if the log holds records, the interrupted transaction's effects are rolled
-// back in reverse order and the log is truncated. Records that reference
-// other pools require those pools to be open.
+// Recover replays the pool's undo log after a crash (pool just reopened).
+// An active log means the transaction never committed: its effects are
+// rolled back in reverse order (allocations that never became durable are
+// skipped). A committed log means every modified range is already durable
+// and only the deferred frees may be half-applied: they are redone
+// idempotently. Either way the log is then truncated. Records that
+// reference other pools require those pools to be open.
+//
+// Recover persists everything it writes, so running it again — or crashing
+// in the middle and running it again — converges to the same durable bytes.
 func (h *Heap) Recover(p *Pool) error {
-	count := h.read64(p, logStart)
+	count := h.read64(p, logStart+logOffCount)
+	state := h.read64(p, logStart+logOffState)
 	if count == 0 {
+		if state != txStateActive {
+			// Crash between the two truncation fences: the records are
+			// gone, only the stale marker remains.
+			return h.clearLogState(p)
+		}
 		return nil
 	}
 	// Parse the records straight from the persisted log bytes.
@@ -273,7 +410,7 @@ func (h *Heap) Recover(p *Pool) error {
 		old  []byte
 	}
 	var recs []parsed
-	off := uint64(logStart + 8)
+	off := uint64(logStart + logOffRecords)
 	for i := uint64(0); i < count; i++ {
 		hdr := make([]byte, recHeaderBytes)
 		if err := h.AS.ReadAt(p.region.Base+off, hdr); err != nil {
@@ -300,15 +437,53 @@ func (h *Heap) Recover(p *Pool) error {
 		recs = append(recs, parsed{kind: kind, oid: target, size: size, old: old})
 		off += recHeaderBytes + padded
 	}
+	if state == txStateCommitted {
+		// Redo: data and allocations were persisted before the marker;
+		// only the deferred frees need (re-)applying.
+		for _, r := range recs {
+			if r.kind == recFree {
+				if err := h.recoverFree(r.oid); err != nil {
+					return err
+				}
+			}
+		}
+		return h.truncateLog(p)
+	}
 	for i := len(recs) - 1; i >= 0; i-- {
 		r := recs[i]
-		if err := h.undoRecord(txRecord{kind: r.kind, oid: r.oid, size: r.size, old: r.old}); err != nil {
-			return err
+		switch r.kind {
+		case recData:
+			if err := h.undoRecord(txRecord{kind: r.kind, oid: r.oid, size: r.size, old: r.old}); err != nil {
+				return err
+			}
+		case recAlloc:
+			// The crash decided whether this allocation's bump advance
+			// reached durability. If it did not, the block lies at or
+			// above the durable bump pointer and will be re-allocated
+			// fresh — putting it on the free list would let the free
+			// list and the bump allocator hand out overlapping blocks.
+			ap, ok := h.open[r.oid.Pool()]
+			if !ok {
+				return fmt.Errorf("pmem: recover: alloc pool %d not open", r.oid.Pool())
+			}
+			if uint64(r.oid.Offset())-blockHeaderBytes >= h.read64(ap, offBump) {
+				continue
+			}
+			if err := h.recoverFree(r.oid); err != nil {
+				return err
+			}
+		case recFree:
+			// Never applied before commit.
+		default:
+			return fmt.Errorf("pmem: corrupt undo record kind %d", r.kind)
 		}
 	}
 	return h.truncateLog(p)
 }
 
-// NeedsRecovery reports whether the pool's log holds records from an
-// interrupted transaction.
-func (h *Heap) NeedsRecovery(p *Pool) bool { return h.read64(p, logStart) != 0 }
+// NeedsRecovery reports whether the pool's log holds state from an
+// interrupted transaction (records to undo/redo, or a stale marker).
+func (h *Heap) NeedsRecovery(p *Pool) bool {
+	return h.read64(p, logStart+logOffCount) != 0 ||
+		h.read64(p, logStart+logOffState) != txStateActive
+}

@@ -30,6 +30,13 @@ type Config struct {
 	UndeliveredPerDistrict int
 	// Seed drives key selection and the mix.
 	Seed int64
+	// Durable wraps every read-write transaction in the library's
+	// write-ahead undo log (tx_begin/tx_add_range/tx_end on the master
+	// pool) instead of TPC-C's own logical commit log. The paper's
+	// measured configuration keeps the logical log (§5.2); Durable is the
+	// configuration the crash-injection campaign verifies, where every
+	// transaction must be atomic under adversarial line loss.
+	Durable bool
 }
 
 // SpecConfig returns the TPC-C v5.11 cardinalities for one warehouse.

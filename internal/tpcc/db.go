@@ -132,6 +132,10 @@ type DB struct {
 	historySeq uint64
 	logSeq     uint64
 	stats      Stats
+
+	// touched dedups undo snapshots within one durable transaction: a row
+	// or tree node updated twice needs only one TxAddRange.
+	touched map[oid.OID]bool
 }
 
 // tableCtx scopes pds.Ctx allocation to one table's pool.
@@ -143,15 +147,38 @@ type tableCtx struct {
 func (c tableCtx) Heap() *pmem.Heap { return c.db.h }
 
 func (c tableCtx) Alloc(_ uint64, size uint32) (oid.OID, error) {
+	if c.db.cfg.Durable && c.db.h.InTx() {
+		return c.db.h.TxAlloc(c.db.pools[c.table], size)
+	}
 	return c.db.h.Alloc(c.db.pools[c.table], size)
 }
 
-func (c tableCtx) Free(o oid.OID) error { return c.db.h.Free(o) }
+func (c tableCtx) Free(o oid.OID) error {
+	if c.db.cfg.Durable && c.db.h.InTx() {
+		return c.db.h.TxFree(o)
+	}
+	return c.db.h.Free(o)
+}
 
-// Touch is a no-op: per the paper (§5.2), TPC-C keeps "its own failure-safe
-// logging implementation" — a logical transaction log written at commit
-// (see db.commitTx) — rather than the library's per-object undo snapshots.
-func (c tableCtx) Touch(o oid.OID, size uint32) error { return nil }
+// Touch is a no-op in the paper's measured configuration: per §5.2, TPC-C
+// keeps "its own failure-safe logging implementation" — a logical
+// transaction log written at commit (see db.commitTx) — rather than the
+// library's per-object undo snapshots. With Config.Durable the snapshots
+// are real: each first touch of an object inside a transaction records an
+// undo image via TxAddRange.
+func (c tableCtx) Touch(o oid.OID, size uint32) error {
+	if !c.db.cfg.Durable || !c.db.h.InTx() {
+		return nil
+	}
+	if c.db.touched[o] {
+		return nil
+	}
+	if err := c.db.h.TxAddRange(o, size); err != nil {
+		return err
+	}
+	c.db.touched[o] = true
+	return nil
+}
 
 // poolBytes estimates the capacity needed for a table (with margin).
 func poolBytes(cfg Config, table string) uint64 {
@@ -249,6 +276,73 @@ func NewDB(h *pmem.Heap, cfg Config, place Placement) (*DB, error) {
 	h.Emit.Resume()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Durable {
+		// Population ran outside any transaction, so nothing has drained
+		// the cache model; flush it all so the initial database is the
+		// durable pre-state a crash can fall back to.
+		if err := h.SyncAll(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// AttachDB reopens an existing TPC-C database — the post-crash path. The
+// config and placement must match the NewDB that built it. Attach opens the
+// pools, replays the master pool's undo/redo log if the crash left one, and
+// rebinds the trees to their persistent anchors; it does not populate.
+func AttachDB(h *pmem.Heap, cfg Config, place Placement) (*DB, error) {
+	db := &DB{
+		h:     h,
+		cfg:   cfg,
+		place: place,
+		pools: make(map[string]*pmem.Pool),
+		trees: make(map[string]*pds.BPlus),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	db.nur = newNuRand(db.rng)
+	// History rows surviving the crash used sequence numbers from the
+	// previous incarnation; restart well past any of them so post-recovery
+	// Payments can't collide with existing history keys.
+	db.historySeq = 1 << 40
+
+	if place == PlaceAll {
+		p, err := h.Open("tpcc")
+		if err != nil {
+			return nil, err
+		}
+		db.master = p
+		for _, t := range tables {
+			db.pools[t] = p
+		}
+	} else {
+		m, err := h.Open("tpcc-master")
+		if err != nil {
+			return nil, err
+		}
+		db.master = m
+		for _, t := range tables {
+			p, err := h.Open("tpcc-" + t)
+			if err != nil {
+				return nil, err
+			}
+			db.pools[t] = p
+		}
+	}
+
+	// Recover runs after every pool is open: logged records may reference
+	// per-table pools. A clean log makes this a no-op.
+	if err := h.Recover(db.master); err != nil {
+		return nil, err
+	}
+
+	root, err := h.Root(db.master, uint32(len(tables))*8)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range tables {
+		db.trees[t] = pds.NewBPlus(pds.NewCell(h, root.FieldAt(uint32(i)*8)))
 	}
 	return db, nil
 }
@@ -361,9 +455,32 @@ func (db *DB) insertRow(table string, key uint64, fields []uint64) (oid.OID, err
 // before mutating, so no undo is ever needed.
 const logicalRecordWords = 16
 
-func (db *DB) beginTx() error { return nil }
+func (db *DB) beginTx() error {
+	if !db.cfg.Durable {
+		return nil
+	}
+	db.touched = make(map[oid.OID]bool)
+	return db.h.TxBegin(db.master)
+}
+
+// abortTx unwinds a transaction that validated late (the 1% invalid-item
+// New-Order rolls back after its first writes in durable mode).
+func (db *DB) abortTx() error {
+	if !db.cfg.Durable {
+		return nil
+	}
+	db.touched = nil
+	return db.h.TxAbort()
+}
 
 func (db *DB) commitTx() error {
+	if db.cfg.Durable {
+		// The undo log subsumes the logical record — and shares the master
+		// pool's log region with it, so writing both would corrupt the
+		// record count the next recovery reads.
+		db.touched = nil
+		return db.h.TxEnd()
+	}
 	p := db.master
 	span := uint32(logicalRecordWords * 8)
 	capacity := uint32(p.LogBytes()) / span

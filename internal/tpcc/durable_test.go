@@ -1,0 +1,133 @@
+package tpcc
+
+import (
+	"testing"
+
+	"potgo/internal/nvmsim"
+	"potgo/internal/pmem"
+	"potgo/internal/vm"
+)
+
+// Durable mode swaps TPC-C's logical commit log for the library's undo
+// transactions, which must make every read-write transaction atomic under
+// adversarial cache-line loss. These tests crash the mix at sampled
+// persistent-memory events, reattach, and require the four consistency
+// conditions to hold — i.e. the surviving state is some prefix of committed
+// transactions.
+
+func durableConfig(seed int64) Config {
+	cfg := TestConfig(seed)
+	cfg.Durable = true
+	return cfg
+}
+
+func durableWorld(t *testing.T, seed int64, place Placement) (*vm.AddressSpace, *pmem.Store, *DB) {
+	t.Helper()
+	as := vm.NewAddressSpace(seed)
+	store := pmem.NewStore()
+	h, err := pmem.NewHeapDiscard(as, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDB(h, durableConfig(seed), place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as, store, db
+}
+
+func runArmedMix(db *DB, at uint64, n int) (crashed bool, err error) {
+	db.Heap().NV.Arm(at)
+	defer db.Heap().NV.Disarm()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := nvmsim.AsCrashSignal(r); !ok {
+				panic(r)
+			}
+			crashed = true
+		}
+	}()
+	return false, db.RunMix(n)
+}
+
+func TestDurableMixCommitsAndStaysConsistent(t *testing.T) {
+	_, _, db := durableWorld(t, 11, PlaceAll)
+	if err := db.RunMix(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Total() == 0 {
+		t.Fatal("no transactions committed")
+	}
+}
+
+func testDurableCrashRecovery(t *testing.T, place Placement, samples int) {
+	const seed = 7
+	const mixTxs = 20
+
+	// Dry run: the persistent-event span of the mix.
+	_, _, dry := durableWorld(t, seed, place)
+	base := dry.Heap().NV.Events()
+	if err := dry.RunMix(mixTxs); err != nil {
+		t.Fatal(err)
+	}
+	span := dry.Heap().NV.Events() - base
+	if span < 100 {
+		t.Fatalf("mix produced only %d persistent events", span)
+	}
+
+	step := span / uint64(samples)
+	if step == 0 {
+		step = 1
+	}
+	crashes := 0
+	for e := base; e < base+span; e += step {
+		as, store, db := durableWorld(t, seed, place)
+		crashed, err := runArmedMix(db, e, mixTxs)
+		if err != nil {
+			t.Fatalf("armed mix at event %d: %v", e, err)
+		}
+		if !crashed {
+			t.Fatalf("event %d inside the dry-run span did not fire", e)
+		}
+		crashes++
+		if _, err := db.Heap().Crash(nvmsim.TornPolicy(e)); err != nil {
+			t.Fatal(err)
+		}
+
+		h2, err := pmem.NewHeapDiscard(as, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2, err := AttachDB(h2, durableConfig(seed), place)
+		if err != nil {
+			t.Fatalf("attach after crash at event %d: %v", e, err)
+		}
+		if err := h2.CheckAll(); err != nil {
+			t.Fatalf("allocator invariants after crash at event %d: %v", e, err)
+		}
+		if err := db2.CheckConsistency(); err != nil {
+			t.Fatalf("consistency after crash at event %d: %v", e, err)
+		}
+		// The recovered database keeps working.
+		if err := db2.RunMix(4); err != nil {
+			t.Fatalf("post-recovery mix after crash at event %d: %v", e, err)
+		}
+		if err := db2.CheckConsistency(); err != nil {
+			t.Fatalf("consistency after post-recovery mix (event %d): %v", e, err)
+		}
+	}
+	if crashes == 0 {
+		t.Fatal("no crash points sampled")
+	}
+}
+
+func TestDurableCrashRecoveryAll(t *testing.T) {
+	testDurableCrashRecovery(t, PlaceAll, 10)
+}
+
+func TestDurableCrashRecoveryEach(t *testing.T) {
+	testDurableCrashRecovery(t, PlaceEach, 4)
+}

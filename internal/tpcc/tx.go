@@ -96,7 +96,7 @@ func (db *DB) NewOrder() error {
 			return err
 		} else if !ok {
 			db.stats.Rollbacks++
-			return nil
+			return db.abortTx()
 		}
 	}
 
