@@ -302,6 +302,36 @@ func benchCPUModel(b *testing.B, inorder bool) {
 	}
 }
 
+// BenchmarkSimSpeed is the observability-overhead guard: one complete timed
+// OPT simulation per core model with every internal/obs hook left at its
+// disabled (nil) default, reporting simulated MIPS. Successive entries in
+// BENCH_simspeed.json pin this number; instrumentation changes must not
+// regress it measurably (< 2%).
+func BenchmarkSimSpeed(b *testing.B) {
+	for _, core := range []harness.CoreKind{harness.InOrder, harness.OutOfOrder} {
+		b.Run(core.String(), func(b *testing.B) {
+			spec := harness.RunSpec{
+				Bench: "LL", Pattern: workloads.Random, Tx: true,
+				Opt: true, Design: polb.Pipelined, Core: core,
+				Ops: 2000, Seed: 1,
+			}
+			var insns uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				insns += res.CPU.Instructions
+			}
+			wall := time.Since(start).Seconds()
+			b.ReportMetric(float64(insns)/wall/1e6, "simMIPS")
+		})
+	}
+}
+
 // BenchmarkEndToEnd measures one complete timed simulation (trace generation
 // running in lockstep with the in-order timing model) and reports simulator
 // throughput as simMIPS plus steady-state allocation cost; insns/op makes the

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"potgo/internal/harness"
+	"potgo/internal/obs"
 	"potgo/internal/prof"
 	"potgo/internal/tpcc"
 )
@@ -67,6 +68,10 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		simSpeed   = flag.String("simspeed", "BENCH_simspeed.json", "append a simulator-throughput record to this trajectory file (empty disables)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file of the harness phases (load in Perfetto)")
+		listen     = flag.String("listen", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
+		progress   = flag.Duration("progress", 0, "periodic throughput/ETA report interval on stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -83,7 +88,26 @@ func main() {
 		os.Exit(code)
 	}
 
-	opts := harness.Options{Seed: *seed, Parallel: *parallel}
+	reg := obs.NewRegistry()
+	if *listen != "" {
+		addr, _, err := reg.Serve(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: metrics at http://%s/debug/vars\n", addr)
+	}
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		var err error
+		tw, err = obs.CreateTrace(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			exit(1)
+		}
+	}
+
+	opts := harness.Options{Seed: *seed, Parallel: *parallel, Obs: reg}
 	if *quick {
 		cfg := tpcc.TestConfig(*seed)
 		opts.Ops = 400
@@ -93,7 +117,9 @@ func main() {
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
+	endCfg := tw.Span(1, "config build")
 	suite := harness.NewSuite(opts)
+	endCfg()
 
 	ids := harness.ExperimentIDs
 	if *expFlag != "all" {
@@ -106,7 +132,18 @@ func main() {
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "== prefetching simulations for %d experiment(s) on %d worker(s) ==\n",
 		len(ids), suite.Options().Parallel)
-	if err := suite.PrefetchExperiments(ids); err != nil {
+	rep := obs.NewReporter(os.Stderr, "experiments", "run", *progress,
+		func() (done, total float64) {
+			return float64(reg.Counter("harness.runs").Value()), float64(reg.Counter("harness.runs_planned").Value())
+		},
+		func() string {
+			return fmt.Sprintf("%.1f Minsn", float64(suite.SimulatedInstructions())/1e6)
+		})
+	endPrefetch := tw.Span(1, "prefetch grid")
+	err = suite.PrefetchExperiments(ids)
+	endPrefetch()
+	rep.Stop()
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: prefetch: %v\n", err)
 		exit(1)
 	}
@@ -118,7 +155,9 @@ func main() {
 	for _, id := range ids {
 		expStart := time.Now()
 		fmt.Fprintf(os.Stderr, "== rendering %s ==\n", id)
+		endRender := tw.Span(1, "render "+id)
 		rep, err := suite.RunExperiment(id)
+		endRender()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			exit(1)
@@ -130,8 +169,10 @@ func main() {
 		timings = append(timings, harness.ExperimentTiming{ID: id, Seconds: secs})
 	}
 
+	endSummary := tw.Span(1, "summary")
 	summary := renderSummary(reports, *quick)
 	fmt.Println(summary)
+	endSummary()
 
 	wall := time.Since(start).Seconds()
 	insns := suite.SimulatedInstructions()
@@ -166,6 +207,20 @@ func main() {
 		}
 	}
 
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metricsOut)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(renderMarkdown(reports, summary, *quick, *seed)), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *out, err)

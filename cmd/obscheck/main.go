@@ -1,0 +1,103 @@
+// Command obscheck validates observability artifacts: a metrics snapshot
+// written by -metrics-out and/or a Chrome trace-event file written by
+// -trace-out. CI runs it on the smoke job's artifacts so a malformed
+// exporter fails the build rather than a later Perfetto session.
+//
+// Usage:
+//
+//	obscheck -metrics metrics.json -trace trace.json
+//
+// Exit status 0 when every named artifact parses and passes its sanity
+// checks, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"potgo/internal/obs"
+)
+
+func main() {
+	var (
+		metricsPath = flag.String("metrics", "", "metrics snapshot JSON to validate")
+		tracePath   = flag.String("trace", "", "Chrome trace-event JSON to validate")
+	)
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics and/or -trace)")
+		os.Exit(2)
+	}
+	ok := true
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *metricsPath, err)
+			ok = false
+		}
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *tracePath, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// checkMetrics round-trips the snapshot through obs.Snapshot and requires at
+// least one metric.
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("not a metrics snapshot: %w", err)
+	}
+	n := len(snap.Counters) + len(snap.Gauges) + len(snap.Histograms)
+	if n == 0 {
+		return fmt.Errorf("snapshot holds no metrics")
+	}
+	fmt.Printf("obscheck: %s: %d counters, %d gauges, %d histograms\n",
+		path, len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	return nil
+}
+
+// traceEvent mirrors the fields obscheck requires of every trace event.
+type traceEvent struct {
+	Name string `json:"name"`
+	Ph   string `json:"ph"`
+	PID  *int   `json:"pid"`
+	TS   *int64 `json:"ts"`
+}
+
+// checkTrace requires a non-empty JSON array of trace events, each with a
+// name, a phase, a pid and (for non-metadata phases) a timestamp.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []traceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("not a trace-event array: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace holds no events")
+	}
+	for i, e := range events {
+		if e.Name == "" || e.Ph == "" || e.PID == nil {
+			return fmt.Errorf("event %d missing name/ph/pid: %+v", i, e)
+		}
+		if e.Ph != "M" && e.TS == nil {
+			return fmt.Errorf("event %d (%s %q) missing ts", i, e.Ph, e.Name)
+		}
+	}
+	fmt.Printf("obscheck: %s: %d events\n", path, len(events))
+	return nil
+}

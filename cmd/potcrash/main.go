@@ -29,6 +29,7 @@ import (
 	"potgo/internal/crashtest"
 	"potgo/internal/harness"
 	"potgo/internal/nvmsim"
+	"potgo/internal/obs"
 )
 
 func main() {
@@ -46,10 +47,23 @@ func main() {
 		jsonOut     = flag.String("json", "", "write the campaign summary as JSON to this file ('-' for stdout)")
 		benchPath   = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_crash.json)")
 		replayTok   = flag.String("replay", "", "reproduce one case from its replay token instead of sweeping")
+		metricsOut  = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+		listen      = flag.String("listen", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
+		progress    = flag.Duration("progress", 0, "periodic cases/sec + ETA report interval on stderr (0 disables)")
 	)
 	flag.Parse()
 
+	reg := obs.NewRegistry()
+	if *listen != "" {
+		addr, _, err := reg.Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "potcrash: metrics at http://%s/debug/vars\n", addr)
+	}
+
 	opt := crashtest.Options{
+		Obs:         reg,
 		Seed:        *seed,
 		Ops:         *ops,
 		MaxPoints:   *points,
@@ -87,6 +101,16 @@ func main() {
 	}
 
 	start := time.Now()
+	prog := obs.NewReporter(os.Stderr, "potcrash", "case", *progress,
+		func() (done, total float64) {
+			// cases_planned grows as each target sizes its sweep, so the
+			// ETA refines target by target.
+			return float64(reg.Counter("crashtest.cases_explored").Value()),
+				float64(reg.Counter("crashtest.cases_planned").Value())
+		},
+		func() string {
+			return fmt.Sprintf("%d/%d targets", reg.Counter("crashtest.targets_completed").Value(), len(targets))
+		})
 	var (
 		summaries []crashtest.Summary
 		names     []string
@@ -102,6 +126,7 @@ func main() {
 		failures += len(sum.Failures)
 		printSummary(sum)
 	}
+	prog.Stop()
 	wall := time.Since(start).Seconds()
 
 	var span uint64
@@ -145,6 +170,13 @@ func main() {
 		default:
 			fatal(err)
 		}
+	}
+
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
 	}
 
 	os.Exit(status(failures > 0, *expectFail))

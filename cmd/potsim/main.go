@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"potgo/internal/harness"
+	"potgo/internal/obs"
 	"potgo/internal/polb"
 	"potgo/internal/prof"
 	"potgo/internal/tpcc"
@@ -47,6 +48,10 @@ func main() {
 		quick      = flag.Bool("quick-tpcc", false, "use the down-scaled TPC-C database")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event file (load in Perfetto / chrome://tracing)")
+		traceEvery = flag.Int("trace-every", 1, "sample one instruction in N for the pipeline trace")
+		listen     = flag.String("listen", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
 	)
 	flag.Parse()
 
@@ -102,8 +107,34 @@ func main() {
 		spec.TPCC = &cfg
 	}
 
+	var (
+		reg *obs.Registry
+		tw  *obs.TraceWriter
+	)
+	if *metricsOut != "" || *listen != "" {
+		reg = obs.NewRegistry()
+	}
+	if *listen != "" {
+		addr, _, err := reg.Serve(*listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "potsim: metrics at http://%s/debug/vars\n", addr)
+	}
+	if *traceOut != "" {
+		var err error
+		tw, err = obs.CreateTrace(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	start := time.Now()
-	res, err := harness.Run(spec)
+	endSim := tw.Span(1, "simulate "+spec.Label())
+	res, err := harness.RunObserved(spec, harness.RunObs{Metrics: reg, Trace: tw, TraceEvery: *traceEvery})
+	endSim()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
 		os.Exit(1)
@@ -138,6 +169,18 @@ func main() {
 			res.Soft.Calls, res.Soft.InsnsPerCall(), 100*res.Soft.PredictorMissRate())
 	}
 
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "potsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "potsim: metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintf(os.Stderr, "potsim: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,24 @@
+package core
+
+import "potgo/internal/obs"
+
+// PublishMetrics adds the translation engine's counters to the registry:
+// the translator's own activity under "core.", the walk-cycle total under
+// "pot.walk_cycles" (core is where walk stalls are charged), and the POLB's
+// counters under their design-qualified namespace. Safe on a nil registry.
+func (t *Translator) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := t.stats
+	reg.Counter("core.translations").Add(s.Translations)
+	reg.Counter("core.polb_hits").Add(s.POLBHits)
+	reg.Counter("core.polb_misses").Add(s.POLBMisses)
+	reg.Counter("core.pot_walks").Add(s.POTWalks)
+	reg.Counter("core.exceptions").Add(s.Exceptions)
+	reg.Counter("pot.walk_cycles").Add(s.WalkCycles)
+	t.polb.PublishMetrics(reg)
+	if t.pot != nil {
+		t.pot.PublishMetrics(reg)
+	}
+}

@@ -120,6 +120,9 @@ type Stats struct {
 	POLBMisses   uint64
 	POTWalks     uint64
 	Exceptions   uint64
+	// WalkCycles is the total stall charged for POT walks (the WalkLat
+	// sum over all misses), the translation half of a CPI stack.
+	WalkCycles uint64
 }
 
 // POLBMissRate returns POLB misses / translations.
@@ -236,6 +239,7 @@ func (t *Translator) Translate(o oid.OID) (Result, error) {
 		res.WalkLat = uint64(t.cfg.POTWalkLatency)
 		res.Latency += uint64(t.cfg.POTWalkLatency)
 	}
+	t.stats.WalkCycles += res.WalkLat
 	if err != nil {
 		t.stats.Exceptions++
 		return Result{}, fmt.Errorf("core: pool %d: %w", o.Pool(), err)

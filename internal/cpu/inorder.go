@@ -128,6 +128,14 @@ func RunInOrder(cfg Config, m *Machine, src trace.Source) (Result, error) {
 				cycle = storeDone
 			}
 		}
+
+		if m.Tracer != nil {
+			done := cycle
+			if in.Dst != isa.RZ && regReady[in.Dst] > done {
+				done = regReady[in.Dst]
+			}
+			m.Tracer.InOrder(in.Op.String(), start, done)
+		}
 	}
 
 	res.Cycles = cycle

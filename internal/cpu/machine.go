@@ -6,16 +6,20 @@ import (
 	"potgo/internal/core"
 	"potgo/internal/isa"
 	"potgo/internal/mem"
+	"potgo/internal/obs"
 	"potgo/internal/oid"
 )
 
 // Machine bundles the per-core memory system handed to a timing model: the
 // cache/TLB hierarchy and (for OPT configurations) the ObjectID translation
 // hardware. Translator may be nil for BASE runs, in which case encountering
-// an nvld/nvst in the trace is an error.
+// an nvld/nvst in the trace is an error. Tracer, when non-nil, receives
+// sampled per-instruction pipeline timestamps (the only per-instruction
+// cost when tracing is off is the nil check).
 type Machine struct {
 	Hier       *mem.Hierarchy
 	Translator *core.Translator
+	Tracer     *obs.PipelineTracer
 }
 
 // access is the decomposed cost of one memory instruction.

@@ -1,0 +1,38 @@
+package cpu
+
+import (
+	"potgo/internal/isa"
+	"potgo/internal/obs"
+)
+
+// PublishMetrics adds the run's end-of-run counters to the registry under
+// "cpu.<core>." (core is "inorder" or "ooo"), the instruction mix under
+// "cpu.<core>.mix.<op>", and the hierarchy counters under "mem.". Counters
+// aggregate across runs sharing a registry (the experiment grid); gauges
+// reflect the most recently published run. Safe on a nil registry.
+func (r Result) PublishMetrics(reg *obs.Registry, core string) {
+	if reg == nil {
+		return
+	}
+	p := "cpu." + core + "."
+	reg.Counter(p + "cycles").Add(r.Cycles)
+	reg.Counter(p + "instructions").Add(r.Instructions)
+	reg.Counter(p + "branch_lookups").Add(r.BranchLookups)
+	reg.Counter(p + "mispredicts").Add(r.Mispredicts)
+	reg.Counter(p + "mem_stall_cycles").Add(r.MemStallCycles)
+	reg.Counter(p + "trans_stall_cycles").Add(r.TransStallCycles)
+	reg.Counter(p + "branch_stall_cycles").Add(r.BranchStallCycles)
+	if core == "ooo" {
+		reg.Counter(p + "rob_stall_cycles").Add(r.ROBStallCycles)
+		reg.Counter(p + "lq_stall_cycles").Add(r.LQStallCycles)
+		reg.Counter(p + "sq_stall_cycles").Add(r.SQStallCycles)
+	}
+	reg.Gauge(p + "ipc").Set(r.IPC())
+	reg.Gauge(p + "mispredict_rate").Set(r.MispredictRate())
+	for op := isa.Op(0); int(op) < len(r.Mix.ByOp); op++ {
+		if n := r.Mix.ByOp[op]; n > 0 {
+			reg.Counter(p + "mix." + op.String()).Add(n)
+		}
+	}
+	r.Mem.PublishMetrics(reg)
+}

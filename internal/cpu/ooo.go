@@ -97,17 +97,22 @@ func RunOutOfOrder(cfg Config, m *Machine, src trace.Source) (Result, error) {
 		res.Mix.Record(in)
 
 		// Dispatch: front-end pacing, redirect floor, window occupancy.
+		// Each window structure is charged the cycles by which it alone
+		// pushes the dispatch floor past all earlier constraints.
 		floor := dispatchFloor
 		if t := robRing[idx%uint64(cfg.ROB)]; t > floor {
+			res.ROBStallCycles += t - floor
 			floor = t
 		}
 		if in.Op.IsLoad() {
 			if t := lqRing[loadSeq%uint64(cfg.LQ)]; t > floor {
+				res.LQStallCycles += t - floor
 				floor = t
 			}
 		}
 		if in.Op.IsStore() {
 			if t := sqRing[storeSeq%uint64(cfg.SQ)]; t > floor {
+				res.SQStallCycles += t - floor
 				floor = t
 			}
 		}
@@ -195,6 +200,10 @@ func RunOutOfOrder(cfg Config, m *Machine, src trace.Source) (Result, error) {
 		}
 		commit := commitSlots.take(floor)
 		lastCommit = commit
+
+		if m.Tracer != nil {
+			m.Tracer.OoO(in.Op.String(), dispatch-cfg.FrontendDepth, dispatch, issue, complete, commit)
+		}
 
 		// Release window entries.
 		robRing[idx%uint64(cfg.ROB)] = commit

@@ -28,6 +28,13 @@ type Result struct {
 	TransStallCycles uint64
 	// BranchStallCycles is the total branch-misprediction redirect cost.
 	BranchStallCycles uint64
+	// ROBStallCycles, LQStallCycles and SQStallCycles attribute
+	// out-of-order dispatch delay to window occupancy: cycles dispatch
+	// waited for a ROB / load-queue / store-queue entry to free beyond
+	// every other constraint already accounted. Zero for the in-order
+	// model. Attribution is approximate when stalls overlap (the binding
+	// constraint is charged).
+	ROBStallCycles, LQStallCycles, SQStallCycles uint64
 	// Mem snapshots hierarchy counters.
 	Mem mem.Stats
 	// Translation and POLB snapshot the hardware translation counters

@@ -21,6 +21,7 @@ import (
 
 	"potgo/internal/emit"
 	"potgo/internal/nvmsim"
+	"potgo/internal/obs"
 	"potgo/internal/pmem"
 	"potgo/internal/vm"
 )
@@ -85,6 +86,10 @@ type Options struct {
 	// MutationSpec). The dry run uses the same mutation so event numbering
 	// stays aligned.
 	Mutate MutationSpec `json:"mutate,omitempty"`
+	// Obs, when non-nil, receives campaign progress counters under
+	// "crashtest." (cases_explored, failures, points_selected, ...). It has
+	// no effect on the sweep itself.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultOptions returns the CI smoke-campaign configuration.
@@ -335,6 +340,12 @@ func RunTarget(tg Target, opt Options) (Summary, error) {
 
 	points, exhaustive := pickPoints(base, span, opt)
 	sum := Summary{Target: tg.Name(), Span: span, Points: len(points), Exhaustive: exhaustive}
+	opt.Obs.Counter("crashtest.events_spanned").Add(span)
+	opt.Obs.Counter("crashtest.points_selected").Add(uint64(len(points)))
+	opt.Obs.Counter("crashtest.cases_planned").Add(uint64(len(points) * len(opt.Policies)))
+	defer func() {
+		opt.Obs.Counter("crashtest.targets_completed").Inc()
+	}()
 	for _, e := range points {
 		for _, kind := range opt.Policies {
 			pol := policyFor(kind, opt.Seed^e)
@@ -343,9 +354,11 @@ func RunTarget(tg Target, opt Options) (Summary, error) {
 				return sum, err
 			}
 			sum.Cases++
+			opt.Obs.Counter("crashtest.cases_explored").Inc()
 			if fail == nil {
 				continue
 			}
+			opt.Obs.Counter("crashtest.failures").Inc()
 			if opt.Minimize {
 				if rep, err := reportOf(tg, opt, e, pol); err == nil {
 					fail.MinLost = minimize(tg, opt, e, rep)

@@ -1,0 +1,16 @@
+package emit
+
+import "potgo/internal/obs"
+
+// PublishMetrics adds the BASE-mode software-translation counters to the
+// registry under "emit.oid_direct.". Safe on a nil registry.
+func (s SoftStats) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("emit.oid_direct.calls").Add(s.Calls)
+	reg.Counter("emit.oid_direct.predictor_hits").Add(s.PredictorHits)
+	reg.Counter("emit.oid_direct.insns").Add(s.Insns)
+	reg.Gauge("emit.oid_direct.predictor_miss_rate").Set(s.PredictorMissRate())
+	reg.Gauge("emit.oid_direct.insns_per_call").Set(s.InsnsPerCall())
+}

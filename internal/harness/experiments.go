@@ -32,11 +32,11 @@ func (s *Suite) Table2() (Report, error) {
 		"Bench", "Insns on ALL", "Insns on EACH", "Miss on recent (EACH)")
 	var allCols, eachCols, missCols []float64
 	for _, bench := range MicroBenches {
-		all, err := RunFunctional(s.finish(RunSpec{Bench: bench, Pattern: workloads.All, Tx: true}))
+		all, err := RunFunctionalObserved(s.finish(RunSpec{Bench: bench, Pattern: workloads.All, Tx: true}), s.opts.Obs)
 		if err != nil {
 			return Report{}, err
 		}
-		each, err := RunFunctional(s.finish(RunSpec{Bench: bench, Pattern: workloads.Each, Tx: true}))
+		each, err := RunFunctionalObserved(s.finish(RunSpec{Bench: bench, Pattern: workloads.Each, Tx: true}), s.opts.Obs)
 		if err != nil {
 			return Report{}, err
 		}

@@ -13,6 +13,7 @@ import (
 	"potgo/internal/cpu"
 	"potgo/internal/emit"
 	"potgo/internal/mem"
+	"potgo/internal/obs"
 	"potgo/internal/pmem"
 	"potgo/internal/polb"
 	"potgo/internal/pot"
@@ -144,6 +145,14 @@ func (s RunSpec) opsAndRange() (int, uint64, error) {
 
 // Run executes one simulation.
 func Run(spec RunSpec) (RunResult, error) {
+	return RunObserved(spec, RunObs{})
+}
+
+// RunObserved is Run with observability sinks attached: end-of-run
+// statistics are published into ro.Metrics and (when ro.Trace is set)
+// sampled per-instruction pipeline timestamps stream into the trace. A
+// zero RunObs makes it exactly Run.
+func RunObserved(spec RunSpec, ro RunObs) (RunResult, error) {
 	ops, keyRange, err := spec.opsAndRange()
 	if err != nil {
 		return RunResult{}, err
@@ -153,6 +162,9 @@ func Run(spec RunSpec) (RunResult, error) {
 	memCfg.NextLinePrefetch = spec.Prefetch
 	hier := mem.New(memCfg, as)
 	machine := &cpu.Machine{Hier: hier}
+	if ro.Trace != nil {
+		machine.Tracer = obs.NewPipelineTracer(ro.Trace, ro.TraceEvery)
+	}
 
 	var potTable *pot.Table
 	var tr *core.Translator
@@ -186,6 +198,9 @@ func Run(spec RunSpec) (RunResult, error) {
 
 	out := RunResult{Spec: spec}
 	var prodErr error
+	// heapRef is set by the producer goroutine and read only after
+	// ls.Close() joins it, so the handoff is race-free.
+	var heapRef *pmem.Heap
 	ls := trace.GenerateLockstep(func(sink trace.Sink) {
 		mode := emit.Base
 		switch {
@@ -212,6 +227,7 @@ func Run(spec RunSpec) (RunResult, error) {
 		}
 		h.POT = potTable
 		h.HW = tr
+		heapRef = h
 
 		if spec.Bench == TPCCBench {
 			cfg := tpcc.SpecConfig(spec.Seed)
@@ -273,15 +289,47 @@ func Run(spec RunSpec) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("harness: %s: simulation: %w", spec.Label(), err)
 	}
 	out.CPU = res
+	out.publish(ro.Metrics, tr, heapRef)
 	return out, nil
 }
 
 // RunFunctional executes the workload without a timing model (the trace is
 // discarded); used by Table 2, which only needs oid_direct instrumentation.
 func RunFunctional(spec RunSpec) (RunResult, error) {
+	out, _, err := runFunctional(spec)
+	return out, err
+}
+
+// RunFunctionalObserved is RunFunctional with metrics publication.
+func RunFunctionalObserved(spec RunSpec, reg *obs.Registry) (RunResult, error) {
+	out, h, err := runFunctional(spec)
+	if err == nil {
+		out.publish(reg, nil, h)
+	}
+	return out, err
+}
+
+// RunFunctionalDump executes the workload functionally and returns, along
+// with the result, a copy of the final durable pool bytes after a full
+// sync. Pool contents are position-independent (object references are
+// stored as OIDs, never as virtual addresses), so two runs of the same
+// workload under different translation modes must dump byte-identical
+// pools — the differential-test invariant.
+func RunFunctionalDump(spec RunSpec) (RunResult, map[string][]byte, error) {
+	out, h, err := runFunctional(spec)
+	if err != nil {
+		return out, nil, err
+	}
+	if err := h.SyncAll(); err != nil {
+		return out, nil, err
+	}
+	return out, h.Store.DumpBytes(), nil
+}
+
+func runFunctional(spec RunSpec) (RunResult, *pmem.Heap, error) {
 	ops, keyRange, err := spec.opsAndRange()
 	if err != nil {
-		return RunResult{}, err
+		return RunResult{}, nil, err
 	}
 	as := vm.NewAddressSpace(spec.Seed ^ 0x5eed)
 	mode := emit.Base
@@ -298,12 +346,12 @@ func RunFunctional(spec RunSpec) (RunResult, error) {
 	var soft *emit.SoftTranslator
 	if mode == emit.Base {
 		if soft, err = emit.NewSoftTranslator(em, as, 1024); err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 	}
 	h, err := pmem.NewHeap(as, pmem.NewStore(), em, soft)
 	if err != nil {
-		return RunResult{}, err
+		return RunResult{}, nil, err
 	}
 	out := RunResult{Spec: spec}
 	if spec.Bench == TPCCBench {
@@ -318,23 +366,23 @@ func RunFunctional(spec RunSpec) (RunResult, error) {
 		}
 		db, err := tpcc.NewDB(h, cfg, place)
 		if err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 		if err := db.RunMix(ops); err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 	} else {
 		w, ok := workloads.ByAbbr(spec.Bench)
 		if !ok {
-			return RunResult{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+			return RunResult{}, nil, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
 		}
 		env, err := workloads.NewEnv(h, workloads.Config{Pattern: spec.Pattern, Tx: spec.Tx, Seed: spec.Seed})
 		if err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 		sum, err := w.Run(env, ops, keyRange)
 		if err != nil {
-			return RunResult{}, err
+			return RunResult{}, nil, err
 		}
 		out.Checksum = sum
 		out.Pools = env.PoolsCreated()
@@ -343,5 +391,5 @@ func RunFunctional(spec RunSpec) (RunResult, error) {
 	if soft != nil {
 		out.Soft = soft.Stats()
 	}
-	return out, nil
+	return out, h, nil
 }

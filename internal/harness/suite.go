@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"potgo/internal/obs"
 	"potgo/internal/tpcc"
 )
 
@@ -30,6 +31,11 @@ type Options struct {
 	// Progress, when non-nil, receives a line per completed run. Calls
 	// are serialized even when runs complete concurrently.
 	Progress func(string)
+	// Obs, when non-nil, receives every fresh run's end-of-run metrics
+	// plus the suite's own counters (harness.runs, harness.cache_hits,
+	// harness.runs_planned). Memoized runs publish nothing — their
+	// statistics are already in the registry.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -91,10 +97,11 @@ func (s *Suite) Get(spec RunSpec) (RunResult, error) {
 	s.mu.Lock()
 	if r, ok := s.cache[k]; ok {
 		s.mu.Unlock()
+		s.opts.Obs.Counter("harness.cache_hits").Inc()
 		return r, nil
 	}
 	s.mu.Unlock()
-	r, err := Run(spec)
+	r, err := RunObserved(spec, RunObs{Metrics: s.opts.Obs})
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -127,6 +134,7 @@ func (s *Suite) Prefetch(specs []RunSpec) error {
 		seen[k] = struct{}{}
 		uniq = append(uniq, spec)
 	}
+	s.opts.Obs.Counter("harness.runs_planned").Add(uint64(len(uniq)))
 	workers := s.opts.Parallel
 	if workers > len(uniq) {
 		workers = len(uniq)

@@ -1,0 +1,259 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry with hierarchical names, a Chrome trace-event (Perfetto) exporter
+// for pipeline and harness timelines, and a periodic progress reporter for
+// long campaigns.
+//
+// Everything in the package is built to cost nothing when disabled: a nil
+// *Registry hands out nil metric handles, and every method on a nil handle
+// (Counter, Gauge, Histogram, TraceWriter, PipelineTracer, Reporter) is a
+// no-op. Components therefore thread obs handles unconditionally and never
+// guard call sites; the simulator hot paths additionally keep their counts
+// in local variables and publish once per run, so the disabled-path cost is
+// a single nil comparison at most.
+//
+// Metric names are dot-hierarchical, component first:
+//
+//	cpu.inorder.cycles        polb.pipelined.miss     pmem.tx.undo_records
+//	cpu.ooo.rob_stall_cycles  pot.walk_cycles         crashtest.cases_explored
+//
+// The full catalogue lives in DESIGN.md §"Observability".
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically non-decreasing uint64 metric. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 metric. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last value set (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: observation v lands in the first
+// bucket whose upper bound is >= v, or in the trailing overflow bucket.
+// Bucket counts and the running sum are independently atomic; a snapshot
+// derives the total count from the bucket counts it read, so it is always
+// internally consistent even while writers race (each bucket is monotone, so
+// successive snapshots are monotone bucket-by-bucket). A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time view of a histogram. Counts has one entry
+// per bound plus a trailing overflow bucket; Count is the sum of Counts.
+type HistSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Counts[i] = n
+		s.Count += n
+	}
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	return s
+}
+
+// Registry holds the process's metrics by hierarchical name. A nil *Registry
+// is the disabled state: its lookup methods return nil handles.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, registering it with the given
+// ascending bucket upper bounds on first use (later calls may pass nil
+// bounds to mean "whatever it was registered with"). Returns nil on a nil
+// registry.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+		h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time view of every metric, JSON-serializable and
+// round-trippable. Counter and histogram-bucket values are monotone across
+// successive snapshots of the same registry.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric. On a nil
+// registry it returns an empty (but non-nil-mapped) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// WriteFile dumps a snapshot of the registry as indented JSON to path. A nil
+// registry writes an empty snapshot (the file is still valid JSON).
+func (r *Registry) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMetrics hammers one registry's counters and histograms from
+// NumCPU writer goroutines while a reader loop takes snapshots, asserting
+// under -race that nothing tears: every snapshot is internally consistent,
+// counter values and histogram bucket counts are monotone from one snapshot
+// to the next, and the final snapshot accounts for every recorded event.
+func TestConcurrentMetrics(t *testing.T) {
+	reg := NewRegistry()
+	writers := runtime.NumCPU()
+	if writers < 2 {
+		writers = 2
+	}
+	const perWriter = 20000
+	bounds := []float64{1, 10, 100}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Handles are resolved concurrently too: half the writers
+			// re-look names up every iteration to exercise the
+			// registration path, half keep the handle.
+			c := reg.Counter("race.count")
+			h := reg.Histogram("race.hist", bounds...)
+			g := reg.Gauge("race.gauge")
+			for i := 0; i < perWriter; i++ {
+				if w%2 == 0 {
+					c = reg.Counter("race.count")
+					h = reg.Histogram("race.hist", bounds...)
+				}
+				c.Inc()
+				h.Observe(float64(i % 200))
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+
+	snapErrs := make(chan string, 4)
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		var lastCount uint64
+		lastBuckets := make([]uint64, len(bounds)+1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := reg.Snapshot()
+			if c, ok := snap.Counters["race.count"]; ok {
+				if c < lastCount {
+					snapErrs <- "counter went backwards"
+					return
+				}
+				lastCount = c
+			}
+			if h, ok := snap.Histograms["race.hist"]; ok {
+				var sum uint64
+				for i, b := range h.Counts {
+					if b < lastBuckets[i] {
+						snapErrs <- "histogram bucket went backwards"
+						return
+					}
+					lastBuckets[i] = b
+					sum += b
+				}
+				if h.Count != sum {
+					snapErrs <- "histogram count does not equal its bucket sum (torn snapshot)"
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	select {
+	case msg := <-snapErrs:
+		t.Fatal(msg)
+	default:
+	}
+
+	final := reg.Snapshot()
+	want := uint64(writers * perWriter)
+	if got := final.Counters["race.count"]; got != want {
+		t.Errorf("race.count = %d, want %d", got, want)
+	}
+	h := final.Histograms["race.hist"]
+	if h.Count != want {
+		t.Errorf("race.hist count = %d, want %d", h.Count, want)
+	}
+	var bucketSum uint64
+	for _, b := range h.Counts {
+		bucketSum += b
+	}
+	if bucketSum != want {
+		t.Errorf("race.hist buckets sum to %d, want %d", bucketSum, want)
+	}
+	// Mean observation is (0+...+199)/200 = 99.5 per writer pass.
+	if mean := h.Sum / float64(h.Count); mean < 99 || mean > 100 {
+		t.Errorf("race.hist mean = %v, want ~99.5", mean)
+	}
+}

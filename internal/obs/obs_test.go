@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every handle a nil registry hands out must be callable.
+	var reg *Registry
+	c := reg.Counter("x")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := reg.Gauge("y")
+	g.Set(1.5)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	h := reg.Histogram("z", 1, 2)
+	h.Observe(1)
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+
+	var tw *TraceWriter
+	tw.Complete(SimPID, 1, "x", 0, 1, nil)
+	tw.Instant(SimPID, 1, "x", 0, nil)
+	tw.Span(1, "x")()
+	if tw.Events() != 0 || tw.Close() != nil {
+		t.Error("nil trace writer must be inert")
+	}
+	if NewPipelineTracer(nil, 1) != nil {
+		t.Error("tracer on nil writer must be nil")
+	}
+	var pt *PipelineTracer
+	pt.OoO("ld", 0, 1, 2, 3, 4)
+	pt.InOrder("ld", 0, 1)
+
+	var rep *Reporter
+	rep.Stop()
+	if NewReporter(os.Stderr, "x", "y", time.Second, nil, nil) != nil {
+		t.Error("reporter without a sample func must be nil")
+	}
+	if NewReporter(os.Stderr, "x", "y", 0, func() (float64, float64) { return 0, 0 }, nil) != nil {
+		t.Error("reporter without an interval must be nil")
+	}
+}
+
+func TestRegistryMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a.b").Add(2)
+	reg.Counter("a.b").Inc()
+	if got := reg.Counter("a.b").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	reg.Gauge("g").Set(2.5)
+	reg.Gauge("g").Set(-1)
+	if got := reg.Gauge("g").Value(); got != -1 {
+		t.Errorf("gauge = %v, want -1 (last value wins)", got)
+	}
+
+	h := reg.Histogram("h", 1, 10, 100)
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	s := reg.Snapshot().Histograms["h"]
+	// Buckets: <=1, <=10, <=100, overflow.
+	if want := []uint64{2, 1, 1, 2}; fmt.Sprint(s.Counts) != fmt.Sprint(want) {
+		t.Errorf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0.5+1+5+50+500+5000 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+
+	// Same name returns the same metric; unsorted bounds panic.
+	if reg.Histogram("h") != h {
+		t.Error("histogram lookup must be stable")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unsorted bounds must panic")
+			}
+		}()
+		reg.Histogram("bad", 3, 1)
+	}()
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pot.walk_cycles").Add(42)
+	reg.Gauge("cpu.inorder.ipc").Set(0.75)
+	reg.Histogram("harness.run_instructions", 10, 100).Observe(57)
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := reg.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot does not round-trip: %v", err)
+	}
+	if snap.Counters["pot.walk_cycles"] != 42 {
+		t.Errorf("counter lost in round trip: %v", snap.Counters)
+	}
+	if snap.Gauges["cpu.inorder.ipc"] != 0.75 {
+		t.Errorf("gauge lost in round trip: %v", snap.Gauges)
+	}
+	h := snap.Histograms["harness.run_instructions"]
+	if h.Count != 1 || h.Sum != 57 || len(h.Counts) != 3 {
+		t.Errorf("histogram lost in round trip: %+v", h)
+	}
+}
+
+func TestTraceWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.NameProcess(SimPID, "core")
+	tw.Complete(SimPID, LaneExec, "nvld", 100, 7, map[string]any{"n": 1})
+	tw.Instant(HarnessPID, 1, "mark", 3, nil)
+	end := tw.Span(2, "phase")
+	end()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Events() != 4 {
+		t.Errorf("events = %d, want 4", tw.Events())
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON event array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	if events[0]["ph"] != "M" || events[1]["ph"] != "X" || events[2]["ph"] != "i" {
+		t.Errorf("phases = %v %v %v", events[0]["ph"], events[1]["ph"], events[2]["ph"])
+	}
+	if events[1]["ts"].(float64) != 100 || events[1]["dur"].(float64) != 7 {
+		t.Errorf("complete event ts/dur = %v/%v", events[1]["ts"], events[1]["dur"])
+	}
+	if events[3]["pid"].(float64) != HarnessPID {
+		t.Errorf("span must land on the harness pid, got %v", events[3]["pid"])
+	}
+}
+
+func TestPipelineTracerSampling(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	pt := NewPipelineTracer(tw, 3)
+	meta := tw.Events() // lane-name metadata written up front
+	for i := 0; i < 9; i++ {
+		pt.InOrder("alu", uint64(i), uint64(i+1))
+	}
+	if got := tw.Events() - meta; got != 3 {
+		t.Errorf("sampled %d of 9 instructions at every=3, want 3", got)
+	}
+	before := tw.Events()
+	pt.OoO("nvld", 0, 2, 4, 9, 10)
+	pt.OoO("nvld", 0, 2, 4, 9, 10)
+	pt.OoO("nvld", 0, 2, 4, 9, 10) // instruction 12: sampled (12 % 3 == 0 → seen%3==1 pattern)
+	kept := tw.Events() - before
+	if kept != 4 {
+		t.Errorf("one sampled OoO instruction must emit 4 lane spans, got %d", kept)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReporter(t *testing.T) {
+	var buf bytes.Buffer
+	var done atomic.Int64
+	r := NewReporter(&buf, "sweep", "case", 10*time.Millisecond,
+		func() (float64, float64) { return float64(done.Load()), 100 },
+		func() string { return "extra-bit" })
+	done.Store(40)
+	time.Sleep(35 * time.Millisecond)
+	r.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "sweep:") || !strings.Contains(out, "case") {
+		t.Errorf("missing label/unit in %q", out)
+	}
+	if !strings.Contains(out, "of 100") || !strings.Contains(out, "%") {
+		t.Errorf("missing total/percent in %q", out)
+	}
+	if !strings.Contains(out, "extra-bit") {
+		t.Errorf("missing extra suffix in %q", out)
+	}
+}
+
+func TestServeExpvar(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crashtest.cases_explored").Add(7)
+	addr, shutdown, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Potsim Snapshot `json:"potsim"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Potsim.Counters["crashtest.cases_explored"] != 7 {
+		t.Errorf("expvar snapshot = %+v", body.Potsim.Counters)
+	}
+
+	// A second registry swaps in without a duplicate-publish panic.
+	reg2 := NewRegistry()
+	reg2.Counter("crashtest.cases_explored").Add(9)
+	addr2, shutdown2, err := reg2.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown2()
+	resp2, err := http.Get("http://" + addr2 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Potsim.Counters["crashtest.cases_explored"] != 9 {
+		t.Errorf("expvar must serve the most recent registry, got %+v", body.Potsim.Counters)
+	}
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Reporter prints a periodic progress line for long-running campaigns:
+// work done, instantaneous rate, and (when a total is known) an ETA. It is
+// driven by polling a caller-supplied sample function, so the workload being
+// observed needs no channel or callback plumbing — just counters. A nil
+// *Reporter is a no-op.
+type Reporter struct {
+	w        io.Writer
+	label    string
+	unit     string
+	sample   func() (done, total float64)
+	extra    func() string
+	interval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	started  time.Time
+	lastDone float64
+	lastAt   time.Time
+}
+
+// NewReporter starts a goroutine that writes a progress line to w every
+// interval. sample returns (work done so far, total expected work); a zero
+// or unknown total suppresses the ETA and percentage. extra, when non-nil,
+// appends a caller-defined suffix (e.g. "7.4 simulated MIPS"). Stop must be
+// called to release the goroutine. A nil sample or non-positive interval
+// returns a nil (disabled) Reporter.
+func NewReporter(w io.Writer, label, unit string, interval time.Duration, sample func() (done, total float64), extra func() string) *Reporter {
+	if sample == nil || interval <= 0 {
+		return nil
+	}
+	now := time.Now()
+	r := &Reporter{
+		w: w, label: label, unit: unit, sample: sample, extra: extra,
+		interval: interval, stop: make(chan struct{}),
+		started: now, lastAt: now,
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			fmt.Fprintln(r.w, r.line())
+		}
+	}
+}
+
+// line renders one progress line from the current sample.
+func (r *Reporter) line() string {
+	done, total := r.sample()
+	r.mu.Lock()
+	now := time.Now()
+	rate := 0.0
+	if dt := now.Sub(r.lastAt).Seconds(); dt > 0 {
+		rate = (done - r.lastDone) / dt
+	}
+	r.lastDone, r.lastAt = done, now
+	r.mu.Unlock()
+
+	s := fmt.Sprintf("%s: %.0f %s", r.label, done, r.unit)
+	if total > 0 {
+		s += fmt.Sprintf(" of %.0f (%.0f%%)", total, 100*done/total)
+	}
+	s += fmt.Sprintf(", %.1f %s/s", rate, r.unit)
+	if total > done && rate > 0 {
+		eta := time.Duration((total - done) / rate * float64(time.Second))
+		s += fmt.Sprintf(", ETA %s", eta.Round(time.Second))
+	}
+	if r.extra != nil {
+		if x := r.extra(); x != "" {
+			s += ", " + x
+		}
+	}
+	return s
+}
+
+// Stop halts the reporter and prints a final line. Safe on nil.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	close(r.stop)
+	r.wg.Wait()
+	fmt.Fprintln(r.w, r.line())
+}
+
+// The expvar name is process-global and expvar.Publish panics on duplicates,
+// so Serve publishes once and routes through a swappable registry pointer
+// (tests and successive campaigns may serve different registries).
+var (
+	expvarMu  sync.Mutex
+	expvarReg *Registry
+	expvarUp  bool
+)
+
+// Serve exposes the registry on an expvar HTTP endpoint: GET /debug/vars on
+// addr returns the standard expvar JSON with the full metrics snapshot under
+// the "potsim" key, refreshed on every request — enough to watch a
+// multi-hour campaign with curl or a dashboard. It returns the bound
+// listener address (useful with ":0") and a shutdown function.
+func (r *Registry) Serve(addr string) (string, func() error, error) {
+	expvarMu.Lock()
+	expvarReg = r
+	if !expvarUp {
+		expvar.Publish("potsim", expvar.Func(func() any {
+			expvarMu.Lock()
+			reg := expvarReg
+			expvarMu.Unlock()
+			return reg.Snapshot()
+		}))
+		expvarUp = true
+	}
+	expvarMu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

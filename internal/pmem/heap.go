@@ -37,11 +37,32 @@ type Heap struct {
 	// fences, and decides their fate at a Crash.
 	NV *nvmsim.Domain
 
+	// Metrics counts library activity for the observability layer
+	// (plain fields: a heap is single-threaded by construction).
+	Metrics HeapStats
+
 	open map[oid.PoolID]*Pool
 	tx   *txState
 	// clwbPool memoizes the pool the last observed CLWB landed in;
 	// persist loops write back runs of lines from one pool.
 	clwbPool *Pool
+}
+
+// HeapStats counts persistent-memory library activity.
+type HeapStats struct {
+	// TxBegins / TxCommits / TxAborts count transaction lifecycle calls.
+	TxBegins, TxCommits, TxAborts uint64
+	// UndoRecords counts undo-log records appended (tx_add_range
+	// snapshots, transactional allocations and free intents together);
+	// UndoBytes is their durable log footprint including headers.
+	UndoRecords, UndoBytes uint64
+	// Allocs / Frees count pmalloc/pfree operations (transactional and
+	// not); AllocBytes is the total payload requested.
+	Allocs, Frees, AllocBytes uint64
+	// Persists counts Persist range flushes (CLWB runs + fence).
+	Persists uint64
+	// PoolsCreated / PoolsOpened count pool_create / pool_open calls.
+	PoolsCreated, PoolsOpened uint64
 }
 
 // NewHeap builds a heap. soft may be nil for OPT-mode heaps.
@@ -103,6 +124,7 @@ func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
 		return nil, err
 	}
 	h.Emit.Compute(openCost)
+	h.Metrics.PoolsCreated++
 	return p, nil
 }
 
@@ -121,6 +143,7 @@ func (h *Heap) Open(name string) (*Pool, error) {
 		return nil, fmt.Errorf("pmem: pool %q has bad magic %#x", name, got)
 	}
 	h.Emit.Compute(openCost)
+	h.Metrics.PoolsOpened++
 	return p, nil
 }
 
@@ -500,6 +523,7 @@ func (h *Heap) Persist(o oid.OID, size uint32) error {
 		return err
 	}
 	h.Emit.SFence()
+	h.Metrics.Persists++
 	return nil
 }
 

@@ -1,0 +1,24 @@
+package pmem
+
+import "potgo/internal/obs"
+
+// PublishMetrics adds the heap's library-activity counters to the registry
+// under "pmem.". Counters aggregate across heaps sharing a registry. Safe on
+// a nil registry.
+func (h *Heap) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := h.Metrics
+	reg.Counter("pmem.tx.begins").Add(s.TxBegins)
+	reg.Counter("pmem.tx.commits").Add(s.TxCommits)
+	reg.Counter("pmem.tx.aborts").Add(s.TxAborts)
+	reg.Counter("pmem.tx.undo_records").Add(s.UndoRecords)
+	reg.Counter("pmem.tx.undo_bytes").Add(s.UndoBytes)
+	reg.Counter("pmem.alloc.allocs").Add(s.Allocs)
+	reg.Counter("pmem.alloc.frees").Add(s.Frees)
+	reg.Counter("pmem.alloc.bytes").Add(s.AllocBytes)
+	reg.Counter("pmem.persists").Add(s.Persists)
+	reg.Counter("pmem.pools.created").Add(s.PoolsCreated)
+	reg.Counter("pmem.pools.opened").Add(s.PoolsOpened)
+}

@@ -82,6 +82,19 @@ func (s *Store) lookup(name string) (*backing, error) {
 	return b, nil
 }
 
+// DumpBytes returns a copy of every pool's durable bytes keyed by pool name.
+// Only the durable view is captured — call Heap.SyncAll first if the cache
+// view must be included. Pool contents are position-independent (object
+// references are stored as OIDs, never as virtual addresses), so two runs of
+// the same workload under different translation modes must dump identically.
+func (s *Store) DumpBytes() map[string][]byte {
+	out := make(map[string][]byte, len(s.byName))
+	for name, b := range s.byName {
+		out[name] = append([]byte(nil), b.data...)
+	}
+	return out
+}
+
 // Delete removes a closed pool from the store (not part of the paper's API,
 // but needed for cleanup in long-running hosts).
 func (s *Store) Delete(name string) error {

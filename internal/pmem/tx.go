@@ -78,6 +78,7 @@ func (h *Heap) TxBegin(p *Pool) error {
 		}
 	}
 	h.tx = &txState{pool: p, writeOff: logStart + logOffRecords}
+	h.Metrics.TxBegins++
 	h.Emit.Jump()
 	h.Emit.Compute(txBeginWork)
 	return nil
@@ -137,6 +138,8 @@ func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) 
 		rcd.old = append([]byte(nil), data...)
 	}
 	t.records = append(t.records, rcd)
+	h.Metrics.UndoRecords++
+	h.Metrics.UndoBytes += recHeaderBytes + uint64(padded)
 	return nil
 }
 
@@ -287,6 +290,7 @@ func (h *Heap) TxEnd() error {
 		return err
 	}
 	h.tx = nil
+	h.Metrics.TxCommits++
 	return nil
 }
 
@@ -320,6 +324,7 @@ func (h *Heap) TxAbort() error {
 		return err
 	}
 	h.tx = nil
+	h.Metrics.TxAborts++
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package polb
+
+import (
+	"strings"
+
+	"potgo/internal/obs"
+)
+
+// MetricPrefix returns the design's metric namespace ("polb.pipelined",
+// "polb.parallel").
+func (d Design) MetricPrefix() string {
+	return "polb." + strings.ToLower(d.String())
+}
+
+// PublishMetrics adds the POLB's counters to the registry under the
+// design-qualified namespace (polb.pipelined.miss, polb.parallel.hit, ...)
+// and refreshes the miss-rate gauge. Safe on a nil registry.
+func (p *POLB) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := p.Stats()
+	prefix := p.design.MetricPrefix() + "."
+	reg.Counter(prefix + "hit").Add(s.Hits)
+	reg.Counter(prefix + "miss").Add(s.Misses)
+	reg.Gauge(prefix + "miss_rate").Set(s.MissRate())
+	reg.Gauge(prefix + "entries").Set(float64(p.Len()))
+}

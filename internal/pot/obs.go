@@ -1,0 +1,18 @@
+package pot
+
+import "potgo/internal/obs"
+
+// PublishMetrics adds the table's hardware-walk counters to the registry
+// under "pot.". Walk cycle accounting lives with the translator that charges
+// it (pot.walk_cycles, published by core). Safe on a nil registry.
+func (t *Table) PublishMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s := t.Stats()
+	reg.Counter("pot.walks").Add(s.Walks)
+	reg.Counter("pot.probes").Add(s.Probes)
+	reg.Counter("pot.misses").Add(s.Misses)
+	reg.Gauge("pot.pools").Set(float64(t.Len()))
+	reg.Gauge("pot.entries").Set(float64(t.Entries()))
+}

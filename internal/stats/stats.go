@@ -10,18 +10,46 @@ import (
 	"strings"
 )
 
-// GeoMean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which would indicate a broken speedup computation).
+// GeoMean returns the geometric mean of xs.
+//
+// Edge cases are defined rather than fatal, because the inputs are measured
+// speedup ratios and an aggregation helper must not take down a whole
+// experiment grid:
+//
+//   - empty input returns 0 (no ratios, no mean — matches Mean);
+//   - any zero returns 0 (the mathematical limit: one zero factor
+//     annihilates the product);
+//   - any negative value or NaN returns NaN (a negative ratio has no real
+//     geometric mean; NaN is contagious, as in every float aggregate), so
+//     a broken speedup computation surfaces as NaN in the rendered table
+//     instead of a panic.
+//
+// +Inf inputs follow IEEE arithmetic: the mean is +Inf unless a zero is
+// also present, in which case 0·∞ makes the result NaN.
 func GeoMean(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var sum float64
+	var (
+		sum     float64
+		hasZero bool
+	)
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		if x < 0 || math.IsNaN(x) {
+			return math.NaN()
+		}
+		if x == 0 {
+			// Keep scanning: a later negative/NaN still dominates.
+			hasZero = true
+			continue
 		}
 		sum += math.Log(x)
+	}
+	if hasZero {
+		if math.IsInf(sum, 1) {
+			return math.NaN() // 0 · ∞
+		}
+		return 0
 	}
 	return math.Exp(sum / float64(len(xs)))
 }

@@ -8,21 +8,46 @@ import (
 )
 
 func TestGeoMean(t *testing.T) {
-	if GeoMean(nil) != 0 {
-		t.Error("empty geomean is 0")
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		in   []float64
+		want float64 // NaN means "require NaN"
+	}{
+		{"empty nil", nil, 0},
+		{"empty slice", []float64{}, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{2, 8}, 4},
+		{"ones", []float64{1, 1, 1}, 1},
+		{"tiny values stay finite", []float64{1e-300, 1e-300}, 1e-300},
+		{"zero annihilates", []float64{1, 0}, 0},
+		{"all zeros", []float64{0, 0}, 0},
+		{"negative is NaN", []float64{2, -1}, nan},
+		{"negative after zero is NaN", []float64{0, -1}, nan},
+		{"NaN is contagious", []float64{2, nan}, nan},
+		{"inf dominates", []float64{2, inf}, inf},
+		{"zero times inf is NaN", []float64{0, inf}, nan},
 	}
-	if g := GeoMean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
-		t.Errorf("GeoMean(2,8) = %v", g)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := GeoMean(tc.in)
+			switch {
+			case math.IsNaN(tc.want):
+				if !math.IsNaN(g) {
+					t.Errorf("GeoMean(%v) = %v, want NaN", tc.in, g)
+				}
+			case math.IsInf(tc.want, 1):
+				if !math.IsInf(g, 1) {
+					t.Errorf("GeoMean(%v) = %v, want +Inf", tc.in, g)
+				}
+			default:
+				if math.Abs(g-tc.want) > 1e-12*math.Max(1, tc.want) {
+					t.Errorf("GeoMean(%v) = %v, want %v", tc.in, g, tc.want)
+				}
+			}
+		})
 	}
-	if g := GeoMean([]float64{3}); math.Abs(g-3) > 1e-12 {
-		t.Errorf("GeoMean(3) = %v", g)
-	}
-	defer func() {
-		if recover() == nil {
-			t.Error("non-positive input must panic")
-		}
-	}()
-	GeoMean([]float64{1, 0})
 }
 
 func TestMean(t *testing.T) {
