@@ -1,0 +1,188 @@
+// Command covcheck enforces per-package statement-coverage floors on a Go
+// cover profile (the -coverprofile output of `go test`). CI runs it after
+// the coverage job so a regression in the persistence core's test coverage
+// fails the build instead of silently rotting.
+//
+// Usage:
+//
+//	covcheck -profile coverage.out -floor potgo/internal/pmem=70 -floor potgo/internal/pds=70
+//
+// Floors are percentages of statements covered at least once, aggregated
+// over every profiled file whose import path starts with the floor's
+// package prefix. The exit status is 0 when every floor holds and 1
+// otherwise; packages without a floor are reported but never fail.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floorFlag collects repeated -floor pkg=percent pairs.
+type floorFlag struct {
+	pkgs []string
+	min  map[string]float64
+}
+
+func (f *floorFlag) String() string { return fmt.Sprint(f.pkgs) }
+
+func (f *floorFlag) Set(s string) error {
+	pkg, pct, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want pkg=percent, got %q", s)
+	}
+	v, err := strconv.ParseFloat(pct, 64)
+	if err != nil || v < 0 || v > 100 {
+		return fmt.Errorf("bad percentage in %q", s)
+	}
+	if f.min == nil {
+		f.min = make(map[string]float64)
+	}
+	if _, dup := f.min[pkg]; !dup {
+		f.pkgs = append(f.pkgs, pkg)
+	}
+	f.min[pkg] = v
+	return nil
+}
+
+// pkgCov accumulates statement counts for one package.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "cover profile to check")
+	var floors floorFlag
+	flag.Var(&floors, "floor", "pkg=percent floor, repeatable (e.g. potgo/internal/pmem=70)")
+	flag.Parse()
+
+	byPkg, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		c := byPkg[p]
+		fmt.Printf("%-40s %6.1f%%  (%d/%d statements)\n", p, c.percent(), c.covered, c.total)
+	}
+
+	failed := false
+	for _, pkg := range floors.pkgs {
+		c, sum := aggregate(byPkg, pkg)
+		if sum == 0 {
+			fmt.Fprintf(os.Stderr, "covcheck: FAIL %s: no profiled files under this package\n", pkg)
+			failed = true
+			continue
+		}
+		if got, want := c.percent(), floors.min[pkg]; got < want {
+			fmt.Fprintf(os.Stderr, "covcheck: FAIL %s: %.1f%% < floor %.1f%%\n", pkg, got, want)
+			failed = true
+		} else {
+			fmt.Printf("floor ok: %s %.1f%% >= %.1f%%\n", pkg, got, want)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// aggregate sums coverage over every package equal to or nested under pkg.
+func aggregate(byPkg map[string]pkgCov, pkg string) (pkgCov, int) {
+	var c pkgCov
+	n := 0
+	for p, pc := range byPkg {
+		if p == pkg || strings.HasPrefix(p, pkg+"/") {
+			c.total += pc.total
+			c.covered += pc.covered
+			n++
+		}
+	}
+	return c, n
+}
+
+// block is one profiled source region's aggregate across test binaries.
+type block struct {
+	stmts int
+	hit   bool
+}
+
+// parseProfile reads a cover profile: a "mode:" header, then one line per
+// source region, "file:start.col,end.col numStmts hitCount". When several
+// test binaries share a -coverpkg set (go test pkg1 pkg2 ...), the profile
+// repeats each region once per binary, so regions are deduplicated by
+// file:range and a region counts as covered if ANY binary hit it.
+func parseProfile(name string) (map[string]pkgCov, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	blocks := make(map[string]*block)
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 'file:range stmts count', got %q", name, lineno, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count %q", name, lineno, fields[1])
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count %q", name, lineno, fields[2])
+		}
+		b, ok := blocks[fields[0]]
+		if !ok {
+			b = &block{stmts: stmts}
+			blocks[fields[0]] = b
+		}
+		b.hit = b.hit || count > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	byPkg := make(map[string]pkgCov)
+	for key, b := range blocks {
+		file, _, ok := strings.Cut(key, ":")
+		if !ok {
+			return nil, fmt.Errorf("%s: block key %q has no file separator", name, key)
+		}
+		pkg := path.Dir(file)
+		c := byPkg[pkg]
+		c.total += b.stmts
+		if b.hit {
+			c.covered += b.stmts
+		}
+		byPkg[pkg] = c
+	}
+	return byPkg, nil
+}

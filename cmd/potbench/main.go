@@ -1,0 +1,212 @@
+// Command potbench load-tests a potserve server: several client
+// connections issue pipelined batches of get/put/delete requests, latencies
+// land in internal/obs histograms, and the run's throughput and tail
+// latencies can be appended to a BENCH_serve.json trajectory.
+//
+// With no -addr it brings up an in-process server on a loopback port first,
+// so one command measures the full stack:
+//
+//	potbench -conns 8 -ops 20000 -depth 16 -bench BENCH_serve.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"potgo/internal/harness"
+	"potgo/internal/objstore"
+	"potgo/internal/obs"
+	"potgo/internal/pmem"
+	"potgo/internal/potserve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "potserve address; empty starts an in-process server")
+		conns      = flag.Int("conns", 4, "client connections (one worker goroutine each)")
+		ops        = flag.Int("ops", 10000, "requests per connection")
+		depth      = flag.Int("depth", 16, "pipeline depth (requests in flight per connection)")
+		keySpace   = flag.Int("keyspace", 10000, "keys are drawn from [0, keyspace)")
+		readPct    = flag.Int("read-pct", 50, "percentage of requests that are GETs (writes split 4:1 put:delete)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		shards     = flag.Int("shards", 8, "in-process server: heap and KV shards")
+		benchPath  = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_serve.json)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+	)
+	flag.Parse()
+	if *conns <= 0 || *ops <= 0 || *depth <= 0 || *keySpace <= 0 || *readPct < 0 || *readPct > 100 {
+		fatal(fmt.Errorf("need positive conns/ops/depth/keyspace and read-pct in [0,100]"))
+	}
+
+	reg := obs.NewRegistry()
+	target := *addr
+	inProcess := target == ""
+	if inProcess {
+		sh, err := pmem.NewSharded(pmem.NewStore(), *shards, int64(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		kv, err := objstore.CreateKV(sh, "potbench")
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		srv := potserve.Serve(ln, kv, reg)
+		defer srv.Close()
+		target = srv.Addr()
+		fmt.Fprintf(os.Stderr, "potbench: in-process server on %s (%d shards)\n", target, *shards)
+	}
+
+	// Per-worker latency slices merge into exact percentiles afterwards;
+	// the obs histogram feeds -metrics-out.
+	hist := reg.Histogram("potbench.latency_us", 1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576)
+	lats := make([][]float64, *conns)
+	errCounts := make([]int, *conns)
+	workerErr := make([]error, *conns)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := potserve.Dial(target)
+			if err != nil {
+				workerErr[w] = err
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(*seed) + int64(w)*0x9e3779b9))
+			reqs := make([]potserve.Request, 0, *depth)
+			lat := make([]float64, 0, *ops)
+			for done := 0; done < *ops; {
+				reqs = reqs[:0]
+				for len(reqs) < *depth && done+len(reqs) < *ops {
+					key := uint64(rng.Intn(*keySpace))
+					switch {
+					case rng.Intn(100) < *readPct:
+						reqs = append(reqs, potserve.Request{Op: potserve.OpGet, Key: key})
+					case rng.Intn(5) == 0:
+						reqs = append(reqs, potserve.Request{Op: potserve.OpDel, Key: key})
+					default:
+						reqs = append(reqs, potserve.Request{Op: potserve.OpPut, Key: key, Val: rng.Uint64()})
+					}
+				}
+				batchStart := time.Now()
+				resps, err := c.Pipeline(reqs)
+				if err != nil {
+					workerErr[w] = err
+					return
+				}
+				// Pipelined latency: each request in the batch waited the
+				// batch's round trip.
+				us := float64(time.Since(batchStart).Microseconds())
+				for _, r := range resps {
+					lat = append(lat, us)
+					hist.Observe(us)
+					if r.Status == potserve.StatusErr {
+						errCounts[w]++
+					}
+				}
+				done += len(reqs)
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+	for w, err := range workerErr {
+		if err != nil {
+			fatal(fmt.Errorf("conn %d: %w", w, err))
+		}
+	}
+
+	var all []float64
+	errors := 0
+	for w := range lats {
+		all = append(all, lats[w]...)
+		errors += errCounts[w]
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	total := len(all)
+	rate := float64(total) / wall
+
+	fmt.Printf("potbench: %d conns x %d ops (depth %d, %d%% reads, keyspace %d): %.0f ops/s, p50 %.0fµs p95 %.0fµs p99 %.0fµs, %d errors (%.1fs)\n",
+		*conns, *ops, *depth, *readPct, *keySpace, rate, pct(0.50), pct(0.95), pct(0.99), errors, wall)
+
+	if *benchPath != "" {
+		rec := harness.ServeRecord{
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
+			GitSHA:      gitSHA(),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Seed:        *seed,
+			Conns:       *conns,
+			OpsPerConn:  *ops,
+			Depth:       *depth,
+			KeySpace:    *keySpace,
+			ReadPct:     *readPct,
+			Shards:      *shards,
+			InProcess:   inProcess,
+			Ops:         total,
+			Errors:      errors,
+			WallSeconds: wall,
+			OpsPerSec:   rate,
+			P50us:       pct(0.50),
+			P95us:       pct(0.95),
+			P99us:       pct(0.99),
+		}
+		switch err := harness.AppendServeRecord(*benchPath, rec); {
+		case err == nil:
+			fmt.Printf("appended trajectory record to %s\n", *benchPath)
+		case strings.Contains(err.Error(), harness.ErrDuplicateServeRecord.Error()):
+			fmt.Fprintf(os.Stderr, "potbench: %v (not recording)\n", err)
+		default:
+			fatal(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
+}
+
+// gitSHA identifies the working tree for trajectory records, with a "-dirty"
+// suffix when uncommitted changes are present; "" if git is unavailable.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(strings.TrimSpace(string(st))) > 0 {
+		sha += "-dirty"
+	}
+	return sha
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "potbench: %v\n", err)
+	os.Exit(1)
+}

@@ -50,6 +50,9 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 		listen      = flag.String("listen", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
 		progress    = flag.Duration("progress", 0, "periodic cases/sec + ETA report interval on stderr (0 disables)")
+		concurrent  = flag.Bool("concurrent", false, "run the concurrent campaign: crash a multi-worker workload on the sharded heap (-workers/-shards; -ops is per worker, -points crash points)")
+		workers     = flag.Int("workers", 4, "concurrent campaign: worker goroutines")
+		shards      = flag.Int("shards", 4, "concurrent campaign: heap lock shards")
 	)
 	flag.Parse()
 
@@ -93,6 +96,32 @@ func main() {
 
 	if *replayTok != "" {
 		os.Exit(replay(*replayTok, opt, *expectFail))
+	}
+
+	if *concurrent {
+		copt := crashtest.DefaultConcurrentOptions()
+		copt.Seed = *seed
+		copt.Workers = *workers
+		copt.Shards = *shards
+		copt.OpsPerWorker = *ops
+		copt.Points = *points
+		copt.Policies = opt.Policies
+		copt.Obs = reg
+		start := time.Now()
+		sum, err := crashtest.RunConcurrent(copt)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Printf("concurrent campaign: FAIL after %d/%d points: %v\n", sum.Fired+sum.Completed, sum.Points, err)
+			os.Exit(status(true, *expectFail))
+		}
+		fmt.Printf("concurrent campaign: %d workers on %d shards, %d points (%d fired, %d drained), %d acked ops, %d events spanned (%.1fs)\n",
+			copt.Workers, copt.Shards, sum.Points, sum.Fired, sum.Completed, sum.AckedOps, sum.Span, wall)
+		if *metricsOut != "" {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fatal(err)
+			}
+		}
+		os.Exit(status(false, *expectFail))
 	}
 
 	targets, err := selectTargets(*targetsFlag, *seed)

@@ -1,0 +1,76 @@
+// Command potserve serves the persistent object store over TCP: a sharded
+// persistent heap (internal/pmem), a shard-per-pool B+-tree KV store
+// (internal/objstore) and the length-prefixed binary protocol of
+// internal/potserve. Connections are handled concurrently and requests on
+// one connection are pipelined.
+//
+// The store lives in the in-memory NVM simulation, so potserve is a
+// workload vehicle (drive it with potbench), not a database: its contents
+// vanish with the process.
+//
+// Usage:
+//
+//	potserve -listen 127.0.0.1:7070 -shards 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"potgo/internal/objstore"
+	"potgo/internal/obs"
+	"potgo/internal/pmem"
+	"potgo/internal/potserve"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7070", "serve the object protocol on this TCP address")
+		shards  = flag.Int("shards", 8, "heap lock shards and KV tree shards")
+		seed    = flag.Uint64("seed", 1, "heap layout seed")
+		metrics = flag.String("metrics", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metrics != "" {
+		addr, _, err := reg.Serve(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "potserve: metrics at http://%s/debug/vars\n", addr)
+	}
+
+	sh, err := pmem.NewSharded(pmem.NewStore(), *shards, int64(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	kv, err := objstore.CreateKV(sh, "potserve")
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := potserve.Serve(ln, kv, reg)
+	fmt.Fprintf(os.Stderr, "potserve: serving on %s (%d shards)\n", srv.Addr(), *shards)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "potserve: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "potserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,333 @@
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"potgo/internal/nvmsim"
+	"potgo/internal/objstore"
+	"potgo/internal/obs"
+	"potgo/internal/pmem"
+)
+
+// The concurrent campaign crashes a multi-worker workload mid-flight and
+// proves recovery lands on a state consistent with the acknowledged
+// operations. The verification protocol leans on three facts the objstore
+// layer guarantees:
+//
+//  1. Each structure's volatile journal is appended inside the
+//     transaction, under the structure's latch, so journal order is commit
+//     order and at most ONE entry per structure (the last) can belong to a
+//     transaction that never committed.
+//  2. Each structure's persistent op counter commits atomically with the
+//     operation, so its recovered value c says exactly which journal
+//     prefix became durable: replay(journal[:c]) must equal the recovered
+//     contents.
+//  3. The domain poisons itself at the crash point, so no operation
+//     anywhere commits after the crash — an acknowledged operation was
+//     acknowledged before the crash and must therefore be inside the
+//     durable prefix: acked <= c <= len(journal).
+//
+// Transfers commit both halves in one multi-pool transaction, so a
+// transfer id must appear in both durable prefixes or in neither.
+type ConcurrentOptions struct {
+	// Seed drives the workload streams, the crash-point sampling and the
+	// seeded policies.
+	Seed uint64 `json:"seed"`
+	// Workers is the number of concurrent client goroutines.
+	Workers int `json:"workers"`
+	// Shards is the sharded heap's lock-shard count.
+	Shards int `json:"shards"`
+	// OpsPerWorker bounds each worker's operation count per run.
+	OpsPerWorker int `json:"ops_per_worker"`
+	// Points is the number of crash points sampled (run 0 is always the
+	// unarmed baseline that also measures the event span).
+	Points int `json:"points"`
+	// KeySpace is the key range [1, KeySpace] the workload churns.
+	KeySpace int `json:"key_space"`
+	// Policies rotate across crash points.
+	Policies []nvmsim.Kind `json:"-"`
+	// Obs, when non-nil, receives campaign counters under
+	// "crashtest.concurrent.".
+	Obs *obs.Registry `json:"-"`
+}
+
+// DefaultConcurrentOptions returns the CI smoke configuration.
+func DefaultConcurrentOptions() ConcurrentOptions {
+	return ConcurrentOptions{
+		Seed:         1,
+		Workers:      4,
+		Shards:       4,
+		OpsPerWorker: 60,
+		Points:       12,
+		KeySpace:     24,
+		Policies:     []nvmsim.Kind{nvmsim.DropAll, nvmsim.KeepRandom, nvmsim.Torn},
+	}
+}
+
+// ConcurrentSummary reports one concurrent campaign.
+type ConcurrentSummary struct {
+	Points    int    `json:"points"`
+	Fired     int    `json:"fired"`     // runs where the armed crash actually hit
+	Completed int    `json:"completed"` // runs that drained before the arm point
+	AckedOps  uint64 `json:"acked_ops"` // total acknowledged effective ops
+	Span      uint64 `json:"event_span"`
+}
+
+// ccWorld is one fresh world: sharded heap + Multi store over a new store.
+type ccWorld struct {
+	sh *pmem.Sharded
+	m  *objstore.Multi
+}
+
+func buildConcurrentWorld(opt ConcurrentOptions) (*ccWorld, error) {
+	sh, err := pmem.NewSharded(pmem.NewStore(), opt.Shards, int64(opt.Seed))
+	if err != nil {
+		return nil, err
+	}
+	m, err := objstore.CreateMulti(sh, "cc")
+	if err != nil {
+		return nil, err
+	}
+	return &ccWorld{sh: sh, m: m}, nil
+}
+
+// runWorkers drives the workload until every worker finishes or the domain
+// crashes. It returns the number of primary crash signals seen (0 or 1)
+// and the per-structure acknowledged-op counts.
+func runWorkers(w *ccWorld, opt ConcurrentOptions) (fired int, acked []uint64, err error) {
+	nk := len(objstore.Kinds)
+	ackedA := make([]uint64, nk)
+	var primary uint64
+	errs := make([]error, opt.Workers)
+
+	var wg sync.WaitGroup
+	for wi := 0; wi < opt.Workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				cs, ok := nvmsim.AsCrashSignal(r)
+				if !ok {
+					panic(r)
+				}
+				if !cs.Poisoned {
+					atomic.AddUint64(&primary, 1)
+				}
+			}()
+			// A worker that hits an error after the crash fired is a
+			// casualty, not a failure: the machine died under it (for
+			// instance, Begin refuses a pool whose mid-commit transaction
+			// will only be cleared by the power cycle).
+			fail := func(what string, err error) bool {
+				if err == nil {
+					return false
+				}
+				if !w.sh.Heap().NV.Poisoned() {
+					errs[wi] = fmt.Errorf("worker %d %s: %w", wi, what, err)
+				}
+				return true
+			}
+			rng := rand.New(rand.NewSource(int64(mix64(opt.Seed ^ uint64(wi+1)))))
+			for i := 0; i < opt.OpsPerWorker; i++ {
+				kind := rng.Intn(nk)
+				key := uint64(rng.Intn(opt.KeySpace) + 1)
+				switch rng.Intn(5) {
+				case 0, 1, 2:
+					did, err := w.m.Add(kind, key)
+					if fail("Add", err) {
+						return
+					}
+					if did {
+						atomic.AddUint64(&ackedA[kind], 1)
+					}
+				case 3:
+					did, err := w.m.Remove(kind, key)
+					if fail("Remove", err) {
+						return
+					}
+					if did {
+						atomic.AddUint64(&ackedA[kind], 1)
+					}
+				case 4:
+					to := rng.Intn(nk)
+					if to == kind {
+						to = (to + 1) % nk
+					}
+					did, err := w.m.Transfer(kind, to, key)
+					if fail("Transfer", err) {
+						return
+					}
+					if did {
+						atomic.AddUint64(&ackedA[kind], 1)
+						atomic.AddUint64(&ackedA[to], 1)
+					}
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, nil, e
+		}
+	}
+	return int(primary), ackedA, nil
+}
+
+// verifyConcurrent power-cycles the world under pol, reattaches, and runs
+// the full acked-prefix consistency protocol.
+func verifyConcurrent(w *ccWorld, acked []uint64, pol nvmsim.Policy, opt ConcurrentOptions) error {
+	if _, err := w.sh.Crash(pol); err != nil {
+		return fmt.Errorf("crash: %w", err)
+	}
+	m2, err := objstore.OpenMulti(w.sh, "cc")
+	if err != nil {
+		return fmt.Errorf("reattach: %w", err)
+	}
+	counts, err := m2.Check()
+	if err != nil {
+		return fmt.Errorf("structure invariants: %w", err)
+	}
+	if err := m2.CheckHeap(); err != nil {
+		return fmt.Errorf("heap sweep: %w", err)
+	}
+
+	outIDs := make(map[uint64]bool)
+	inIDs := make(map[uint64]bool)
+	for kind := range objstore.Kinds {
+		journal := w.m.Journal(kind)
+		c, err := m2.Counter(kind)
+		if err != nil {
+			return err
+		}
+		if c < acked[kind] || c > uint64(len(journal)) {
+			return fmt.Errorf("%s: recovered counter %d outside [acked=%d, journaled=%d]",
+				objstore.Kinds[kind], c, acked[kind], len(journal))
+		}
+		model := objstore.ReplayJournal(journal, int(c))
+		if counts[kind] != len(model) {
+			return fmt.Errorf("%s: %d keys recovered, committed prefix replays to %d",
+				objstore.Kinds[kind], counts[kind], len(model))
+		}
+		for key := uint64(1); key <= uint64(opt.KeySpace); key++ {
+			has, err := m2.Has(kind, key)
+			if err != nil {
+				return err
+			}
+			if has != model[key] {
+				return fmt.Errorf("%s key %d: present=%v after recovery, committed prefix says %v",
+					objstore.Kinds[kind], key, has, model[key])
+			}
+		}
+		for _, e := range journal[:c] {
+			switch e.Op {
+			case objstore.OpXferOut:
+				outIDs[e.XferID] = true
+			case objstore.OpXferIn:
+				inIDs[e.XferID] = true
+			}
+		}
+	}
+	// Transfer atomicity: a transfer's two halves commit together or not
+	// at all, so the durable out- and in-sets are the same set of ids.
+	for id := range outIDs {
+		if !inIDs[id] {
+			return fmt.Errorf("transfer %d: source half durable, destination half lost", id)
+		}
+	}
+	for id := range inIDs {
+		if !outIDs[id] {
+			return fmt.Errorf("transfer %d: destination half durable, source half lost", id)
+		}
+	}
+	return nil
+}
+
+// RunConcurrent runs the concurrent crash campaign: a fresh world per
+// point, an armed crash mid-workload (run 0 stays unarmed to measure the
+// event span and prove the quiescent store survives any policy), and the
+// full verification protocol after every power cycle.
+func RunConcurrent(opt ConcurrentOptions) (ConcurrentSummary, error) {
+	if opt.Workers <= 0 || opt.Shards <= 0 || opt.OpsPerWorker <= 0 || opt.Points <= 0 {
+		return ConcurrentSummary{}, fmt.Errorf("crashtest: concurrent options need positive workers/shards/ops/points")
+	}
+	if opt.KeySpace <= 0 {
+		opt.KeySpace = 24
+	}
+	if len(opt.Policies) == 0 {
+		opt.Policies = []nvmsim.Kind{nvmsim.DropAll}
+	}
+	sum := ConcurrentSummary{Points: opt.Points}
+
+	var bump func(name string, d uint64)
+	if opt.Obs != nil {
+		bump = func(name string, d uint64) { opt.Obs.Counter("crashtest.concurrent." + name).Add(d) }
+	} else {
+		bump = func(string, uint64) {}
+	}
+
+	var startE, endE uint64
+	for point := 0; point < opt.Points; point++ {
+		w, err := buildConcurrentWorld(opt)
+		if err != nil {
+			return sum, err
+		}
+		h := w.sh.Heap()
+
+		polKind := opt.Policies[point%len(opt.Policies)]
+		polSeed := mix64(opt.Seed ^ uint64(point) ^ 0xcc)
+		pol := nvmsim.Policy{Kind: polKind, Seed: polSeed}
+
+		armAt := uint64(0)
+		if point == 0 {
+			startE = h.NV.Events()
+		} else {
+			span := endE - startE
+			if span == 0 {
+				span = 1
+			}
+			armAt = startE + 1 + mix64(opt.Seed^uint64(point))%span
+			h.NV.Arm(armAt)
+		}
+
+		fired, acked, err := runWorkers(w, opt)
+		if err != nil {
+			return sum, fmt.Errorf("point %d: %w", point, err)
+		}
+		if point == 0 {
+			endE = h.NV.Events()
+			sum.Span = endE - startE
+			if sum.Span == 0 {
+				return sum, fmt.Errorf("crashtest: baseline run produced no persistence events")
+			}
+		}
+		h.NV.Disarm() // an unreached arm point must not fire during verification
+		if fired > 1 {
+			return sum, fmt.Errorf("point %d: %d primary crash signals, want at most 1", point, fired)
+		}
+		if fired == 1 {
+			sum.Fired++
+			bump("fired", 1)
+		} else {
+			sum.Completed++
+			bump("completed", 1)
+		}
+		for _, a := range acked {
+			sum.AckedOps += a
+		}
+
+		if err := verifyConcurrent(w, acked, pol, opt); err != nil {
+			return sum, fmt.Errorf("point %d (arm=%d, policy=%s, fired=%v): %w",
+				point, armAt, polKind, fired == 1, err)
+		}
+		bump("points", 1)
+	}
+	return sum, nil
+}

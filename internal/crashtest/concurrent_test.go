@@ -1,0 +1,64 @@
+package crashtest
+
+import (
+	"testing"
+
+	"potgo/internal/nvmsim"
+	"potgo/internal/obs"
+	"potgo/internal/randtest"
+)
+
+// TestConcurrentCampaign runs the full concurrent crash campaign: armed
+// crashes under a multi-worker workload, power cycles under rotating
+// adversaries, and the acked-prefix verification protocol after each one.
+func TestConcurrentCampaign(t *testing.T) {
+	opt := DefaultConcurrentOptions()
+	opt.Seed = uint64(randtest.Seed(t, 1))
+	if testing.Short() {
+		opt.Points = 4
+	}
+	reg := obs.NewRegistry()
+	opt.Obs = reg
+
+	sum, err := RunConcurrent(opt)
+	if err != nil {
+		t.Fatalf("concurrent campaign: %v", err)
+	}
+	t.Logf("points=%d fired=%d completed=%d acked=%d span=%d",
+		sum.Points, sum.Fired, sum.Completed, sum.AckedOps, sum.Span)
+	if sum.Fired == 0 {
+		t.Fatal("no sampled crash point fired: the campaign never crashed mid-workload")
+	}
+	if sum.AckedOps == 0 {
+		t.Fatal("no operations were acknowledged across the campaign")
+	}
+	if sum.Span == 0 {
+		t.Fatal("baseline run measured an empty event span")
+	}
+}
+
+// TestConcurrentCampaignRejectsBadOptions pins the option validation.
+func TestConcurrentCampaignRejectsBadOptions(t *testing.T) {
+	opt := DefaultConcurrentOptions()
+	opt.Workers = 0
+	if _, err := RunConcurrent(opt); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+// TestConcurrentQuiescentDurability pins the baseline property on its own:
+// with no crash armed, a drained workload must survive the harshest
+// policy — everything acknowledged is durable by construction.
+func TestConcurrentQuiescentDurability(t *testing.T) {
+	opt := DefaultConcurrentOptions()
+	opt.Seed = uint64(randtest.Seed(t, 3))
+	opt.Points = 1 // only the unarmed baseline
+	opt.Policies = []nvmsim.Kind{nvmsim.DropAll}
+	sum, err := RunConcurrent(opt)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	if sum.Completed != 1 || sum.Fired != 0 {
+		t.Fatalf("baseline summary off: %+v", sum)
+	}
+}

@@ -60,12 +60,13 @@ func (m Mode) String() string {
 
 // Emitter writes instructions to a sink and manages temporary registers.
 type Emitter struct {
-	sink    trace.Sink
-	mode    Mode
-	next    int
-	count   uint64
-	paused  bool
-	dropped uint64
+	sink     trace.Sink
+	mode     Mode
+	next     int
+	count    uint64
+	paused   bool
+	detached bool
+	dropped  uint64
 
 	// Stack-frame traffic: when attached, Compute interleaves loads and
 	// stores to this region among its ALU work, so the emitted
@@ -125,6 +126,9 @@ func (e *Emitter) Count() uint64 { return e.count }
 // temporaries are only valid across short instruction windows — which is all
 // the timing models' dependency tracking needs.
 func (e *Emitter) Temp() isa.Reg {
+	if e.detached {
+		return isa.Reg(tempLo)
+	}
 	r := e.next
 	e.next++
 	if e.next == tempHi {
@@ -145,10 +149,28 @@ func (e *Emitter) Resume() { e.paused = false }
 // Paused reports whether emission is suspended.
 func (e *Emitter) Paused() bool { return e.paused }
 
+// Detach permanently turns the emitter into a no-op shell: no instruction
+// is recorded, counted, or handed to the sink, and Temp stops rotating
+// registers so the emitter carries no mutable state on the emission path.
+// Persist observation (CLWB/SFence) still fires — durability is a property
+// of the simulated machine, not of the trace.
+//
+// Detach exists for concurrent heaps: an instruction stream is a
+// single-threaded notion (the golden-number tests depend on bit-exact
+// ordering), so a heap serving multiple goroutines detaches its emitter and
+// keeps only the persistence-domain events. There is no re-attach.
+func (e *Emitter) Detach() { e.detached = true }
+
+// Detached reports whether the emitter has been detached.
+func (e *Emitter) Detached() bool { return e.detached }
+
 // Dropped returns the number of instructions suppressed while paused.
 func (e *Emitter) Dropped() uint64 { return e.dropped }
 
 func (e *Emitter) emit(in isa.Instr) {
+	if e.detached {
+		return
+	}
 	if e.paused {
 		e.dropped++
 		return
@@ -243,6 +265,9 @@ const computeILP = 3
 // sources, structured as computeILP parallel chains with a final join, and
 // returns the register holding the final value.
 func (e *Emitter) Compute(n int, srcs ...isa.Reg) isa.Reg {
+	if e.detached {
+		return isa.RZ
+	}
 	if n <= 0 {
 		if len(srcs) > 0 {
 			return srcs[0]

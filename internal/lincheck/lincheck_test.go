@@ -1,0 +1,155 @@
+package lincheck
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// regIn is a read/write-register input.
+type regIn struct {
+	write bool
+	val   uint64
+}
+
+func regModel() Model {
+	return Model{
+		Init: func() any { return uint64(0) },
+		Step: func(s, in any) (any, any) {
+			i := in.(regIn)
+			if i.write {
+				return i.val, true
+			}
+			return s, s.(uint64)
+		},
+		Repr: func(s any) string { return fmt.Sprint(s) },
+	}
+}
+
+func TestCheckSequentialGood(t *testing.T) {
+	h := []Op{
+		{Worker: 0, Input: regIn{write: true, val: 1}, Output: true, Call: 1, Ret: 2},
+		{Worker: 1, Input: regIn{}, Output: uint64(1), Call: 3, Ret: 4},
+		{Worker: 0, Input: regIn{write: true, val: 2}, Output: true, Call: 5, Ret: 6},
+		{Worker: 1, Input: regIn{}, Output: uint64(2), Call: 7, Ret: 8},
+	}
+	if err := Check(regModel(), h); err != nil {
+		t.Fatalf("good sequential history rejected: %v", err)
+	}
+}
+
+func TestCheckSequentialBad(t *testing.T) {
+	// The read of 1 happens strictly after the write of 2 returned: no
+	// linearization explains it.
+	h := []Op{
+		{Worker: 0, Input: regIn{write: true, val: 1}, Output: true, Call: 1, Ret: 2},
+		{Worker: 0, Input: regIn{write: true, val: 2}, Output: true, Call: 3, Ret: 4},
+		{Worker: 1, Input: regIn{}, Output: uint64(1), Call: 5, Ret: 6},
+	}
+	if err := Check(regModel(), h); err == nil {
+		t.Fatal("stale read accepted as linearizable")
+	}
+}
+
+func TestCheckConcurrentFlexibility(t *testing.T) {
+	// A read overlapping a write may see either the old or the new value.
+	for _, out := range []uint64{0, 7} {
+		h := []Op{
+			{Worker: 0, Input: regIn{write: true, val: 7}, Output: true, Call: 1, Ret: 6},
+			{Worker: 1, Input: regIn{}, Output: out, Call: 2, Ret: 3},
+		}
+		if err := Check(regModel(), h); err != nil {
+			t.Fatalf("overlapping read of %d rejected: %v", out, err)
+		}
+	}
+	// But a value never written is wrong under any order.
+	h := []Op{
+		{Worker: 0, Input: regIn{write: true, val: 7}, Output: true, Call: 1, Ret: 6},
+		{Worker: 1, Input: regIn{}, Output: uint64(9), Call: 2, Ret: 3},
+	}
+	if err := Check(regModel(), h); err == nil {
+		t.Fatal("read of a never-written value accepted")
+	}
+}
+
+// keyedIn routes register ops to independent keys for partition testing.
+type keyedIn struct {
+	key uint64
+	regIn
+}
+
+func keyedModel() Model {
+	m := regModel()
+	return Model{
+		Init: m.Init,
+		Step: func(s, in any) (any, any) {
+			return m.Step(s, in.(keyedIn).regIn)
+		},
+		Repr:      m.Repr,
+		Partition: func(op Op) any { return op.Input.(keyedIn).key },
+	}
+}
+
+func TestCheckPartitioned(t *testing.T) {
+	good := []Op{
+		{Input: keyedIn{key: 1, regIn: regIn{write: true, val: 5}}, Output: true, Call: 1, Ret: 2},
+		{Input: keyedIn{key: 2, regIn: regIn{write: true, val: 6}}, Output: true, Call: 3, Ret: 4},
+		{Input: keyedIn{key: 1, regIn: regIn{}}, Output: uint64(5), Call: 5, Ret: 6},
+		{Input: keyedIn{key: 2, regIn: regIn{}}, Output: uint64(6), Call: 7, Ret: 8},
+	}
+	if err := Check(keyedModel(), good); err != nil {
+		t.Fatalf("good partitioned history rejected: %v", err)
+	}
+
+	bad := append(append([]Op{}, good...), Op{
+		Input: keyedIn{key: 2, regIn: regIn{}}, Output: uint64(999), Call: 9, Ret: 10,
+	})
+	err := Check(keyedModel(), bad)
+	if err == nil {
+		t.Fatal("bad partition accepted")
+	}
+	if !strings.Contains(err.Error(), "partition 2") {
+		t.Fatalf("error does not name the stuck partition: %v", err)
+	}
+}
+
+func TestCheckRejectsMalformedOp(t *testing.T) {
+	h := []Op{{Input: regIn{}, Output: uint64(0), Call: 5, Ret: 5}}
+	if err := Check(regModel(), h); err == nil {
+		t.Fatal("op with Call >= Ret accepted")
+	}
+}
+
+func TestRecorderTimestamps(t *testing.T) {
+	r := NewRecorder()
+	const workers = 8
+	const each = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				p := r.Begin(w, i)
+				r.End(p, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != workers*each {
+		t.Fatalf("history has %d ops, want %d", len(h), workers*each)
+	}
+	seen := make(map[uint64]bool, 2*len(h))
+	for _, op := range h {
+		if op.Call >= op.Ret {
+			t.Fatalf("op %+v: Call >= Ret", op)
+		}
+		if seen[op.Call] || seen[op.Ret] {
+			t.Fatalf("duplicate timestamp in op %+v", op)
+		}
+		seen[op.Call] = true
+		seen[op.Ret] = true
+	}
+}

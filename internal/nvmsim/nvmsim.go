@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // LineBytes is the cache-line size of the simulated machine.
@@ -69,6 +70,11 @@ type CrashSignal struct {
 	// Event is the event index the crash preempted (the event did not
 	// happen).
 	Event uint64
+	// Poisoned marks a secondary signal: the domain's armed crash already
+	// fired (on this or another goroutine) and this event arrived at a
+	// dead machine. Concurrent crash harnesses see one primary signal and
+	// any number of poisoned ones.
+	Poisoned bool
 }
 
 func (c *CrashSignal) String() string { return fmt.Sprintf("nvmsim: crash at event %d", c.Event) }
@@ -97,10 +103,15 @@ func (ps *poolState) isDirty(line uint32) bool {
 // Domain is one persistence domain: the volatile cache state of every
 // mapped pool plus the event counter used for crash-point injection.
 type Domain struct {
-	pools  map[uint32]*poolState
-	events uint64
-	armed  bool
-	armAt  uint64
+	pools         map[uint32]*poolState
+	events        uint64
+	armed         bool
+	armAt         uint64
+	poisonOnCrash bool
+	// poisoned is read/written atomically: concurrent harness code checks
+	// Poisoned() from worker goroutines that don't hold the host's event
+	// lock (e.g. to classify an error as a casualty of the crash).
+	poisoned uint32
 }
 
 // NewDomain returns an empty persistence domain.
@@ -141,12 +152,29 @@ func (d *Domain) Clean(pool uint32) {
 
 // step numbers one event and, when armed, crashes just before applying it.
 func (d *Domain) step() {
+	if atomic.LoadUint32(&d.poisoned) != 0 {
+		panic(&CrashSignal{Event: d.events, Poisoned: true})
+	}
 	if d.armed && d.events == d.armAt {
 		d.armed = false
+		if d.poisonOnCrash {
+			atomic.StoreUint32(&d.poisoned, 1)
+		}
 		panic(&CrashSignal{Event: d.armAt})
 	}
 	d.events++
 }
+
+// SetPoisonOnCrash controls what happens after an armed crash fires. Off
+// (the default, matching the sequential harnesses), the domain keeps
+// running — the one goroutine that caught the signal owns what happens
+// next. On, the domain is poisoned: power is off, so every later event —
+// from any goroutine that raced past the crash point — panics with a
+// secondary (Poisoned) signal instead of mutating state that no real
+// machine could have touched. Concurrent harnesses need this, because the
+// crashing worker cannot stop its peers any other way. Disarm and Crash
+// lift the poisoning.
+func (d *Domain) SetPoisonOnCrash(on bool) { d.poisonOnCrash = on }
 
 // Events returns the number of events applied so far.
 func (d *Domain) Events() uint64 { return d.events }
@@ -155,8 +183,17 @@ func (d *Domain) Events() uint64 { return d.events }
 // Domain's creation, see Events). The panic carries a *CrashSignal.
 func (d *Domain) Arm(at uint64) { d.armed, d.armAt = true, at }
 
-// Disarm cancels a pending Arm.
-func (d *Domain) Disarm() { d.armed = false }
+// Disarm cancels a pending Arm and lifts any poisoning, so the domain can
+// keep running after a recovered crash (the sequential harnesses recover
+// and verify on the same domain).
+func (d *Domain) Disarm() {
+	d.armed = false
+	atomic.StoreUint32(&d.poisoned, 0)
+}
+
+// Poisoned reports whether an armed crash has fired and the domain is dead.
+// Safe to call from any goroutine.
+func (d *Domain) Poisoned() bool { return atomic.LoadUint32(&d.poisoned) != 0 }
 
 // Store records a store of size bytes at a pool offset: one event, and the
 // covered lines become dirty.
@@ -257,6 +294,7 @@ func (d *Domain) volatileSet() []Line {
 // gone. All volatile state is discarded. The report records the exact
 // survivor set so the outcome can be replayed with an Explicit policy.
 func (d *Domain) Crash(pol Policy, mem Memory) Report {
+	atomic.StoreUint32(&d.poisoned, 0) // power-cycling revives the machine
 	lines := d.volatileSet()
 	rng := newRng(pol.Seed)
 	rep := Report{Kind: pol.Kind, Seed: pol.Seed, Volatile: len(lines)}

@@ -1,0 +1,259 @@
+package objstore
+
+import (
+	"fmt"
+	"sort"
+
+	"potgo/internal/oid"
+	"potgo/internal/pds"
+	"potgo/internal/pmem"
+)
+
+// KV is the store cmd/potserve fronts: a uint64→uint64 map sharded across
+// one B+-tree per heap shard, keys routed by key mod shard count. Each
+// shard's tree lives in its own pool, so the pool-id shard map makes
+// single-key operations on different shards fully parallel; Batch spans
+// shards with one lock-ordered multi-pool transaction.
+type KV struct {
+	sh     *pmem.Sharded
+	shards []kvShard
+}
+
+type kvShard struct {
+	pool *pmem.Pool
+	tree *pds.BPlus
+}
+
+// kvPoolBytes sizes each shard pool. The B+-tree allocates ~72-byte nodes;
+// 4 MiB per shard holds tens of thousands of keys, plenty for the bench
+// and harness workloads.
+const (
+	kvPoolBytes = 4 << 20
+	kvLogBytes  = 256 * 1024
+)
+
+func kvPoolName(prefix string, i int) string { return fmt.Sprintf("%s-%d", prefix, i) }
+
+func kvBind(sh *pmem.Sharded, p *pmem.Pool) (kvShard, error) {
+	root, err := sh.Heap().Root(p, 16)
+	if err != nil {
+		return kvShard{}, err
+	}
+	anchor := pds.NewCell(sh.Heap(), root.FieldAt(0))
+	return kvShard{pool: p, tree: pds.NewBPlus(anchor)}, nil
+}
+
+// CreateKV creates one pool per heap shard (named prefix-0 … prefix-N-1)
+// and plants an empty B+-tree in each.
+func CreateKV(sh *pmem.Sharded, prefix string) (*KV, error) {
+	kv := &KV{sh: sh, shards: make([]kvShard, sh.Shards())}
+	for i := range kv.shards {
+		p, err := sh.CreateSized(kvPoolName(prefix, i), kvPoolBytes, kvLogBytes)
+		if err != nil {
+			return nil, err
+		}
+		s, err := kvBind(sh, p)
+		if err != nil {
+			return nil, err
+		}
+		kv.shards[i] = s
+	}
+	return kv, nil
+}
+
+// OpenKV reattaches to a previously created store: every pool is opened
+// first, then every undo log is recovered, so a multi-pool batch
+// interrupted by a crash rolls back completely before any tree is read.
+func OpenKV(sh *pmem.Sharded, prefix string) (*KV, error) {
+	kv := &KV{sh: sh, shards: make([]kvShard, sh.Shards())}
+	for i := range kv.shards {
+		p, err := sh.Open(kvPoolName(prefix, i))
+		if err != nil {
+			return nil, err
+		}
+		kv.shards[i].pool = p
+	}
+	for i := range kv.shards {
+		if err := sh.Recover(kv.shards[i].pool); err != nil {
+			return nil, err
+		}
+	}
+	for i := range kv.shards {
+		s, err := kvBind(sh, kv.shards[i].pool)
+		if err != nil {
+			return nil, err
+		}
+		kv.shards[i] = s
+	}
+	return kv, nil
+}
+
+// Sharded exposes the underlying sharded heap.
+func (kv *KV) Sharded() *pmem.Sharded { return kv.sh }
+
+func (kv *KV) shardOf(key uint64) *kvShard { return &kv.shards[key%uint64(len(kv.shards))] }
+
+// Get returns the value stored under key.
+func (kv *KV) Get(key uint64) (val uint64, ok bool, err error) {
+	s := kv.shardOf(key)
+	err = kv.sh.View([]oid.PoolID{s.pool.ID()}, func() error {
+		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+		var ferr error
+		val, ok, ferr = s.tree.Find(ctx, key)
+		return ferr
+	})
+	return val, ok, err
+}
+
+// Put stores val under key, inserting or overwriting. It reports whether
+// the key was created (false: an existing value was replaced).
+func (kv *KV) Put(key, val uint64) (created bool, err error) {
+	s := kv.shardOf(key)
+	err = kv.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
+		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+		ctx.bind(t)
+		updated, err := s.tree.Update(ctx, key, val)
+		if err != nil {
+			return err
+		}
+		if updated {
+			return nil
+		}
+		created = true
+		return s.tree.Insert(ctx, key, val)
+	})
+	return created, err
+}
+
+// Delete removes key, reporting whether it was present.
+func (kv *KV) Delete(key uint64) (existed bool, err error) {
+	s := kv.shardOf(key)
+	err = kv.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
+		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+		ctx.bind(t)
+		var rerr error
+		existed, rerr = s.tree.Remove(ctx, key)
+		return rerr
+	})
+	return existed, err
+}
+
+// Scan returns up to max key/value pairs with key >= from, in ascending
+// key order, merged across all shards under a store-wide read lock (the
+// one KV operation that is a consistent multi-shard snapshot).
+func (kv *KV) Scan(from uint64, max int) ([]pds.KV, error) {
+	if max <= 0 {
+		return nil, nil
+	}
+	ids := make([]oid.PoolID, len(kv.shards))
+	for i := range kv.shards {
+		ids[i] = kv.shards[i].pool.ID()
+	}
+	var out []pds.KV
+	err := kv.sh.View(ids, func() error {
+		for i := range kv.shards {
+			s := &kv.shards[i]
+			ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+			part, err := s.tree.Scan(ctx, from, max)
+			if err != nil {
+				return err
+			}
+			out = append(out, part...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out, nil
+}
+
+// BatchOp is one operation of an atomic batch: a put (Del false) or a
+// delete (Del true).
+type BatchOp struct {
+	Key uint64
+	Val uint64
+	Del bool
+}
+
+// Batch applies all ops in one crash-atomic transaction spanning every
+// involved shard: either every op is durable or none is. The undo log
+// lives in the lowest involved shard's pool; shard locks are taken in
+// ascending order as always.
+func (kv *KV) Batch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	involved := make(map[*kvShard]bool, len(ops))
+	for _, op := range ops {
+		involved[kv.shardOf(op.Key)] = true
+	}
+	var logShard *kvShard
+	var extra []oid.PoolID
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		if !involved[s] {
+			continue
+		}
+		if logShard == nil {
+			logShard = s
+		} else {
+			extra = append(extra, s.pool.ID())
+		}
+	}
+	return kv.sh.Tx(logShard.pool, extra, func(t *pmem.Tx) error {
+		ctxs := make(map[*kvShard]*txCtx, len(involved))
+		for s := range involved {
+			ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+			ctx.bind(t)
+			ctxs[s] = ctx
+		}
+		for _, op := range ops {
+			s := kv.shardOf(op.Key)
+			ctx := ctxs[s]
+			if op.Del {
+				if _, err := s.tree.Remove(ctx, op.Key); err != nil {
+					return err
+				}
+				continue
+			}
+			updated, err := s.tree.Update(ctx, op.Key, op.Val)
+			if err != nil {
+				return err
+			}
+			if !updated {
+				if err := s.tree.Insert(ctx, op.Key, op.Val); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Check runs every shard tree's invariant sweep and returns the total key
+// count (stop-the-world via a full read lock).
+func (kv *KV) Check() (int, error) {
+	ids := make([]oid.PoolID, len(kv.shards))
+	for i := range kv.shards {
+		ids[i] = kv.shards[i].pool.ID()
+	}
+	total := 0
+	err := kv.sh.View(ids, func() error {
+		for i := range kv.shards {
+			s := &kv.shards[i]
+			ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
+			n, err := s.tree.CheckInvariants(ctx)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		return nil
+	})
+	return total, err
+}

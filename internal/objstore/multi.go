@@ -1,0 +1,447 @@
+package objstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"potgo/internal/oid"
+	"potgo/internal/pds"
+	"potgo/internal/pmem"
+)
+
+// Kinds names the five persistent structures a Multi hosts, in pool-layout
+// order. Indices into a Multi are indices into this slice.
+var Kinds = []string{"list", "bst", "rbt", "btree", "bplus"}
+
+// Journal op codes.
+const (
+	OpAdd     = byte(1) // key inserted
+	OpRemove  = byte(2) // key removed
+	OpXferOut = byte(3) // key left this structure as half of a transfer
+	OpXferIn  = byte(4) // key entered this structure as half of a transfer
+)
+
+// Entry is one committed-or-attempted operation in a structure's volatile
+// journal. Entries are appended inside the transaction, under the
+// structure's latch, so journal order is commit order; a crash can leave at
+// most a suffix of entries whose transactions never committed (the domain
+// poisons itself at the crash point, so no later operation on any structure
+// can commit). XferID links the two halves of a Transfer.
+type Entry struct {
+	Op     byte
+	Key    uint64
+	XferID uint64
+}
+
+// Multi hosts one instance of each pds structure, each in its own pool with
+// its own persistent op counter, fronted by per-structure latches so
+// operations on different structures run (and commit) in parallel while
+// operations on one structure serialize. It is the subject of the
+// linearizability stress harness and the concurrent crash campaign: the
+// counters and journals let a verifier reconstruct exactly which operations
+// became durable.
+type Multi struct {
+	sh      *pmem.Sharded
+	latches *pmem.LatchTable
+	structs [5]mstruct
+	xferID  uint64 // global transfer-id source
+}
+
+// mstruct is one hosted structure: its pool, adapter, persistent counter
+// and volatile journal.
+type mstruct struct {
+	pool    *pmem.Pool
+	anchor  oid.OID // latch identity for the whole structure
+	counter oid.OID
+	ops     mops
+
+	mu      sync.Mutex // guards journal (latch already serializes writers; Verify reads after a crash)
+	journal []Entry
+}
+
+// mops adapts one pds structure to the keyed-set workload (values are not
+// part of the Multi contract; bplus stores val=key).
+type mops interface {
+	contains(c pds.Ctx, key uint64) (bool, error)
+	insert(c pds.Ctx, key uint64) error
+	remove(c pds.Ctx, key uint64) error
+	check(c pds.Ctx) (int, error)
+}
+
+const (
+	multiPoolBytes = 1 << 20
+	multiLogBytes  = 128 * 1024
+)
+
+func multiPoolName(prefix, kind string) string { return prefix + "-" + kind }
+
+func multiBind(sh *pmem.Sharded, p *pmem.Pool, kind string, s *mstruct) error {
+	root, err := sh.Heap().Root(p, 16)
+	if err != nil {
+		return err
+	}
+	anchor := pds.NewCell(sh.Heap(), root.FieldAt(0))
+	var ops mops
+	switch kind {
+	case "list":
+		ops = mlist{pds.NewList(anchor)}
+	case "bst":
+		ops = mbst{pds.NewBST(anchor)}
+	case "rbt":
+		ops = mrbt{pds.NewRBT(anchor)}
+	case "btree":
+		ops = mbtree{pds.NewBTree(anchor)}
+	case "bplus":
+		ops = mbplus{pds.NewBPlus(anchor)}
+	default:
+		return fmt.Errorf("objstore: unknown structure kind %q", kind)
+	}
+	s.pool = p
+	s.anchor = root.FieldAt(0)
+	s.counter = root.FieldAt(8)
+	s.ops = ops
+	return nil
+}
+
+// CreateMulti creates the five structure pools (prefix-list … prefix-bplus).
+func CreateMulti(sh *pmem.Sharded, prefix string) (*Multi, error) {
+	m := &Multi{sh: sh, latches: pmem.NewLatchTable(64)}
+	for i, kind := range Kinds {
+		p, err := sh.CreateSized(multiPoolName(prefix, kind), multiPoolBytes, multiLogBytes)
+		if err != nil {
+			return nil, err
+		}
+		if err := multiBind(sh, p, kind, &m.structs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// OpenMulti reattaches after a crash: all pools open first, then all undo
+// logs recover (a transfer's single log may reference objects in either
+// involved pool), then the structures bind.
+func OpenMulti(sh *pmem.Sharded, prefix string) (*Multi, error) {
+	m := &Multi{sh: sh, latches: pmem.NewLatchTable(64)}
+	var pools [5]*pmem.Pool
+	for i, kind := range Kinds {
+		p, err := sh.Open(multiPoolName(prefix, kind))
+		if err != nil {
+			return nil, err
+		}
+		pools[i] = p
+	}
+	for _, p := range pools {
+		if err := sh.Recover(p); err != nil {
+			return nil, err
+		}
+	}
+	for i, kind := range Kinds {
+		if err := multiBind(sh, pools[i], kind, &m.structs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Sharded exposes the underlying sharded heap.
+func (m *Multi) Sharded() *pmem.Sharded { return m.sh }
+
+func (m *Multi) at(kind int) *mstruct { return &m.structs[kind] }
+
+func (s *mstruct) appendEntry(e Entry) {
+	s.mu.Lock()
+	s.journal = append(s.journal, e)
+	s.mu.Unlock()
+}
+
+func (s *mstruct) popEntry() {
+	s.mu.Lock()
+	s.journal = s.journal[:len(s.journal)-1]
+	s.mu.Unlock()
+}
+
+// Journal snapshots a structure's journal (call only with workers stopped —
+// after the stress run joins, or after a crash).
+func (m *Multi) Journal(kind int) []Entry {
+	s := m.at(kind)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// Counter reads a structure's persistent op counter (its committed journal
+// prefix length).
+func (m *Multi) Counter(kind int) (uint64, error) {
+	s := m.at(kind)
+	var c uint64
+	err := m.sh.View([]oid.PoolID{s.pool.ID()}, func() error {
+		var cerr error
+		c, cerr = counterValue(m.sh.Heap(), s.counter)
+		return cerr
+	})
+	return c, err
+}
+
+// Has reports whether key is in the structure. Latch order: structure read
+// latch, then shard read lock.
+func (m *Multi) Has(kind int, key uint64) (bool, error) {
+	s := m.at(kind)
+	defer m.latches.RLock(s.anchor)()
+	var present bool
+	err := m.sh.View([]oid.PoolID{s.pool.ID()}, func() error {
+		ctx := &txCtx{h: m.sh.Heap(), alloc: s.pool}
+		var cerr error
+		present, cerr = s.ops.contains(ctx, key)
+		return cerr
+	})
+	return present, err
+}
+
+// Add inserts key, reporting whether it was absent (false = no-op). The
+// whole operation — membership check, transactional insert, counter bump,
+// journal append, commit — runs under the structure's write latch, so
+// journal order is commit order.
+func (m *Multi) Add(kind int, key uint64) (bool, error) {
+	s := m.at(kind)
+	defer m.latches.Lock(s.anchor)()
+	did := false
+	err := m.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
+		ctx := &txCtx{h: m.sh.Heap(), alloc: s.pool}
+		ctx.bind(t)
+		present, err := s.ops.contains(ctx, key)
+		if err != nil || present {
+			return err
+		}
+		if err := s.ops.insert(ctx, key); err != nil {
+			return err
+		}
+		if err := bumpCounter(ctx, s.counter); err != nil {
+			return err
+		}
+		s.appendEntry(Entry{Op: OpAdd, Key: key})
+		did = true
+		return nil
+	})
+	if err != nil && did {
+		s.popEntry() // the transaction aborted cleanly; the entry never committed
+	}
+	return did && err == nil, err
+}
+
+// Remove deletes key, reporting whether it was present.
+func (m *Multi) Remove(kind int, key uint64) (bool, error) {
+	s := m.at(kind)
+	defer m.latches.Lock(s.anchor)()
+	did := false
+	err := m.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
+		ctx := &txCtx{h: m.sh.Heap(), alloc: s.pool}
+		ctx.bind(t)
+		present, err := s.ops.contains(ctx, key)
+		if err != nil || !present {
+			return err
+		}
+		if err := s.ops.remove(ctx, key); err != nil {
+			return err
+		}
+		if err := bumpCounter(ctx, s.counter); err != nil {
+			return err
+		}
+		s.appendEntry(Entry{Op: OpRemove, Key: key})
+		did = true
+		return nil
+	})
+	if err != nil && did {
+		s.popEntry()
+	}
+	return did && err == nil, err
+}
+
+// Transfer atomically moves key from one structure to another: one
+// multi-pool transaction removes it from `from` and inserts it into `to`,
+// bumping both persistent counters, so a crash can never observe the key in
+// both structures or in neither (of a transferred pair). It reports whether
+// the move happened (requires key present in from and absent in to). Both
+// structure latches are taken through the LatchTable's sorted-slot order,
+// then both shards through the heap's sorted-shard order — no cycles.
+func (m *Multi) Transfer(from, to int, key uint64) (bool, error) {
+	if from == to {
+		return false, fmt.Errorf("objstore: transfer from structure %d to itself", from)
+	}
+	sf, st := m.at(from), m.at(to)
+	defer m.latches.Lock(sf.anchor, st.anchor)()
+	id := atomic.AddUint64(&m.xferID, 1)
+	did := false
+	err := m.sh.Tx(sf.pool, []oid.PoolID{st.pool.ID()}, func(t *pmem.Tx) error {
+		fctx := &txCtx{h: m.sh.Heap(), alloc: sf.pool}
+		fctx.bind(t)
+		tctx := &txCtx{h: m.sh.Heap(), alloc: st.pool}
+		tctx.bind(t)
+		inFrom, err := sf.ops.contains(fctx, key)
+		if err != nil {
+			return err
+		}
+		inTo, err := st.ops.contains(tctx, key)
+		if err != nil || !inFrom || inTo {
+			return err
+		}
+		if err := sf.ops.remove(fctx, key); err != nil {
+			return err
+		}
+		if err := st.ops.insert(tctx, key); err != nil {
+			return err
+		}
+		if err := bumpCounter(fctx, sf.counter); err != nil {
+			return err
+		}
+		if err := bumpCounter(tctx, st.counter); err != nil {
+			return err
+		}
+		sf.appendEntry(Entry{Op: OpXferOut, Key: key, XferID: id})
+		st.appendEntry(Entry{Op: OpXferIn, Key: key, XferID: id})
+		did = true
+		return nil
+	})
+	if err != nil && did {
+		st.popEntry()
+		sf.popEntry()
+	}
+	return did && err == nil, err
+}
+
+// Check runs every structure's invariant sweep and returns the per-kind key
+// counts.
+func (m *Multi) Check() ([5]int, error) {
+	var counts [5]int
+	for i := range m.structs {
+		s := m.at(i)
+		unlatch := m.latches.RLock(s.anchor)
+		err := m.sh.View([]oid.PoolID{s.pool.ID()}, func() error {
+			ctx := &txCtx{h: m.sh.Heap(), alloc: s.pool}
+			n, cerr := s.ops.check(ctx)
+			counts[i] = n
+			return cerr
+		})
+		unlatch()
+		if err != nil {
+			return counts, fmt.Errorf("%s: %w", Kinds[i], err)
+		}
+	}
+	return counts, nil
+}
+
+// CheckHeap runs the heap allocator's structural sweep over every
+// structure pool (free lists, block headers, bump bounds).
+func (m *Multi) CheckHeap() error {
+	ids := make([]oid.PoolID, len(m.structs))
+	for i := range m.structs {
+		ids[i] = m.structs[i].pool.ID()
+	}
+	return m.sh.View(ids, func() error {
+		for i := range m.structs {
+			if err := m.sh.Heap().CheckPool(m.structs[i].pool); err != nil {
+				return fmt.Errorf("%s: %w", Kinds[i], err)
+			}
+		}
+		return nil
+	})
+}
+
+// ReplayJournal folds the first n entries of a journal into the membership
+// set a structure should hold — the model side of crash verification.
+func ReplayJournal(journal []Entry, n int) map[uint64]bool {
+	set := make(map[uint64]bool)
+	for _, e := range journal[:n] {
+		switch e.Op {
+		case OpAdd, OpXferIn:
+			set[e.Key] = true
+		case OpRemove, OpXferOut:
+			delete(set, e.Key)
+		}
+	}
+	return set
+}
+
+// --- structure adapters ---
+
+type mlist struct{ l *pds.List }
+
+func (a mlist) insert(c pds.Ctx, k uint64) error { return a.l.Insert(c, k) }
+func (a mlist) remove(c pds.Ctx, k uint64) error { _, err := a.l.Remove(c, k); return err }
+func (a mlist) contains(c pds.Ctx, k uint64) (bool, error) {
+	o, err := a.l.Find(c, k)
+	return o != oid.Null, err
+}
+func (a mlist) check(c pds.Ctx) (int, error) {
+	keys, err := a.l.Keys(c)
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[uint64]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			return 0, fmt.Errorf("list: duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	return len(keys), nil
+}
+
+type mbst struct{ t *pds.BST }
+
+func (a mbst) insert(c pds.Ctx, k uint64) error { return a.t.Insert(c, k) }
+func (a mbst) remove(c pds.Ctx, k uint64) error { _, err := a.t.Remove(c, k); return err }
+func (a mbst) contains(c pds.Ctx, k uint64) (bool, error) {
+	o, err := a.t.Find(c, k)
+	return o != oid.Null, err
+}
+func (a mbst) check(c pds.Ctx) (int, error) {
+	keys, err := a.t.InOrder(c)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return 0, fmt.Errorf("bst: in-order not strictly increasing at %d", i)
+		}
+	}
+	return len(keys), nil
+}
+
+type mrbt struct{ t *pds.RBT }
+
+func (a mrbt) insert(c pds.Ctx, k uint64) error { return a.t.Insert(c, k) }
+func (a mrbt) remove(c pds.Ctx, k uint64) error { _, err := a.t.Remove(c, k); return err }
+func (a mrbt) contains(c pds.Ctx, k uint64) (bool, error) {
+	o, err := a.t.Find(c, k)
+	return o != oid.Null, err
+}
+func (a mrbt) check(c pds.Ctx) (int, error) {
+	if _, err := a.t.CheckInvariants(c); err != nil {
+		return 0, err
+	}
+	keys, err := a.t.InOrder(c)
+	return len(keys), err
+}
+
+type mbtree struct{ t *pds.BTree }
+
+func (a mbtree) insert(c pds.Ctx, k uint64) error { return a.t.Insert(c, k) }
+func (a mbtree) remove(c pds.Ctx, k uint64) error { _, err := a.t.Remove(c, k); return err }
+func (a mbtree) contains(c pds.Ctx, k uint64) (bool, error) {
+	return a.t.Find(c, k)
+}
+func (a mbtree) check(c pds.Ctx) (int, error) { return a.t.CheckInvariants(c) }
+
+type mbplus struct{ t *pds.BPlus }
+
+func (a mbplus) insert(c pds.Ctx, k uint64) error { return a.t.Insert(c, k, k) }
+func (a mbplus) remove(c pds.Ctx, k uint64) error { _, err := a.t.Remove(c, k); return err }
+func (a mbplus) contains(c pds.Ctx, k uint64) (bool, error) {
+	_, ok, err := a.t.Find(c, k)
+	return ok, err
+}
+func (a mbplus) check(c pds.Ctx) (int, error) { return a.t.CheckInvariants(c) }

@@ -2,7 +2,7 @@ package pds
 
 import (
 	"bytes"
-	"math/rand"
+
 	"sort"
 	"testing"
 
@@ -10,6 +10,7 @@ import (
 	"potgo/internal/isa"
 	"potgo/internal/oid"
 	"potgo/internal/pmem"
+	"potgo/internal/randtest"
 	"potgo/internal/trace"
 	"potgo/internal/vm"
 )
@@ -138,7 +139,7 @@ func TestListBasics(t *testing.T) {
 func TestListAgainstReference(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	l := NewList(cell)
-	rng := rand.New(rand.NewSource(2))
+	rng := randtest.New(t, 2)
 	ref := map[uint64]bool{}
 	for i := 0; i < 400; i++ {
 		k := uint64(rng.Intn(120))
@@ -194,7 +195,7 @@ func TestListSpansPools(t *testing.T) {
 func TestBSTAgainstReference(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	bst := NewBST(cell)
-	rng := rand.New(rand.NewSource(3))
+	rng := randtest.New(t, 3)
 	ref := map[uint64]bool{}
 	for i := 0; i < 1500; i++ {
 		k := uint64(rng.Intn(500))
@@ -232,7 +233,7 @@ func TestBSTAgainstReference(t *testing.T) {
 func TestRBTInvariantsUnderChurn(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	rbt := NewRBT(cell)
-	rng := rand.New(rand.NewSource(4))
+	rng := randtest.New(t, 4)
 	ref := map[uint64]bool{}
 	for i := 0; i < 1200; i++ {
 		k := uint64(rng.Intn(300))
@@ -280,7 +281,7 @@ func TestRBTDrainCompletely(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(5))
+	rng := randtest.New(t, 5)
 	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
 	for i, k := range keys {
 		ok, err := rbt.Remove(c, k)
@@ -301,7 +302,7 @@ func TestRBTDrainCompletely(t *testing.T) {
 func TestBTreeInvariantsAndFind(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	bt := NewBTree(cell)
-	rng := rand.New(rand.NewSource(6))
+	rng := randtest.New(t, 6)
 	ref := map[uint64]bool{}
 	for i := 0; i < 2000; i++ {
 		k := uint64(rng.Intn(10000))
@@ -334,7 +335,7 @@ func TestBTreeInvariantsAndFind(t *testing.T) {
 func TestBPlusAgainstReference(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	bp := NewBPlus(cell)
-	rng := rand.New(rand.NewSource(7))
+	rng := randtest.New(t, 7)
 	ref := map[uint64]uint64{}
 	for i := 0; i < 3000; i++ {
 		k := uint64(rng.Intn(800))
@@ -396,7 +397,7 @@ func TestBPlusDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(8))
+	rng := randtest.New(t, 8)
 	order := rng.Perm(n)
 	for i, ki := range order {
 		ok, err := bp.Remove(c, uint64(ki))
@@ -462,7 +463,7 @@ func TestStringArraySwap(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(9))
+	rng := randtest.New(t, 9)
 	for n := 0; n < 300; n++ {
 		i, j := rng.Intn(64), rng.Intn(64)
 		if err := sa.Swap(c, i, j); err != nil {
@@ -616,7 +617,7 @@ func firstKey(m map[uint64]bool) uint64 {
 func TestBTreeRemoveAgainstReference(t *testing.T) {
 	c, cell := newCtx(t, 1, false)
 	bt := NewBTree(cell)
-	rng := rand.New(rand.NewSource(17))
+	rng := randtest.New(t, 17)
 	ref := map[uint64]bool{}
 	for i := 0; i < 2500; i++ {
 		k := uint64(rng.Intn(600))
@@ -658,7 +659,7 @@ func TestBTreeDrainCompletely(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(18))
+	rng := randtest.New(t, 18)
 	order := rng.Perm(n)
 	for i, ki := range order {
 		k := uint64(ki) * 13 % n

@@ -1,7 +1,7 @@
 package pds
 
 import (
-	"math/rand"
+	"potgo/internal/randtest"
 	"testing"
 
 	"potgo/internal/emit"
@@ -201,7 +201,7 @@ func TestTouchOncePerTransaction(t *testing.T) {
 	for _, sc := range structures {
 		t.Run(sc.name, func(t *testing.T) {
 			c, cell := newCountingCtx(t)
-			rng := rand.New(rand.NewSource(7))
+			rng := randtest.New(t, 7)
 			keys := make([]uint64, 0, 128)
 			seen := map[uint64]bool{}
 			for len(keys) < 128 {

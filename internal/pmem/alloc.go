@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"potgo/internal/isa"
 	"potgo/internal/oid"
@@ -41,8 +42,8 @@ func (h *Heap) alloc(p *Pool, size uint32) (oid.OID, int, error) {
 	if size == 0 {
 		return oid.Null, -1, fmt.Errorf("pmem: zero-byte allocation in pool %q", p.b.name)
 	}
-	h.Metrics.Allocs++
-	h.Metrics.AllocBytes += uint64(size)
+	atomic.AddUint64(&h.Metrics.Allocs, 1)
+	atomic.AddUint64(&h.Metrics.AllocBytes, uint64(size))
 	class, classSize := classOf(size)
 	hdr := h.DirectRef(p, 0)
 	h.Emit.Jump()             // call into the allocator
@@ -109,7 +110,7 @@ func (h *Heap) Free(o oid.OID) error {
 	if err := p.checkOffset(blockOff, blockHeaderBytes); err != nil {
 		return err
 	}
-	h.Metrics.Frees++
+	atomic.AddUint64(&h.Metrics.Frees, 1)
 	blk := h.DirectRef(p, blockOff)
 	szw, err := blk.Load64(0)
 	if err != nil {

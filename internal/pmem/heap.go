@@ -3,6 +3,8 @@ package pmem
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"potgo/internal/core"
 	"potgo/internal/emit"
@@ -37,15 +39,46 @@ type Heap struct {
 	// fences, and decides their fate at a Crash.
 	NV *nvmsim.Domain
 
-	// Metrics counts library activity for the observability layer
-	// (plain fields: a heap is single-threaded by construction).
+	// Metrics counts library activity for the observability layer.
+	// Updated with atomic adds so concurrent heaps never race; read a
+	// coherent copy through StatsSnapshot.
 	Metrics HeapStats
 
 	open map[oid.PoolID]*Pool
-	tx   *txState
+	// txs tracks the live transaction per pool (an undo log is singular).
+	// Guarded by txMu; independent pools commit in parallel.
+	txMu sync.Mutex
+	txs  map[oid.PoolID]*Tx
+	// ambient is the legacy single-transaction API's implicit handle.
+	ambient *Tx
 	// clwbPool memoizes the pool the last observed CLWB landed in;
-	// persist loops write back runs of lines from one pool.
+	// persist loops write back runs of lines from one pool. Disabled in
+	// concurrent mode (unsynchronized cross-goroutine state).
 	clwbPool *Pool
+
+	// concurrent marks a heap shared by multiple goroutines (see
+	// SetConcurrent): the persistence domain is serialized behind nvMu
+	// and single-threaded memos are bypassed.
+	concurrent bool
+	nvMu       sync.Mutex
+}
+
+// StatsSnapshot returns a coherent copy of the heap's activity counters
+// (atomic loads, safe while workers are running).
+func (h *Heap) StatsSnapshot() HeapStats {
+	return HeapStats{
+		TxBegins:     atomic.LoadUint64(&h.Metrics.TxBegins),
+		TxCommits:    atomic.LoadUint64(&h.Metrics.TxCommits),
+		TxAborts:     atomic.LoadUint64(&h.Metrics.TxAborts),
+		UndoRecords:  atomic.LoadUint64(&h.Metrics.UndoRecords),
+		UndoBytes:    atomic.LoadUint64(&h.Metrics.UndoBytes),
+		Allocs:       atomic.LoadUint64(&h.Metrics.Allocs),
+		Frees:        atomic.LoadUint64(&h.Metrics.Frees),
+		AllocBytes:   atomic.LoadUint64(&h.Metrics.AllocBytes),
+		Persists:     atomic.LoadUint64(&h.Metrics.Persists),
+		PoolsCreated: atomic.LoadUint64(&h.Metrics.PoolsCreated),
+		PoolsOpened:  atomic.LoadUint64(&h.Metrics.PoolsOpened),
+	}
 }
 
 // HeapStats counts persistent-memory library activity.
@@ -77,9 +110,28 @@ func NewHeap(as *vm.AddressSpace, store *Store, em *emit.Emitter, soft *emit.Sof
 		Soft:  soft,
 		NV:    nvmsim.NewDomain(),
 		open:  make(map[oid.PoolID]*Pool),
+		txs:   make(map[oid.PoolID]*Tx),
 	}
 	em.SetPersistObserver(h)
 	return h, nil
+}
+
+// SetConcurrent marks the heap as shared by multiple goroutines. From this
+// point on:
+//
+//   - every persistence-domain event (store dirtying, CLWB, SFENCE) is
+//     serialized behind an internal mutex, so the volatile-cache model and
+//     its crash-event numbering stay coherent;
+//   - single-threaded memos (the CLWB pool cache) are bypassed;
+//   - the caller must still serialize access to each pool's data — the
+//     heap does not lock pools. Sharded provides that discipline, along
+//     with stop-the-world structural operations (create/open/close/crash).
+//
+// The emitter should be detached (Emit.Detach) and the address space put in
+// concurrent mode (AS.SetConcurrent) alongside; NewSharded does all three.
+func (h *Heap) SetConcurrent() {
+	h.concurrent = true
+	h.clwbPool = nil
 }
 
 // NewHeapDiscard builds an OPT-mode heap that discards its instruction
@@ -124,7 +176,7 @@ func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
 		return nil, err
 	}
 	h.Emit.Compute(openCost)
-	h.Metrics.PoolsCreated++
+	atomic.AddUint64(&h.Metrics.PoolsCreated, 1)
 	return p, nil
 }
 
@@ -143,7 +195,7 @@ func (h *Heap) Open(name string) (*Pool, error) {
 		return nil, fmt.Errorf("pmem: pool %q has bad magic %#x", name, got)
 	}
 	h.Emit.Compute(openCost)
-	h.Metrics.PoolsOpened++
+	atomic.AddUint64(&h.Metrics.PoolsOpened, 1)
 	return p, nil
 }
 
@@ -241,7 +293,7 @@ func (h *Heap) SyncAll() error {
 
 // Close unmaps the pool and withdraws its translations (paper: pool_close).
 func (h *Heap) Close(p *Pool) error {
-	if h.tx != nil && h.tx.pool == p {
+	if h.poolBusy(p) {
 		return fmt.Errorf("pmem: pool %q has an active transaction", p.b.name)
 	}
 	h.Emit.Compute(openCost / 2)
@@ -262,7 +314,7 @@ func (h *Heap) Crash(pol nvmsim.Policy) (nvmsim.Report, error) {
 			return rep, err
 		}
 	}
-	h.tx = nil
+	h.dropAllTxs()
 	return rep, nil
 }
 
@@ -279,7 +331,7 @@ func (h *Heap) CrashClean() error {
 			return err
 		}
 	}
-	h.tx = nil
+	h.dropAllTxs()
 	return nil
 }
 
@@ -313,23 +365,39 @@ func (h *Heap) read64(p *Pool, off uint32) uint64 {
 }
 
 func (h *Heap) mustWrite64(p *Pool, off uint32, v uint64) {
-	h.NV.Store(uint32(p.b.id), off, 8)
+	h.nvStore(uint32(p.b.id), off, 8)
 	if err := h.AS.Write64(p.region.Base+uint64(off), v); err != nil {
 		panic(fmt.Sprintf("pmem: pool %q header unmapped: %v", p.b.name, err))
 	}
+}
+
+// nvStore feeds one store event into the persistence domain, serialized in
+// concurrent mode. The deferred unlock matters: an armed domain crashes by
+// panicking mid-event, and the lock must not stay held while the signal
+// unwinds through a worker.
+func (h *Heap) nvStore(pool, off, size uint32) {
+	if h.concurrent {
+		h.nvMu.Lock()
+		defer h.nvMu.Unlock()
+	}
+	h.NV.Store(pool, off, size)
 }
 
 // --- persistence-domain plumbing (nvmsim.Memory + emit.PersistObserver) ---
 
 // poolOf resolves a virtual address to the open pool containing it.
 func (h *Heap) poolOf(va uint64) *Pool {
-	if p := h.clwbPool; p != nil && p.b.open &&
-		va >= p.region.Base && va < p.region.Base+p.b.size {
-		return p
+	if !h.concurrent {
+		if p := h.clwbPool; p != nil && p.b.open &&
+			va >= p.region.Base && va < p.region.Base+p.b.size {
+			return p
+		}
 	}
 	for _, p := range h.open {
 		if va >= p.region.Base && va < p.region.Base+p.b.size {
-			h.clwbPool = p
+			if !h.concurrent {
+				h.clwbPool = p
+			}
 			return p
 		}
 	}
@@ -340,13 +408,23 @@ func (h *Heap) poolOf(va uint64) *Pool {
 // write-back model (emit.PersistObserver).
 func (h *Heap) ObserveCLWB(va uint64) {
 	if p := h.poolOf(va); p != nil {
+		if h.concurrent {
+			h.nvMu.Lock()
+			defer h.nvMu.Unlock()
+		}
 		h.NV.CLWB(uint32(p.b.id), uint32(va-p.region.Base), h)
 	}
 }
 
 // ObserveSFence drains every in-flight line to the durable store
 // (emit.PersistObserver).
-func (h *Heap) ObserveSFence() { h.NV.SFence(h) }
+func (h *Heap) ObserveSFence() {
+	if h.concurrent {
+		h.nvMu.Lock()
+		defer h.nvMu.Unlock()
+	}
+	h.NV.SFence(h)
+}
 
 // ReadCacheLine copies a line's current mapped (cache-view) content
 // (nvmsim.Memory).
@@ -454,7 +532,7 @@ func (r Ref) Load64(off uint32) (Word, error) {
 // Store64 writes the 8-byte field at byte offset off. dep is the register
 // the stored value was computed in (isa.RZ for immediates).
 func (r Ref) Store64(off uint32, v uint64, dep isa.Reg) error {
-	r.h.NV.Store(uint32(r.oid.Pool()), r.oid.Offset()+off, 8)
+	r.h.nvStore(uint32(r.oid.Pool()), r.oid.Offset()+off, 8)
 	if err := r.h.AS.Write64(r.va+uint64(off), v); err != nil {
 		return fmt.Errorf("pmem: store %v+%d: %w", r.oid, off, err)
 	}
@@ -492,7 +570,7 @@ func (r Ref) WriteBytes(off uint32, b []byte) error {
 		if n > 8 {
 			n = 8
 		}
-		r.h.NV.Store(uint32(r.oid.Pool()), r.oid.Offset()+off+w, n)
+		r.h.nvStore(uint32(r.oid.Pool()), r.oid.Offset()+off+w, n)
 		if err := r.h.AS.WriteAt(r.va+uint64(off+w), b[w:w+n]); err != nil {
 			return fmt.Errorf("pmem: write %v+%d: %w", r.oid, off, err)
 		}
@@ -523,7 +601,7 @@ func (h *Heap) Persist(o oid.OID, size uint32) error {
 		return err
 	}
 	h.Emit.SFence()
-	h.Metrics.Persists++
+	atomic.AddUint64(&h.Metrics.Persists, 1)
 	return nil
 }
 

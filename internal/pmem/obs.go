@@ -9,7 +9,7 @@ func (h *Heap) PublishMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	s := h.Metrics
+	s := h.StatsSnapshot()
 	reg.Counter("pmem.tx.begins").Add(s.TxBegins)
 	reg.Counter("pmem.tx.commits").Add(s.TxCommits)
 	reg.Counter("pmem.tx.aborts").Add(s.TxAborts)

@@ -3,6 +3,7 @@ package pmem
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"potgo/internal/isa"
 	"potgo/internal/oid"
@@ -29,6 +30,18 @@ import (
 // point, so it clears the count first and the state word second, each with
 // its own fence; the intermediate (0, committed) state reads as a clean
 // log and is swept by the next Recover or TxBegin.
+//
+// Transactions come in two shapes:
+//
+//   - Handle-based (Begin/Tx.Commit): each transaction is a *Tx bound to
+//     the pool holding its undo log. Different pools may run transactions
+//     concurrently — the heap only tracks which pools have a live log.
+//     Callers in concurrent mode must hold the write locks of every shard
+//     the transaction touches (see Sharded).
+//   - Ambient (TxBegin/TxEnd, paper Table 1): the legacy single-threaded
+//     API, a thin wrapper holding one implicit *Tx on the heap. All
+//     existing workloads use it; its emission is bit-identical to the
+//     pre-handle implementation.
 const (
 	recData  = 0 // snapshot of object bytes taken by tx_add_range
 	recAlloc = 1 // allocation to undo on abort
@@ -56,45 +69,101 @@ type txState struct {
 	records  []txRecord
 }
 
-// InTx reports whether a transaction is active.
-func (h *Heap) InTx() bool { return h.tx != nil }
+// Tx is one open transaction: an undo log in its pool plus the in-memory
+// record mirror. A Tx is not itself goroutine-safe; concurrency comes from
+// independent transactions on disjoint pools.
+type Tx struct {
+	h  *Heap
+	st *txState
+}
 
-// TxBegin starts a transaction whose undo log lives in pool p (paper:
-// tx_begin). Nested transactions are not supported, matching the reduced
-// API of paper Table 1.
-func (h *Heap) TxBegin(p *Pool) error {
-	if h.tx != nil {
-		return fmt.Errorf("pmem: transaction already active on pool %q", h.tx.pool.b.name)
-	}
+// Pool returns the pool holding the transaction's undo log.
+func (t *Tx) Pool() *Pool { return t.st.pool }
+
+// InTx reports whether an ambient (legacy API) transaction is active.
+func (h *Heap) InTx() bool { return h.ambient != nil }
+
+// Begin opens a handle-based transaction whose undo log lives in pool p.
+// At most one transaction may be live per pool (the log is singular);
+// nested transactions are not supported, matching the reduced API of paper
+// Table 1.
+func (h *Heap) Begin(p *Pool) (*Tx, error) {
 	if _, ok := h.open[p.b.id]; !ok {
-		return fmt.Errorf("pmem: tx_begin on closed pool %q", p.b.name)
+		return nil, fmt.Errorf("pmem: tx_begin on closed pool %q", p.b.name)
 	}
+	t := &Tx{h: h, st: &txState{pool: p, writeOff: logStart + logOffRecords}}
+	h.txMu.Lock()
+	if h.txs[p.b.id] != nil {
+		h.txMu.Unlock()
+		return nil, fmt.Errorf("pmem: transaction already active on pool %q", p.b.name)
+	}
+	h.txs[p.b.id] = t
+	h.txMu.Unlock()
 	// A crash between the two truncation fences can leave a stale
 	// committed marker behind an empty log; clear it before this
 	// transaction publishes any record under it.
 	if h.read64(p, logStart+logOffState) != txStateActive {
 		if err := h.clearLogState(p); err != nil {
-			return err
+			h.releaseTx(t)
+			return nil, err
 		}
 	}
-	h.tx = &txState{pool: p, writeOff: logStart + logOffRecords}
-	h.Metrics.TxBegins++
+	atomic.AddUint64(&h.Metrics.TxBegins, 1)
 	h.Emit.Jump()
 	h.Emit.Compute(txBeginWork)
+	return t, nil
+}
+
+// releaseTx retires a transaction's pool-busy registration.
+func (h *Heap) releaseTx(t *Tx) {
+	h.txMu.Lock()
+	if h.txs[t.st.pool.b.id] == t {
+		delete(h.txs, t.st.pool.b.id)
+	}
+	h.txMu.Unlock()
+}
+
+// poolBusy reports whether a transaction's undo log is live in pool p.
+func (h *Heap) poolBusy(p *Pool) bool {
+	h.txMu.Lock()
+	_, busy := h.txs[p.b.id]
+	h.txMu.Unlock()
+	return busy
+}
+
+// dropAllTxs abandons every live transaction (crash: process state is gone).
+func (h *Heap) dropAllTxs() {
+	h.txMu.Lock()
+	h.txs = make(map[oid.PoolID]*Tx)
+	h.txMu.Unlock()
+	h.ambient = nil
+}
+
+// TxBegin starts an ambient transaction whose undo log lives in pool p
+// (paper: tx_begin).
+func (h *Heap) TxBegin(p *Pool) error {
+	if h.ambient != nil {
+		return fmt.Errorf("pmem: transaction already active on pool %q", h.ambient.st.pool.b.name)
+	}
+	t, err := h.Begin(p)
+	if err != nil {
+		return err
+	}
+	h.ambient = t
 	return nil
 }
 
 // logAppend writes one record into the log, persists it, then publishes it
 // by bumping and persisting the count.
-func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) error {
-	t := h.tx
+func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) error {
+	h, st := t.h, t.st
 	padded := (uint32(len(data)) + 7) &^ 7
-	if uint64(t.writeOff)+recHeaderBytes+uint64(padded) > logStart+t.pool.b.logBytes {
-		return fmt.Errorf("pmem: undo log of pool %q full", t.pool.b.name)
+	if uint64(st.writeOff)+recHeaderBytes+uint64(padded) > logStart+st.pool.b.logBytes {
+		return fmt.Errorf("pmem: undo log of pool %q full", st.pool.b.name)
 	}
 	h.Emit.Jump() // call into the log layer
 	h.Emit.Compute(txLogWork)
-	recOID := t.pool.OID(t.writeOff)
+	recOID := st.pool.OID(st.writeOff)
 	rec, err := h.Deref(recOID, isa.RZ)
 	if err != nil {
 		return err
@@ -119,14 +188,14 @@ func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) 
 	if err := h.Persist(recOID, recHeaderBytes+padded); err != nil {
 		return err
 	}
-	t.writeOff += recHeaderBytes + padded
+	st.writeOff += recHeaderBytes + padded
 
-	countOID := t.pool.OID(logStart + logOffCount)
+	countOID := st.pool.OID(logStart + logOffCount)
 	cnt, err := h.Deref(countOID, isa.RZ)
 	if err != nil {
 		return err
 	}
-	n := uint64(len(t.records) + 1)
+	n := uint64(len(st.records) + 1)
 	if err := cnt.Store64(0, n, isa.RZ); err != nil {
 		return err
 	}
@@ -137,20 +206,17 @@ func (h *Heap) logAppend(kind uint64, target oid.OID, size uint32, data []byte) 
 	if len(data) > 0 {
 		rcd.old = append([]byte(nil), data...)
 	}
-	t.records = append(t.records, rcd)
-	h.Metrics.UndoRecords++
-	h.Metrics.UndoBytes += recHeaderBytes + uint64(padded)
+	st.records = append(st.records, rcd)
+	atomic.AddUint64(&h.Metrics.UndoRecords, 1)
+	atomic.AddUint64(&h.Metrics.UndoBytes, recHeaderBytes+uint64(padded))
 	return nil
 }
 
-// TxAddRange snapshots [o, o+size) into the undo log (paper: tx_add_range).
-// Call it before modifying the range; commit makes the new contents durable,
-// abort/recovery restores the snapshot.
-func (h *Heap) TxAddRange(o oid.OID, size uint32) error {
-	if h.tx == nil {
-		return fmt.Errorf("pmem: tx_add_range outside a transaction")
-	}
-	src, err := h.Deref(o, isa.RZ)
+// AddRange snapshots [o, o+size) into the undo log. Call it before
+// modifying the range; commit makes the new contents durable, abort or
+// recovery restores the snapshot.
+func (t *Tx) AddRange(o oid.OID, size uint32) error {
+	src, err := t.h.Deref(o, isa.RZ)
 	if err != nil {
 		return err
 	}
@@ -158,22 +224,30 @@ func (h *Heap) TxAddRange(o oid.OID, size uint32) error {
 	if err := src.ReadBytes(0, old); err != nil {
 		return err
 	}
-	return h.logAppend(recData, o, size, old)
+	return t.logAppend(recData, o, size, old)
 }
 
-// TxAlloc is tx_pmalloc: an allocation that is undone if the transaction
-// aborts. The paper's signature allocates from the transaction's pool; this
-// implementation also accepts any open pool, which the multi-pool usage
-// patterns (EACH/RANDOM) need.
-func (h *Heap) TxAlloc(p *Pool, size uint32) (oid.OID, error) {
-	if h.tx == nil {
-		return oid.Null, fmt.Errorf("pmem: tx_pmalloc outside a transaction")
+// TxAddRange snapshots [o, o+size) into the ambient transaction's undo log
+// (paper: tx_add_range).
+func (h *Heap) TxAddRange(o oid.OID, size uint32) error {
+	if h.ambient == nil {
+		return fmt.Errorf("pmem: tx_add_range outside a transaction")
 	}
+	return h.ambient.AddRange(o, size)
+}
+
+// Alloc is a transactional allocation, undone if the transaction aborts.
+// The paper's signature allocates from the transaction's pool; this
+// implementation also accepts any open pool, which the multi-pool usage
+// patterns (EACH/RANDOM) need. In concurrent mode the caller must hold the
+// write lock of p's shard.
+func (t *Tx) Alloc(p *Pool, size uint32) (oid.OID, error) {
+	h := t.h
 	o, popped, err := h.alloc(p, size)
 	if err != nil {
 		return oid.Null, err
 	}
-	if err := h.logAppend(recAlloc, o, size, nil); err != nil {
+	if err := t.logAppend(recAlloc, o, size, nil); err != nil {
 		return oid.Null, err
 	}
 	if popped >= 0 {
@@ -192,16 +266,29 @@ func (h *Heap) TxAlloc(p *Pool, size uint32) (oid.OID, error) {
 	return o, nil
 }
 
-// TxFree is tx_pfree: the free is logged now and applied at commit, so an
-// abort leaves the object intact.
-func (h *Heap) TxFree(o oid.OID) error {
-	if h.tx == nil {
-		return fmt.Errorf("pmem: tx_pfree outside a transaction")
+// TxAlloc is tx_pmalloc on the ambient transaction.
+func (h *Heap) TxAlloc(p *Pool, size uint32) (oid.OID, error) {
+	if h.ambient == nil {
+		return oid.Null, fmt.Errorf("pmem: tx_pmalloc outside a transaction")
 	}
-	if _, ok := h.open[o.Pool()]; !ok {
+	return h.ambient.Alloc(p, size)
+}
+
+// Free logs a free-intent now and applies it at commit, so an abort leaves
+// the object intact.
+func (t *Tx) Free(o oid.OID) error {
+	if _, ok := t.h.open[o.Pool()]; !ok {
 		return fmt.Errorf("pmem: tx_pfree in unopened pool %d", o.Pool())
 	}
-	return h.logAppend(recFree, o, 0, nil)
+	return t.logAppend(recFree, o, 0, nil)
+}
+
+// TxFree is tx_pfree on the ambient transaction.
+func (h *Heap) TxFree(o oid.OID) error {
+	if h.ambient == nil {
+		return fmt.Errorf("pmem: tx_pfree outside a transaction")
+	}
+	return h.ambient.Free(o)
 }
 
 // resolveAllocPools returns the pools that served the transaction's
@@ -225,17 +312,14 @@ func (h *Heap) resolveAllocPools(records []txRecord, op string) ([]*Pool, error)
 	return pools, nil
 }
 
-// TxEnd commits: all snapshotted ranges and transactional allocations are
-// persisted (one fence for the batch), the allocator metadata of every pool
-// that served an allocation is persisted, deferred frees are applied
-// durably under a committed-state marker, and the log is truncated (paper:
-// tx_end).
-func (h *Heap) TxEnd() error {
-	if h.tx == nil {
-		return fmt.Errorf("pmem: tx_end outside a transaction")
-	}
-	t := h.tx
-	allocPools, err := h.resolveAllocPools(t.records, "tx_end")
+// Commit commits the transaction: all snapshotted ranges and transactional
+// allocations are persisted (one fence for the batch), the allocator
+// metadata of every pool that served an allocation is persisted, deferred
+// frees are applied durably under a committed-state marker, and the log is
+// truncated. On error the transaction stays open.
+func (t *Tx) Commit() error {
+	h, st := t.h, t.st
+	allocPools, err := h.resolveAllocPools(st.records, "tx_end")
 	if err != nil {
 		return err
 	}
@@ -243,7 +327,7 @@ func (h *Heap) TxEnd() error {
 	h.Emit.Compute(txEndWork)
 	fence := false
 	hasFree := false
-	for _, r := range t.records {
+	for _, r := range st.records {
 		switch r.kind {
 		case recData:
 			if err := h.persistNoFence(r.oid, r.size); err != nil {
@@ -275,10 +359,10 @@ func (h *Heap) TxEnd() error {
 		// Commit point with deferred work: once the committed marker is
 		// durable, a crash redoes the frees instead of undoing the
 		// transaction.
-		if err := h.setLogCommitted(t.pool); err != nil {
+		if err := h.setLogCommitted(st.pool); err != nil {
 			return err
 		}
-		for _, r := range t.records {
+		for _, r := range st.records {
 			if r.kind == recFree {
 				if err := h.freeDurable(r.oid); err != nil {
 					return err
@@ -286,24 +370,33 @@ func (h *Heap) TxEnd() error {
 			}
 		}
 	}
-	if err := h.truncateLog(t.pool); err != nil {
+	if err := h.truncateLog(st.pool); err != nil {
 		return err
 	}
-	h.tx = nil
-	h.Metrics.TxCommits++
+	h.releaseTx(t)
+	atomic.AddUint64(&h.Metrics.TxCommits, 1)
 	return nil
 }
 
-// TxAbort rolls the transaction back in place: snapshots are restored,
+// TxEnd commits the ambient transaction (paper: tx_end).
+func (h *Heap) TxEnd() error {
+	if h.ambient == nil {
+		return fmt.Errorf("pmem: tx_end outside a transaction")
+	}
+	if err := h.ambient.Commit(); err != nil {
+		return err
+	}
+	h.ambient = nil
+	return nil
+}
+
+// Abort rolls the transaction back in place: snapshots are restored,
 // transactional allocations are freed, deferred frees are dropped. The
 // allocator metadata of alloc pools is persisted first so that the free
 // list can never durably reference a block above the durable bump pointer.
-func (h *Heap) TxAbort() error {
-	if h.tx == nil {
-		return fmt.Errorf("pmem: tx_abort outside a transaction")
-	}
-	t := h.tx
-	allocPools, err := h.resolveAllocPools(t.records, "tx_abort")
+func (t *Tx) Abort() error {
+	h, st := t.h, t.st
+	allocPools, err := h.resolveAllocPools(st.records, "tx_abort")
 	if err != nil {
 		return err
 	}
@@ -315,16 +408,29 @@ func (h *Heap) TxAbort() error {
 		}
 		h.Emit.SFence()
 	}
-	for i := len(t.records) - 1; i >= 0; i-- {
-		if err := h.undoRecord(t.records[i]); err != nil {
+	for i := len(st.records) - 1; i >= 0; i-- {
+		if err := h.undoRecord(st.records[i]); err != nil {
 			return err
 		}
 	}
-	if err := h.truncateLog(t.pool); err != nil {
+	if err := h.truncateLog(st.pool); err != nil {
 		return err
 	}
-	h.tx = nil
-	h.Metrics.TxAborts++
+	h.releaseTx(t)
+	atomic.AddUint64(&h.Metrics.TxAborts, 1)
+	return nil
+}
+
+// TxAbort rolls the ambient transaction back (paper has no abort in
+// Table 1; libpmemobj does).
+func (h *Heap) TxAbort() error {
+	if h.ambient == nil {
+		return fmt.Errorf("pmem: tx_abort outside a transaction")
+	}
+	if err := h.ambient.Abort(); err != nil {
+		return err
+	}
+	h.ambient = nil
 	return nil
 }
 

@@ -23,6 +23,8 @@ package pot
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"potgo/internal/oid"
 	"potgo/internal/vm"
@@ -53,6 +55,11 @@ type Stats struct {
 	Misses uint64
 }
 
+// potStripes is the number of lock stripes a concurrent table shards its
+// readers across. Pool ids are sequential, so a simple modulus spreads
+// them evenly.
+const potStripes = 16
+
 // Table is the Persistent Object Table.
 type Table struct {
 	as      *vm.AddressSpace
@@ -61,6 +68,15 @@ type Table struct {
 	mask    uint32
 	count   uint32
 	stats   Stats
+
+	// concurrent gates the lock stripes: readers (Walk/Lookup) take the
+	// read side of their pool's stripe, writers (Insert/Remove) take every
+	// stripe in index order — linear probing means a mutation for one pool
+	// can shift entries other pools' chains run through, so writes
+	// exclude all readers. Off by default: a single-threaded table pays
+	// nothing.
+	concurrent bool
+	stripes    [potStripes]sync.RWMutex
 }
 
 // New maps a fresh POT of the given number of entries (a power of two) into
@@ -82,6 +98,26 @@ func New(as *vm.AddressSpace, entries int) (*Table, error) {
 	}, nil
 }
 
+// SetConcurrent enables the lock stripes so the table may be read from
+// multiple goroutines while pools are (rarely) mapped and unmapped. There
+// is no way back to the unlocked mode.
+func (t *Table) SetConcurrent() { t.concurrent = true }
+
+func stripeOf(pool oid.PoolID) int { return int(uint32(pool) % potStripes) }
+
+// lockAllStripes write-locks every stripe in index order (the fixed order
+// prevents writer/writer deadlock) and returns the matching unlock.
+func (t *Table) lockAllStripes() func() {
+	for i := range t.stripes {
+		t.stripes[i].Lock()
+	}
+	return func() {
+		for i := range t.stripes {
+			t.stripes[i].Unlock()
+		}
+	}
+}
+
 // Base returns the table's base virtual address (the value the new
 // architectural register would hold).
 func (t *Table) Base() uint64 { return t.base }
@@ -90,7 +126,7 @@ func (t *Table) Base() uint64 { return t.base }
 func (t *Table) Entries() int { return int(t.entries) }
 
 // Len returns the number of pools currently mapped.
-func (t *Table) Len() int { return int(t.count) }
+func (t *Table) Len() int { return int(atomic.LoadUint32(&t.count)) }
 
 // SizeBytes returns the memory footprint of the table.
 func (t *Table) SizeBytes() uint64 { return uint64(t.entries) * EntryBytes }
@@ -133,12 +169,15 @@ func (t *Table) Insert(pool oid.PoolID, vbase uint64) error {
 	if pool == oid.NullPool {
 		return fmt.Errorf("pot: cannot insert reserved pool id 0")
 	}
+	if t.concurrent {
+		defer t.lockAllStripes()()
+	}
 	idx := t.hash(pool)
 	for probed := uint32(0); probed < t.entries; probed++ {
 		p, _ := t.readEntry(idx)
 		if p == oid.NullPool {
 			t.writeEntry(idx, pool, vbase)
-			t.count++
+			atomic.AddUint32(&t.count, 1)
 			return nil
 		}
 		if p == pool {
@@ -154,6 +193,9 @@ func (t *Table) Insert(pool oid.PoolID, vbase uint64) error {
 // backward shifting so that look-ups can keep treating an invalid entry as
 // end-of-chain, exactly as the hardware walk does.
 func (t *Table) Remove(pool oid.PoolID) error {
+	if t.concurrent {
+		defer t.lockAllStripes()()
+	}
 	idx := t.hash(pool)
 	for probed := uint32(0); probed < t.entries; probed++ {
 		p, _ := t.readEntry(idx)
@@ -162,7 +204,7 @@ func (t *Table) Remove(pool oid.PoolID) error {
 		}
 		if p == pool {
 			t.backwardShift(idx)
-			t.count--
+			atomic.AddUint32(&t.count, ^uint32(0))
 			return nil
 		}
 		idx = (idx + 1) & t.mask
@@ -203,23 +245,44 @@ func cyclicallyBetween(home, hole, idx uint32) bool {
 // address and the number of entries examined. ErrNoTranslation models the
 // exception raised when the chain ends at an invalid entry.
 func (t *Table) Walk(pool oid.PoolID) (vbase uint64, probes int, err error) {
-	t.stats.Walks++
+	if t.concurrent {
+		mu := &t.stripes[stripeOf(pool)]
+		mu.RLock()
+		defer mu.RUnlock()
+	}
 	idx := t.hash(pool)
 	for probed := uint32(0); probed < t.entries; probed++ {
 		probes++
-		t.stats.Probes++
 		p, v := t.readEntry(idx)
 		if p == oid.NullPool {
-			t.stats.Misses++
+			t.bumpStats(1, uint64(probes), 1)
 			return 0, probes, ErrNoTranslation
 		}
 		if p == pool {
+			t.bumpStats(1, uint64(probes), 0)
 			return v, probes, nil
 		}
 		idx = (idx + 1) & t.mask
 	}
-	t.stats.Misses++
+	t.bumpStats(1, uint64(probes), 1)
 	return 0, probes, ErrNoTranslation
+}
+
+// bumpStats credits one walk's counters. The concurrent path uses atomics
+// so walks from different goroutines never race; the single-threaded path
+// keeps plain adds.
+func (t *Table) bumpStats(walks, probes, misses uint64) {
+	if t.concurrent {
+		atomic.AddUint64(&t.stats.Walks, walks)
+		atomic.AddUint64(&t.stats.Probes, probes)
+		if misses != 0 {
+			atomic.AddUint64(&t.stats.Misses, misses)
+		}
+		return
+	}
+	t.stats.Walks += walks
+	t.stats.Probes += probes
+	t.stats.Misses += misses
 }
 
 // ProbeAddrs returns the virtual addresses of the first n entries a walk
@@ -239,6 +302,11 @@ func (t *Table) ProbeAddrs(pool oid.PoolID, n int) []uint64 {
 
 // Lookup is Walk without statistics, for software-side queries.
 func (t *Table) Lookup(pool oid.PoolID) (vbase uint64, ok bool) {
+	if t.concurrent {
+		mu := &t.stripes[stripeOf(pool)]
+		mu.RLock()
+		defer mu.RUnlock()
+	}
 	idx := t.hash(pool)
 	for probed := uint32(0); probed < t.entries; probed++ {
 		p, v := t.readEntry(idx)

@@ -1,0 +1,154 @@
+package potserve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pds"
+)
+
+// Client is one connection to a potserve server. Its synchronous methods
+// (Get, Put, ...) issue one request and wait for the response; Pipeline
+// sends a whole batch of requests before reading any response, exercising
+// the server's pipelined execution. A Client is not safe for concurrent
+// use; open one per goroutine (the server handles connections
+// concurrently).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	body []byte
+}
+
+// Dial connects to a potserve server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.send(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.recv(req.Op)
+}
+
+func (c *Client) send(req Request) error {
+	body, err := AppendRequest(c.body[:0], req)
+	if err != nil {
+		return err
+	}
+	c.body = body
+	return WriteFrame(c.bw, body)
+}
+
+func (c *Client) recv(op byte) (Response, error) {
+	frame, err := ReadFrame(c.br)
+	if err != nil {
+		return Response{}, err
+	}
+	resp, err := DecodeResponse(op, frame)
+	if err != nil {
+		return Response{}, err
+	}
+	if resp.Status == StatusErr {
+		return resp, fmt.Errorf("potserve: server: %s", resp.Msg)
+	}
+	return resp, nil
+}
+
+// Pipeline sends every request, flushes once, then reads every response in
+// order. A server-side StatusErr is returned in its Response, not as an
+// error, so one failed op does not hide the others' results.
+func (c *Client) Pipeline(reqs []Request) ([]Response, error) {
+	for _, req := range reqs {
+		if err := c.send(req); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	resps := make([]Response, 0, len(reqs))
+	for _, req := range reqs {
+		frame, err := ReadFrame(c.br)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := DecodeResponse(req.Op, frame)
+		if err != nil {
+			return nil, err
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
+}
+
+// Get fetches a key; ok reports presence.
+func (c *Client) Get(key uint64) (val uint64, ok bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Status == StatusOK, nil
+}
+
+// Put upserts a key; created reports whether it was absent.
+func (c *Client) Put(key, val uint64) (created bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpPut, Key: key, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.Created, nil
+}
+
+// Delete removes a key; existed reports whether it was present.
+func (c *Client) Delete(key uint64) (existed bool, err error) {
+	resp, err := c.roundTrip(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// Scan returns up to max pairs with key >= from, ascending.
+func (c *Client) Scan(from uint64, max int) ([]pds.KV, error) {
+	if max < 0 || max > MaxScan {
+		return nil, fmt.Errorf("potserve: scan max %d out of range [0, %d]", max, MaxScan)
+	}
+	resp, err := c.roundTrip(Request{Op: OpScan, From: from, Max: uint32(max)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.KVs, nil
+}
+
+// Tx applies a batch atomically: all ops commit in one heap transaction or
+// none do.
+func (c *Client) Tx(ops []objstore.BatchOp) error {
+	_, err := c.roundTrip(Request{Op: OpTx, Ops: ops})
+	return err
+}
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(Request{Op: OpPing})
+	return err
+}

@@ -1,0 +1,80 @@
+package potserve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeRequest throws arbitrary bytes at the request decoder. The
+// protocol's safety story depends on the decoder being total: truncated
+// payloads, oversized counts, junk opcodes and trailing garbage must return
+// an error, never panic, and never allocate beyond what the input length
+// justifies. When a body does decode, re-encoding it must reproduce the
+// exact bytes (the encoding is canonical), and decoding again must yield
+// the same request.
+func FuzzDecodeRequest(f *testing.F) {
+	seedReqs := []Request{
+		{Op: OpGet, Key: 1},
+		{Op: OpPut, Key: 2, Val: 3},
+		{Op: OpDel, Key: 4},
+		{Op: OpScan, From: 5, Max: 10},
+		{Op: OpTx},
+		{Op: OpPing},
+	}
+	for _, req := range seedReqs {
+		body, err := AppendRequest(nil, req)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	// Malformed seeds steer the fuzzer at the interesting edges.
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Add([]byte{OpTx, 0xff, 0xff})
+	f.Add([]byte{OpScan, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRequest(body)
+		if err != nil {
+			return // rejection is fine; panicking is the bug being hunted
+		}
+		enc, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %+v: %v", req, err)
+		}
+		if !bytes.Equal(enc, body) {
+			t.Fatalf("encoding not canonical:\n in  %x\n out %x", body, enc)
+		}
+		again, err := DecodeRequest(enc)
+		if err != nil || !reflect.DeepEqual(again, req) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v (err %v)", again, req, err)
+		}
+	})
+}
+
+// FuzzDecodeResponse does the same for the response decoder, fuzzing the
+// originating op alongside the body (the op selects the payload shape).
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(OpGet, []byte{StatusOK, 0, 0, 0, 0, 0, 0, 0, 9})
+	f.Add(OpScan, []byte{StatusOK, 0, 0, 0, 0})
+	f.Add(OpPing, []byte{StatusOK})
+	f.Add(OpGet, []byte{StatusErr, 'b', 'o', 'o', 'm'})
+	f.Add(OpDel, []byte{StatusNotFound})
+	f.Add(byte(0xff), []byte{0xff})
+
+	f.Fuzz(func(t *testing.T, op byte, body []byte) {
+		resp, err := DecodeResponse(op, body)
+		if err != nil {
+			return
+		}
+		enc, err := AppendResponse(nil, op, resp)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: op %d %+v: %v", op, resp, err)
+		}
+		if !bytes.Equal(enc, body) {
+			t.Fatalf("encoding not canonical (op %d):\n in  %x\n out %x", op, body, enc)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package potserve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"potgo/internal/objstore"
+	"potgo/internal/obs"
+)
+
+// latencyBounds are the request-latency histogram bucket upper bounds in
+// microseconds (1µs .. ~1s, roughly x4 per bucket).
+var latencyBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+
+// Server serves the potserve wire protocol over an objstore.KV. One
+// goroutine per connection executes that connection's requests in arrival
+// order (pipelined: responses are buffered and flushed when the connection
+// has no further request ready), while different connections run
+// concurrently — the sharded heap below provides the isolation.
+type Server struct {
+	kv  *objstore.KV
+	reg *obs.Registry
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts serving on ln. It returns immediately; the accept loop and
+// all connection handlers run on background goroutines until Close. reg may
+// be nil (metrics disabled).
+func Serve(ln net.Listener, kv *objstore.KV, reg *obs.Registry) *Server {
+	s := &Server{kv: kv, reg: reg, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (e.g. to dial an OS-assigned port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the accept loop, closes every live connection and waits for
+// the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // Close shut the listener down
+		}
+		if !s.track(c) {
+			c.Close()
+			return
+		}
+		s.reg.Counter("potserve.connections").Add(1)
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// opName labels metrics; unknown opcodes never reach it (the decoder
+// rejects them first).
+func opName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDel:
+		return "del"
+	case OpScan:
+		return "scan"
+	case OpTx:
+		return "tx"
+	case OpPing:
+		return "ping"
+	}
+	return "unknown"
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(c)
+	defer c.Close()
+
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	var body []byte
+	for {
+		frame, err := ReadFrame(br)
+		if err != nil {
+			// A clean EOF between frames is the peer hanging up; anything
+			// else (truncation, oversized prefix) is a protocol error and
+			// the connection is beyond recovery either way.
+			if !errors.Is(err, io.EOF) {
+				s.reg.Counter("potserve.protocol_errors").Add(1)
+			}
+			return
+		}
+		req, err := DecodeRequest(frame)
+		if err != nil {
+			// The frame boundary survived, so the stream is still in sync:
+			// answer StatusErr and keep the connection.
+			s.reg.Counter("potserve.protocol_errors").Add(1)
+			body, _ = AppendResponse(body[:0], OpPing, Response{Status: StatusErr, Msg: err.Error()})
+			if WriteFrame(bw, body) != nil || bw.Flush() != nil {
+				return
+			}
+			continue
+		}
+
+		start := time.Now()
+		resp := s.execute(req)
+		s.reg.Histogram("potserve.latency_us."+opName(req.Op), latencyBounds...).
+			Observe(float64(time.Since(start).Microseconds()))
+		s.reg.Counter("potserve.requests." + opName(req.Op)).Add(1)
+		if resp.Status == StatusErr {
+			s.reg.Counter("potserve.request_errors").Add(1)
+		}
+
+		body, err = AppendResponse(body[:0], req.Op, resp)
+		if err != nil {
+			body, _ = AppendResponse(body[:0], req.Op, Response{Status: StatusErr, Msg: err.Error()})
+		}
+		if WriteFrame(bw, body) != nil {
+			return
+		}
+		// Pipelining: only flush when no further request is already
+		// buffered, so a burst of N requests costs one syscall of
+		// responses, while a lone request is answered immediately.
+		if br.Buffered() == 0 {
+			if bw.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// execute runs one decoded request against the store.
+func (s *Server) execute(req Request) Response {
+	switch req.Op {
+	case OpGet:
+		val, ok, err := s.kv.Get(req.Key)
+		if err != nil {
+			return errResponse(err)
+		}
+		if !ok {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK, Val: val}
+	case OpPut:
+		created, err := s.kv.Put(req.Key, req.Val)
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, Created: created}
+	case OpDel:
+		existed, err := s.kv.Delete(req.Key)
+		if err != nil {
+			return errResponse(err)
+		}
+		if !existed {
+			return Response{Status: StatusNotFound}
+		}
+		return Response{Status: StatusOK}
+	case OpScan:
+		kvs, err := s.kv.Scan(req.From, int(req.Max))
+		if err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK, KVs: kvs}
+	case OpTx:
+		if err := s.kv.Batch(req.Ops); err != nil {
+			return errResponse(err)
+		}
+		return Response{Status: StatusOK}
+	case OpPing:
+		return Response{Status: StatusOK}
+	}
+	return errResponse(fmt.Errorf("potserve: unhandled op %d", req.Op))
+}
+
+func errResponse(err error) Response {
+	return Response{Status: StatusErr, Msg: err.Error()}
+}

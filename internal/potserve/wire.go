@@ -1,0 +1,363 @@
+// Package potserve puts a network front-end on the concurrent persistent
+// object store (internal/objstore): a length-prefixed binary protocol over
+// TCP, a server that multiplexes client connections onto the sharded heap,
+// and a client. Requests on one connection are pipelined: a client may send
+// any number of frames before reading responses; the server executes them
+// in order and answers in order.
+//
+// Wire format (all integers big-endian):
+//
+//	frame    := u32 length, then `length` body bytes (length <= MaxFrame)
+//	request  := u8 op, op-specific payload
+//	  GET  (1): u64 key
+//	  PUT  (2): u64 key, u64 val
+//	  DEL  (3): u64 key
+//	  SCAN (4): u64 from, u32 max        (max <= MaxScan)
+//	  TX   (5): u16 n, then n x (u8 kind, u64 key, u64 val); kind 0 = put,
+//	            1 = delete (val ignored)
+//	  PING (6): empty
+//	response := u8 status, status/op-specific payload
+//	  StatusOK       (0): GET -> u64 val; PUT -> u8 created; DEL -> empty;
+//	                      SCAN -> u32 n, then n x (u64 key, u64 val);
+//	                      TX, PING -> empty
+//	  StatusNotFound (1): empty (GET of an absent key, DEL of an absent key)
+//	  StatusErr      (2): UTF-8 error message
+//
+// Decoding is total: any byte string either decodes or returns an error;
+// malformed input (truncated payloads, trailing junk, oversized counts,
+// unknown opcodes) must never panic. FuzzDecodeRequest enforces this.
+package potserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pds"
+)
+
+// Request opcodes.
+const (
+	OpGet  byte = 1
+	OpPut  byte = 2
+	OpDel  byte = 3
+	OpScan byte = 4
+	OpTx   byte = 5
+	OpPing byte = 6
+)
+
+// Response status codes.
+const (
+	StatusOK       byte = 0
+	StatusNotFound byte = 1
+	StatusErr      byte = 2
+)
+
+// TX entry kinds.
+const (
+	TxPut byte = 0
+	TxDel byte = 1
+)
+
+const (
+	// MaxFrame bounds a frame body; a length prefix above it is a protocol
+	// error, so a corrupt or hostile peer cannot make the server allocate
+	// unbounded memory.
+	MaxFrame = 1 << 20
+	// MaxScan bounds one SCAN response; it keeps the largest legal response
+	// frame ((16 bytes per pair) * MaxScan + header) under MaxFrame.
+	MaxScan = 60000
+	// MaxTxOps bounds one TX batch (17 bytes per op keeps the request frame
+	// under MaxFrame).
+	MaxTxOps = 60000
+)
+
+// ErrFrameTooBig reports a length prefix above MaxFrame.
+var ErrFrameTooBig = errors.New("potserve: frame exceeds MaxFrame")
+
+// Request is one decoded client request. Only the fields of the active Op
+// are meaningful.
+type Request struct {
+	Op   byte
+	Key  uint64
+	Val  uint64
+	From uint64             // SCAN
+	Max  uint32             // SCAN
+	Ops  []objstore.BatchOp // TX
+}
+
+// Response is one decoded server response. Only the fields of the
+// originating op are meaningful.
+type Response struct {
+	Status  byte
+	Val     uint64   // GET
+	Created bool     // PUT
+	KVs     []pds.KV // SCAN
+	Msg     string   // StatusErr
+}
+
+// ReadFrame reads one length-prefixed frame body from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("potserve: truncated frame: %w", err)
+	}
+	return body, nil
+}
+
+// WriteFrame writes body as one length-prefixed frame.
+func WriteFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// reader consumes big-endian fields from a frame body, tracking one
+// malformed-input error instead of panicking.
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("potserve: malformed frame: %s", what)
+	}
+}
+
+func (r *reader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 1 {
+		r.fail("truncated u8")
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 2 {
+		r.fail("truncated u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 4 {
+		r.fail("truncated u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) < 8 {
+		r.fail("truncated u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// done errors on trailing bytes, so every request has exactly one encoding.
+func (r *reader) done() error {
+	if r.err == nil && len(r.buf) != 0 {
+		r.fail(fmt.Sprintf("%d trailing bytes", len(r.buf)))
+	}
+	return r.err
+}
+
+// AppendRequest appends req's wire encoding (frame body only) to dst.
+func AppendRequest(dst []byte, req Request) ([]byte, error) {
+	dst = append(dst, req.Op)
+	switch req.Op {
+	case OpGet, OpDel:
+		dst = binary.BigEndian.AppendUint64(dst, req.Key)
+	case OpPut:
+		dst = binary.BigEndian.AppendUint64(dst, req.Key)
+		dst = binary.BigEndian.AppendUint64(dst, req.Val)
+	case OpScan:
+		if req.Max > MaxScan {
+			return nil, fmt.Errorf("potserve: scan max %d exceeds %d", req.Max, MaxScan)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, req.From)
+		dst = binary.BigEndian.AppendUint32(dst, req.Max)
+	case OpTx:
+		if len(req.Ops) > MaxTxOps {
+			return nil, fmt.Errorf("potserve: tx batch %d exceeds %d ops", len(req.Ops), MaxTxOps)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Ops)))
+		for _, op := range req.Ops {
+			kind := TxPut
+			if op.Del {
+				kind = TxDel
+			}
+			dst = append(dst, kind)
+			dst = binary.BigEndian.AppendUint64(dst, op.Key)
+			dst = binary.BigEndian.AppendUint64(dst, op.Val)
+		}
+	case OpPing:
+	default:
+		return nil, fmt.Errorf("potserve: unknown request op %d", req.Op)
+	}
+	return dst, nil
+}
+
+// DecodeRequest decodes one request frame body. It never panics: malformed
+// input returns an error.
+func DecodeRequest(body []byte) (Request, error) {
+	r := &reader{buf: body}
+	req := Request{Op: r.u8()}
+	switch req.Op {
+	case OpGet, OpDel:
+		req.Key = r.u64()
+	case OpPut:
+		req.Key = r.u64()
+		req.Val = r.u64()
+	case OpScan:
+		req.From = r.u64()
+		req.Max = r.u32()
+		if r.err == nil && req.Max > MaxScan {
+			r.fail(fmt.Sprintf("scan max %d exceeds %d", req.Max, MaxScan))
+		}
+	case OpTx:
+		n := int(r.u16())
+		// A TX entry is 17 bytes; reject counts the remaining bytes cannot
+		// hold before allocating.
+		if r.err == nil && len(r.buf) != n*17 {
+			r.fail(fmt.Sprintf("tx count %d does not match %d payload bytes", n, len(r.buf)))
+		}
+		if r.err == nil && n > 0 {
+			req.Ops = make([]objstore.BatchOp, 0, n)
+			for i := 0; i < n; i++ {
+				kind := r.u8()
+				if r.err == nil && kind != TxPut && kind != TxDel {
+					r.fail(fmt.Sprintf("tx entry %d: unknown kind %d", i, kind))
+				}
+				req.Ops = append(req.Ops, objstore.BatchOp{
+					Key: r.u64(),
+					Val: r.u64(),
+					Del: kind == TxDel,
+				})
+			}
+		}
+	case OpPing:
+	default:
+		r.fail(fmt.Sprintf("unknown request op %d", req.Op))
+	}
+	if err := r.done(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// AppendResponse appends resp's wire encoding (frame body only) to dst. The
+// originating op selects the payload shape, mirroring DecodeResponse.
+func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
+	dst = append(dst, resp.Status)
+	if resp.Status == StatusErr {
+		return append(dst, resp.Msg...), nil
+	}
+	if resp.Status != StatusOK {
+		return dst, nil
+	}
+	switch op {
+	case OpGet:
+		dst = binary.BigEndian.AppendUint64(dst, resp.Val)
+	case OpPut:
+		created := byte(0)
+		if resp.Created {
+			created = 1
+		}
+		dst = append(dst, created)
+	case OpScan:
+		if len(resp.KVs) > MaxScan {
+			return nil, fmt.Errorf("potserve: scan result %d exceeds %d", len(resp.KVs), MaxScan)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(resp.KVs)))
+		for _, kv := range resp.KVs {
+			dst = binary.BigEndian.AppendUint64(dst, kv.Key)
+			dst = binary.BigEndian.AppendUint64(dst, kv.Val)
+		}
+	case OpDel, OpTx, OpPing:
+	default:
+		return nil, fmt.Errorf("potserve: unknown response op %d", op)
+	}
+	return dst, nil
+}
+
+// DecodeResponse decodes one response frame body for a request of the given
+// op. It never panics on malformed input.
+func DecodeResponse(op byte, body []byte) (Response, error) {
+	r := &reader{buf: body}
+	resp := Response{Status: r.u8()}
+	switch {
+	case r.err != nil:
+	case resp.Status == StatusErr:
+		resp.Msg = string(r.buf)
+		r.buf = nil
+	case resp.Status == StatusNotFound:
+	case resp.Status != StatusOK:
+		r.fail(fmt.Sprintf("unknown status %d", resp.Status))
+	default:
+		switch op {
+		case OpGet:
+			resp.Val = r.u64()
+		case OpPut:
+			resp.Created = r.u8() != 0
+		case OpScan:
+			n := int(r.u32())
+			if r.err == nil && (n > MaxScan || len(r.buf) != n*16) {
+				r.fail(fmt.Sprintf("scan count %d does not match %d payload bytes", n, len(r.buf)))
+			}
+			if r.err == nil && n > 0 {
+				resp.KVs = make([]pds.KV, 0, n)
+				for i := 0; i < n; i++ {
+					resp.KVs = append(resp.KVs, pds.KV{Key: r.u64(), Val: r.u64()})
+				}
+			}
+		case OpDel, OpTx, OpPing:
+		default:
+			r.fail(fmt.Sprintf("unknown response op %d", op))
+		}
+	}
+	if err := r.done(); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}

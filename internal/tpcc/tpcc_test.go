@@ -1,7 +1,7 @@
 package tpcc
 
 import (
-	"math/rand"
+	"potgo/internal/randtest"
 	"testing"
 
 	"potgo/internal/emit"
@@ -222,7 +222,7 @@ func TestTxTypeString(t *testing.T) {
 }
 
 func TestMixDistribution(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := randtest.New(t, 1)
 	var counts [5]int
 	const n = 20000
 	for i := 0; i < n; i++ {
@@ -243,7 +243,7 @@ func TestMixDistribution(t *testing.T) {
 }
 
 func TestNURandRange(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := randtest.New(t, 2)
 	nur := newNuRand(rng)
 	for i := 0; i < 5000; i++ {
 		if c := nur.CustomerID(3000); c < 1 || c > 3000 {

@@ -58,9 +58,13 @@ type pageTable struct {
 	top []*ptLeaf         // arena leaves, indexed by (vpn-arenaVPNBase)>>ptLeafBits
 	out map[uint64]uint32 // out-of-arena VPNs (MapFixed; cold), PFN+1
 
-	// Last-translation memo. memoPFN is PFN+1; 0 means no memo.
+	// Last-translation memo. memoPFN is PFN+1; 0 means no memo. noMemo
+	// disables the memo for concurrent address spaces: the memo is the
+	// page table's only lookup-path mutation, so with it off, concurrent
+	// lookups are pure reads.
 	memoVPN uint64
 	memoPFN uint32
+	noMemo  bool
 }
 
 func (pt *pageTable) lookup(vpn uint64) (uint32, bool) {
@@ -80,7 +84,9 @@ func (pt *pageTable) lookup(vpn uint64) (uint32, bool) {
 	if e == 0 {
 		return 0, false
 	}
-	pt.memoVPN, pt.memoPFN = vpn, e
+	if !pt.noMemo {
+		pt.memoVPN, pt.memoPFN = vpn, e
+	}
 	return e - 1, true
 }
 
@@ -163,6 +169,17 @@ func NewAddressSpace(seed int64) *AddressSpace {
 			top: make([]*ptLeaf, (arenaVPNs+ptLeafSize-1)>>ptLeafBits),
 		},
 	}
+}
+
+// SetConcurrent prepares the address space for access from multiple
+// goroutines: the last-translation memo is switched off (and cleared), so
+// Translate/ReadAt/WriteAt on mapped pages become read-only with respect to
+// the page table and may run concurrently. Structural operations
+// (Map/MapFixed/Unmap) still require external serialization — under the
+// sharded heap they run stop-the-world.
+func (as *AddressSpace) SetConcurrent() {
+	as.pageTable.noMemo = true
+	as.pageTable.memoPFN = 0
 }
 
 // Map allocates a page-aligned virtual region of at least size bytes at an
