@@ -41,6 +41,7 @@ func main() {
 		shards     = flag.Int("shards", 8, "in-process server: heap and KV shards")
 		benchPath  = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_serve.json)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
+		p99Gate    = flag.Float64("p99-gate", 0, "fail (exit 1) when p99 latency exceeds this many µs; 0 disables. Only meaningful against records taken at the same GOMAXPROCS")
 	)
 	flag.Parse()
 	if *conns <= 0 || *ops <= 0 || *depth <= 0 || *keySpace <= 0 || *readPct < 0 || *readPct > 100 {
@@ -50,11 +51,14 @@ func main() {
 	reg := obs.NewRegistry()
 	target := *addr
 	inProcess := target == ""
+	var benchHeap *pmem.Heap
 	if inProcess {
 		sh, err := pmem.NewSharded(pmem.NewStore(), *shards, int64(*seed))
 		if err != nil {
 			fatal(err)
 		}
+		sh.Heap().AttachObs(reg)
+		benchHeap = sh.Heap()
 		kv, err := objstore.CreateKV(sh, "potbench")
 		if err != nil {
 			fatal(err)
@@ -90,6 +94,7 @@ func main() {
 			defer c.Close()
 			rng := rand.New(rand.NewSource(int64(*seed) + int64(w)*0x9e3779b9))
 			reqs := make([]potserve.Request, 0, *depth)
+			var resps []potserve.Response
 			lat := make([]float64, 0, *ops)
 			for done := 0; done < *ops; {
 				reqs = reqs[:0]
@@ -105,7 +110,9 @@ func main() {
 					}
 				}
 				batchStart := time.Now()
-				resps, err := c.Pipeline(reqs)
+				// PipelineAppend recycles the response slice and its scan
+				// scratch, keeping the measuring side allocation-free too.
+				resps, err = c.PipelineAppend(reqs, resps)
 				if err != nil {
 					workerErr[w] = err
 					return
@@ -150,8 +157,11 @@ func main() {
 	total := len(all)
 	rate := float64(total) / wall
 
-	fmt.Printf("potbench: %d conns x %d ops (depth %d, %d%% reads, keyspace %d): %.0f ops/s, p50 %.0fµs p95 %.0fµs p99 %.0fµs, %d errors (%.1fs)\n",
-		*conns, *ops, *depth, *readPct, *keySpace, rate, pct(0.50), pct(0.95), pct(0.99), errors, wall)
+	fmt.Printf("potbench: %d conns x %d ops (depth %d, %d%% reads, keyspace %d, GOMAXPROCS %d): %.0f ops/s, p50 %.0fµs p95 %.0fµs p99 %.0fµs, %d errors (%.1fs)\n",
+		*conns, *ops, *depth, *readPct, *keySpace, runtime.GOMAXPROCS(0), rate, pct(0.50), pct(0.95), pct(0.99), errors, wall)
+	if *p99Gate > 0 && pct(0.99) > *p99Gate {
+		fatal(fmt.Errorf("p99 %.0fµs exceeds gate %.0fµs", pct(0.99), *p99Gate))
+	}
 
 	if *benchPath != "" {
 		rec := harness.ServeRecord{
@@ -159,6 +169,7 @@ func main() {
 			GitSHA:      gitSHA(),
 			GoVersion:   runtime.Version(),
 			NumCPU:      runtime.NumCPU(),
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			Seed:        *seed,
 			Conns:       *conns,
 			OpsPerConn:  *ops,
@@ -185,6 +196,9 @@ func main() {
 		}
 	}
 	if *metricsOut != "" {
+		if benchHeap != nil {
+			benchHeap.PublishMetrics(reg)
+		}
 		if err := reg.WriteFile(*metricsOut); err != nil {
 			fatal(err)
 		}

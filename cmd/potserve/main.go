@@ -49,6 +49,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sh.Heap().AttachObs(reg)
 	kv, err := objstore.CreateKV(sh, "potserve")
 	if err != nil {
 		fatal(err)

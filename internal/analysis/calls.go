@@ -20,20 +20,20 @@ const (
 type callKind int
 
 const (
-	kOther callKind = iota
-	kRefStore        // pmem.Ref.Store64 / WriteBytes
-	kDeref           // pmem.Heap.Deref
-	kDirectRef       // pmem.Heap.DirectRef
-	kAlloc           // Heap.Alloc / Heap.TxAlloc / Ctx-shaped Alloc(key,size)
-	kTouch           // Ctx-shaped Touch(oid,size) / Heap.TxAddRange
-	kPersist         // Heap.Persist
-	kPersistNoFence  // a *NoFence persist helper (CLWBs, no trailing fence)
-	kCellSet         // pds.Cell.Set
-	kCellOID         // pds.Cell.OID
-	kFieldAt         // oid.OID.FieldAt
-	kCLWB            // emit.Emitter.CLWB
-	kSFence          // emit.Emitter.SFence
-	kInvalidate      // Heap.Close / Crash / TxAbort / Recover
+	kOther          callKind = iota
+	kRefStore                // pmem.Ref.Store64 / WriteBytes
+	kDeref                   // pmem.Heap.Deref
+	kDirectRef               // pmem.Heap.DirectRef
+	kAlloc                   // Heap.Alloc / Heap.TxAlloc / Ctx-shaped Alloc(key,size)
+	kTouch                   // Ctx-shaped Touch(oid,size) / Heap.TxAddRange
+	kPersist                 // Heap.Persist
+	kPersistNoFence          // a *NoFence persist helper (CLWBs, no trailing fence)
+	kCellSet                 // pds.Cell.Set
+	kCellOID                 // pds.Cell.OID
+	kFieldAt                 // oid.OID.FieldAt
+	kCLWB                    // emit.Emitter.CLWB
+	kSFence                  // emit.Emitter.SFence
+	kInvalidate              // Heap.Close / Crash / TxAbort / Recover
 )
 
 // callee resolves the static callee of a call, or nil (indirect calls,
@@ -146,6 +146,14 @@ func classify(info *types.Info, call *ast.CallExpr) callKind {
 			return kTouch
 		case "Persist":
 			return kPersist
+		case "fence":
+			// Heap.fence is the group-commit fence point: sequentially it is
+			// a plain SFENCE; concurrently the committing goroutine either
+			// leads (issuing one SFENCE that also covers follower CLWBs) or
+			// waits for a leader whose fence is ordered after its own CLWBs.
+			// Either way, by return every previously emitted CLWB is retired,
+			// so it balances like SFence — no blanket suppression needed.
+			return kSFence
 		case "Close", "Crash", "TxAbort", "Recover":
 			return kInvalidate
 		}

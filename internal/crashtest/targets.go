@@ -408,6 +408,7 @@ func (a rbtOps) get(c pds.Ctx, k uint64) (bool, uint64, error) {
 	o, err := a.t.Find(c, k)
 	return o != oid.Null, 0, err
 }
+
 // check: RBT.CheckInvariants returns the black-height, not a key count, so
 // the count comes from the in-order walk.
 func (a rbtOps) check(c pds.Ctx) (int, error) {

@@ -17,9 +17,13 @@ type ServeRecord struct {
 	// GitSHA identifies the tree ("" when unknown, "-dirty" suffix for
 	// uncommitted changes); used to refuse duplicate run records.
 	GitSHA string `json:"git_sha,omitempty"`
-	// GoVersion and NumCPU describe the machine.
-	GoVersion string `json:"go_version"`
-	NumCPU    int    `json:"num_cpu"`
+	// GoVersion, NumCPU and GoMaxProcs describe the machine: records taken
+	// at different GOMAXPROCS are not comparable (a 1-P run serializes the
+	// server and clients onto one scheduler thread), so the capture
+	// conditions are part of the record.
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs,omitempty"`
 	// Run configuration.
 	Seed       uint64 `json:"seed"`
 	Conns      int    `json:"conns"`

@@ -94,8 +94,8 @@ type poolState struct {
 	inflight map[uint32]*[LineBytes]byte
 }
 
-func (ps *poolState) setDirty(line uint32)  { ps.dirty[line/64] |= 1 << (line % 64) }
-func (ps *poolState) clrDirty(line uint32)  { ps.dirty[line/64] &^= 1 << (line % 64) }
+func (ps *poolState) setDirty(line uint32) { ps.dirty[line/64] |= 1 << (line % 64) }
+func (ps *poolState) clrDirty(line uint32) { ps.dirty[line/64] &^= 1 << (line % 64) }
 func (ps *poolState) isDirty(line uint32) bool {
 	return ps.dirty[line/64]&(1<<(line%64)) != 0
 }
@@ -112,11 +112,42 @@ type Domain struct {
 	// Poisoned() from worker goroutines that don't hold the host's event
 	// lock (e.g. to classify an error as a casualty of the crash).
 	poisoned uint32
+	// hot indexes the pools with at least one in-flight snapshot, so an
+	// SFENCE drains only them instead of walking every mapped pool (the
+	// EACH pattern maps hundreds of pools, almost all quiescent at any
+	// given fence).
+	hot map[uint32]*poolState
+	// bufFree recycles drained snapshot buffers: the steady-state commit
+	// loop (CLWB lines, fence, repeat) then allocates nothing.
+	bufFree []*[LineBytes]byte
 }
+
+// maxFreeBufs bounds the snapshot-buffer free list (64 KiB of lines).
+const maxFreeBufs = 1024
 
 // NewDomain returns an empty persistence domain.
 func NewDomain() *Domain {
-	return &Domain{pools: make(map[uint32]*poolState)}
+	return &Domain{
+		pools: make(map[uint32]*poolState),
+		hot:   make(map[uint32]*poolState),
+	}
+}
+
+// getBuf takes a snapshot buffer from the free list, or allocates one.
+func (d *Domain) getBuf() *[LineBytes]byte {
+	if n := len(d.bufFree); n > 0 {
+		b := d.bufFree[n-1]
+		d.bufFree = d.bufFree[:n-1]
+		return b
+	}
+	return new([LineBytes]byte)
+}
+
+// putBuf returns a drained snapshot buffer to the free list.
+func (d *Domain) putBuf(b *[LineBytes]byte) {
+	if len(d.bufFree) < maxFreeBufs {
+		d.bufFree = append(d.bufFree, b)
+	}
 }
 
 // AddPool starts tracking a pool of the given byte size. Mapping is clean:
@@ -132,7 +163,16 @@ func (d *Domain) AddPool(pool uint32, size uint64) {
 
 // DropPool stops tracking a pool (it was unmapped; the host has already
 // decided what became of its bytes).
-func (d *Domain) DropPool(pool uint32) { delete(d.pools, pool) }
+func (d *Domain) DropPool(pool uint32) {
+	if ps, ok := d.pools[pool]; ok {
+		for k, buf := range ps.inflight {
+			delete(ps.inflight, k)
+			d.putBuf(buf)
+		}
+	}
+	delete(d.hot, pool)
+	delete(d.pools, pool)
+}
 
 // Clean discards a pool's volatile state without unmapping it: the host
 // just synced the cache view to the durable view wholesale (pool creation,
@@ -145,9 +185,11 @@ func (d *Domain) Clean(pool uint32) {
 	for i := range ps.dirty {
 		ps.dirty[i] = 0
 	}
-	for k := range ps.inflight {
+	for k, buf := range ps.inflight {
 		delete(ps.inflight, k)
+		d.putBuf(buf)
 	}
+	delete(d.hot, pool)
 }
 
 // step numbers one event and, when armed, crashes just before applying it.
@@ -221,10 +263,38 @@ func (d *Domain) CLWB(pool, off uint32, mem Memory) {
 	if line >= ps.lines || !ps.isDirty(line) {
 		return
 	}
+	d.snapshot(pool, ps, line, mem)
+}
+
+// CLWBRange records one cache-line write-back per line covering
+// [off, off+size): event-for-event identical to calling CLWB on each
+// covered line (so armed crash points land at the same event indices),
+// but the pool resolves once per call instead of once per line. Hosts on
+// a hot commit path use this to amortize per-line overhead.
+func (d *Domain) CLWBRange(pool, off, size uint32, mem Memory) {
+	if size == 0 {
+		return
+	}
+	ps := d.pools[pool]
+	first := off / LineBytes
+	last := (off + size - 1) / LineBytes
+	for line := first; line <= last; line++ {
+		d.step()
+		if ps == nil || line >= ps.lines || !ps.isDirty(line) {
+			continue
+		}
+		d.snapshot(pool, ps, line, mem)
+	}
+}
+
+// snapshot captures a dirty line's cache content in-flight, recycling a
+// drained buffer when one is available and indexing the pool as hot.
+func (d *Domain) snapshot(pool uint32, ps *poolState, line uint32, mem Memory) {
 	buf, ok := ps.inflight[line*LineBytes]
 	if !ok {
-		buf = new([LineBytes]byte)
+		buf = d.getBuf()
 		ps.inflight[line*LineBytes] = buf
+		d.hot[pool] = ps
 	}
 	if mem.ReadCacheLine(pool, line*LineBytes, buf) {
 		ps.clrDirty(line)
@@ -233,14 +303,17 @@ func (d *Domain) CLWB(pool, off uint32, mem Memory) {
 
 // SFence records a store fence: one event, and every in-flight snapshot in
 // the domain drains to the durable view. Lines re-dirtied after their CLWB
-// stay dirty — the fence ordered the snapshot, not the newer stores.
+// stay dirty — the fence ordered the snapshot, not the newer stores. Only
+// pools with in-flight lines (the hot index) are visited.
 func (d *Domain) SFence(mem Memory) {
 	d.step()
-	for pool, ps := range d.pools {
+	for pool, ps := range d.hot {
 		for off, buf := range ps.inflight {
 			mem.WriteDurableWords(pool, off, buf, 0xFF)
 			delete(ps.inflight, off)
+			d.putBuf(buf)
 		}
+		delete(d.hot, pool)
 	}
 }
 
@@ -312,13 +385,15 @@ func (d *Domain) Crash(pol Policy, mem Memory) Report {
 		mem.WriteDurableWords(ln.Pool, ln.Off, &buf, mask)
 		rep.Kept = append(rep.Kept, LineOutcome{Line: ln, Mask: mask})
 	}
-	for _, ps := range d.pools {
+	for pool, ps := range d.pools {
 		for i := range ps.dirty {
 			ps.dirty[i] = 0
 		}
-		for k := range ps.inflight {
+		for k, buf := range ps.inflight {
 			delete(ps.inflight, k)
+			d.putBuf(buf)
 		}
+		delete(d.hot, pool)
 	}
 	return rep
 }

@@ -28,7 +28,14 @@ var _ pds.Ctx = (*txCtx)(nil)
 
 func (c *txCtx) bind(tx *pmem.Tx) {
 	c.tx = tx
-	c.touched = make(map[oid.OID]bool, 8)
+	if c.touched == nil {
+		c.touched = make(map[oid.OID]bool, 8)
+	} else {
+		// Reusing the map keeps its buckets, so a long-lived ctx (the per-
+		// shard write ctx in KV) stops allocating once it has seen a
+		// typical transaction's working set.
+		clear(c.touched)
+	}
 }
 
 func (c *txCtx) Heap() *pmem.Heap { return c.h }

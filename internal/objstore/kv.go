@@ -2,7 +2,7 @@ package objstore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"potgo/internal/oid"
 	"potgo/internal/pds"
@@ -22,6 +22,13 @@ type KV struct {
 type kvShard struct {
 	pool *pmem.Pool
 	tree *pds.BPlus
+	// rctx is the read-path pds.Ctx (tx nil, so no mutable state): shared
+	// freely by concurrent readers under the shard's read lock.
+	rctx txCtx
+	// wctx is the write-path pds.Ctx, rebound per transaction. Exclusive
+	// shard lock holders only; the touched map is reused across
+	// transactions so steady-state writes stop allocating.
+	wctx txCtx
 }
 
 // kvPoolBytes sizes each shard pool. The B+-tree allocates ~72-byte nodes;
@@ -40,7 +47,19 @@ func kvBind(sh *pmem.Sharded, p *pmem.Pool) (kvShard, error) {
 		return kvShard{}, err
 	}
 	anchor := pds.NewCell(sh.Heap(), root.FieldAt(0))
-	return kvShard{pool: p, tree: pds.NewBPlus(anchor)}, nil
+	tree := pds.NewBPlus(anchor)
+	// Warm the root cache while the tree is still private: once the shard
+	// is shared, concurrent readers under the read lock must not race to
+	// fill it.
+	if err := tree.Prime(); err != nil {
+		return kvShard{}, err
+	}
+	return kvShard{
+		pool: p,
+		tree: tree,
+		rctx: txCtx{h: sh.Heap(), alloc: p},
+		wctx: txCtx{h: sh.Heap(), alloc: p},
+	}, nil
 }
 
 // CreateKV creates one pool per heap shard (named prefix-0 … prefix-N-1)
@@ -93,83 +112,107 @@ func (kv *KV) Sharded() *pmem.Sharded { return kv.sh }
 
 func (kv *KV) shardOf(key uint64) *kvShard { return &kv.shards[key%uint64(len(kv.shards))] }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. Allocation-free: the request
+// path of potserve rides on it.
 func (kv *KV) Get(key uint64) (val uint64, ok bool, err error) {
 	s := kv.shardOf(key)
-	err = kv.sh.View([]oid.PoolID{s.pool.ID()}, func() error {
-		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
-		var ferr error
-		val, ok, ferr = s.tree.Find(ctx, key)
-		return ferr
-	})
+	kv.sh.RLockPool(s.pool.ID())
+	val, ok, err = s.tree.FindFast(&s.rctx, key)
+	kv.sh.RUnlockPool(s.pool.ID())
 	return val, ok, err
 }
 
 // Put stores val under key, inserting or overwriting. It reports whether
-// the key was created (false: an existing value was replaced).
+// the key was created (false: an existing value was replaced). The
+// overwrite path — the steady state of a bounded-keyspace workload — is
+// allocation-free end to end; only inserts (tree growth) allocate.
 func (kv *KV) Put(key, val uint64) (created bool, err error) {
 	s := kv.shardOf(key)
-	err = kv.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
-		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
-		ctx.bind(t)
-		updated, err := s.tree.Update(ctx, key, val)
-		if err != nil {
-			return err
-		}
-		if updated {
-			return nil
-		}
+	kv.sh.LockPool(s.pool.ID())
+	defer kv.sh.UnlockPool(s.pool.ID())
+	t, err := kv.sh.Heap().Begin(s.pool)
+	if err != nil {
+		return false, err
+	}
+	s.wctx.bind(t)
+	updated, err := s.tree.UpdateFast(&s.wctx, key, val)
+	if err == nil && !updated {
 		created = true
-		return s.tree.Insert(ctx, key, val)
-	})
-	return created, err
+		err = s.tree.Insert(&s.wctx, key, val)
+	}
+	if err != nil {
+		if aerr := t.Abort(); aerr != nil {
+			return false, fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+		}
+		return false, err
+	}
+	return created, t.Commit()
 }
 
 // Delete removes key, reporting whether it was present.
 func (kv *KV) Delete(key uint64) (existed bool, err error) {
 	s := kv.shardOf(key)
-	err = kv.sh.Tx(s.pool, nil, func(t *pmem.Tx) error {
-		ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
-		ctx.bind(t)
-		var rerr error
-		existed, rerr = s.tree.Remove(ctx, key)
-		return rerr
-	})
-	return existed, err
+	kv.sh.LockPool(s.pool.ID())
+	defer kv.sh.UnlockPool(s.pool.ID())
+	t, err := kv.sh.Heap().Begin(s.pool)
+	if err != nil {
+		return false, err
+	}
+	s.wctx.bind(t)
+	existed, err = s.tree.Remove(&s.wctx, key)
+	if err != nil {
+		if aerr := t.Abort(); aerr != nil {
+			return false, fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+		}
+		return false, err
+	}
+	return existed, t.Commit()
 }
 
 // Scan returns up to max key/value pairs with key >= from, in ascending
 // key order, merged across all shards under a store-wide read lock (the
 // one KV operation that is a consistent multi-shard snapshot).
 func (kv *KV) Scan(from uint64, max int) ([]pds.KV, error) {
-	if max <= 0 {
-		return nil, nil
-	}
-	ids := make([]oid.PoolID, len(kv.shards))
-	for i := range kv.shards {
-		ids[i] = kv.shards[i].pool.ID()
-	}
-	var out []pds.KV
-	err := kv.sh.View(ids, func() error {
-		for i := range kv.shards {
-			s := &kv.shards[i]
-			ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
-			part, err := s.tree.Scan(ctx, from, max)
-			if err != nil {
-				return err
-			}
-			out = append(out, part...)
-		}
-		return nil
-	})
+	out, err := kv.ScanAppend(nil, from, max)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	if len(out) > max {
-		out = out[:max]
-	}
 	return out, nil
+}
+
+// ScanAppend is Scan appending into dst (truncated and reused), so a
+// caller that recycles its result buffer scans without allocating once the
+// buffer has reached its steady-state capacity.
+func (kv *KV) ScanAppend(dst []pds.KV, from uint64, max int) ([]pds.KV, error) {
+	dst = dst[:0]
+	if max <= 0 {
+		return dst, nil
+	}
+	kv.sh.RLockAll()
+	defer kv.sh.RUnlockAll()
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		var err error
+		if dst, err = s.tree.ScanAppend(&s.rctx, dst, from, max); err != nil {
+			return dst, err
+		}
+	}
+	// Each shard contributed up to max ascending pairs; merge by sorting
+	// (slices.SortFunc: no interface boxing, non-capturing comparator) and
+	// truncate.
+	slices.SortFunc(dst, func(a, b pds.KV) int {
+		switch {
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
+	})
+	if len(dst) > max {
+		dst = dst[:max]
+	}
+	return dst, nil
 }
 
 // BatchOp is one operation of an atomic batch: a put (Del false) or a
@@ -183,11 +226,79 @@ type BatchOp struct {
 // Batch applies all ops in one crash-atomic transaction spanning every
 // involved shard: either every op is durable or none is. The undo log
 // lives in the lowest involved shard's pool; shard locks are taken in
-// ascending order as always.
+// ascending order as always. With at most 64 KV shards the involved set is
+// a stack bitmask and the whole batch (pure overwrites/deletes of leaf-
+// resident keys) allocates nothing.
 func (kv *KV) Batch(ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	if len(kv.shards) > 64 {
+		return kv.batchSlow(ops)
+	}
+	var involved uint64 // KV shard indices
+	for _, op := range ops {
+		involved |= 1 << (op.Key % uint64(len(kv.shards)))
+	}
+	var heapMask uint64 // heap lock-shard indices
+	var logShard *kvShard
+	for i := range kv.shards {
+		if involved&(1<<uint(i)) == 0 {
+			continue
+		}
+		s := &kv.shards[i]
+		if logShard == nil {
+			logShard = s
+		}
+		heapMask |= 1 << uint(kv.sh.ShardOf(s.pool.ID()))
+	}
+	kv.sh.LockShardMask(heapMask)
+	defer kv.sh.UnlockShardMask(heapMask)
+	t, err := kv.sh.Heap().Begin(logShard.pool)
+	if err != nil {
+		return err
+	}
+	for i := range kv.shards {
+		if involved&(1<<uint(i)) != 0 {
+			kv.shards[i].wctx.bind(t)
+		}
+	}
+	err = kv.applyBatch(ops)
+	if err != nil {
+		if aerr := t.Abort(); aerr != nil {
+			return fmt.Errorf("%w (abort also failed: %v)", err, aerr)
+		}
+		return err
+	}
+	return t.Commit()
+}
+
+// applyBatch runs the ops through the already-bound per-shard write ctxs.
+func (kv *KV) applyBatch(ops []BatchOp) error {
+	for _, op := range ops {
+		s := kv.shardOf(op.Key)
+		if op.Del {
+			if _, err := s.tree.Remove(&s.wctx, op.Key); err != nil {
+				return err
+			}
+			continue
+		}
+		updated, err := s.tree.UpdateFast(&s.wctx, op.Key, op.Val)
+		if err != nil {
+			return err
+		}
+		if !updated {
+			if err := s.tree.Insert(&s.wctx, op.Key, op.Val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// batchSlow is Batch for stores sharded past the 64-bit mask, using the
+// closure-based multi-pool transaction entry.
+func (kv *KV) batchSlow(ops []BatchOp) error {
 	involved := make(map[*kvShard]bool, len(ops))
 	for _, op := range ops {
 		involved[kv.shardOf(op.Key)] = true
@@ -206,32 +317,10 @@ func (kv *KV) Batch(ops []BatchOp) error {
 		}
 	}
 	return kv.sh.Tx(logShard.pool, extra, func(t *pmem.Tx) error {
-		ctxs := make(map[*kvShard]*txCtx, len(involved))
 		for s := range involved {
-			ctx := &txCtx{h: kv.sh.Heap(), alloc: s.pool}
-			ctx.bind(t)
-			ctxs[s] = ctx
+			s.wctx.bind(t)
 		}
-		for _, op := range ops {
-			s := kv.shardOf(op.Key)
-			ctx := ctxs[s]
-			if op.Del {
-				if _, err := s.tree.Remove(ctx, op.Key); err != nil {
-					return err
-				}
-				continue
-			}
-			updated, err := s.tree.Update(ctx, op.Key, op.Val)
-			if err != nil {
-				return err
-			}
-			if !updated {
-				if err := s.tree.Insert(ctx, op.Key, op.Val); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+		return kv.applyBatch(ops)
 	})
 }
 

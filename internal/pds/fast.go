@@ -1,0 +1,187 @@
+package pds
+
+import (
+	"fmt"
+
+	"potgo/internal/isa"
+	"potgo/internal/pmem"
+)
+
+// Allocation-free B+-tree entry points for the request path of a server
+// (internal/potserve): FindFast, UpdateFast and ScanAppend walk the tree by
+// loading fields straight through the Ref without materializing bpNode
+// mirrors, so a steady-state get/put/scan performs zero heap allocations.
+// Emission per node visited matches descend (nodeWork compute + one
+// branch), so the accelerator cost model sees the same tree walk; the slow
+// paths remain authoritative for structural mutations (insert, delete,
+// rebalance), which allocate freely on their cold path.
+
+// bpProbe positions a walk at the leaf for key: it returns the leaf's Ref,
+// its key count, and the position of the first key >= key.
+func (t *BPlus) bpProbe(ctx Ctx, key uint64) (ref pmem.Ref, n, pos int, ok bool, err error) {
+	rootW, err := t.rootOID()
+	if err != nil {
+		return pmem.Ref{}, 0, 0, false, err
+	}
+	if rootW.OID().IsNull() {
+		return pmem.Ref{}, 0, 0, false, nil
+	}
+	h := ctx.Heap()
+	e := h.Emit
+	cur, dep := rootW.OID(), rootW.Reg
+	for {
+		ref, err = h.Deref(cur, dep)
+		if err != nil {
+			return pmem.Ref{}, 0, 0, false, err
+		}
+		leafW, err := ref.Load64(bpLeafOff)
+		if err != nil {
+			return pmem.Ref{}, 0, 0, false, err
+		}
+		nW, err := ref.Load64(bpNOff)
+		if err != nil {
+			return pmem.Ref{}, 0, 0, false, err
+		}
+		n = int(nW.V)
+		if n > bpMaxKeys {
+			return pmem.Ref{}, 0, 0, false, fmt.Errorf("pds: corrupt b+tree node %v: n=%d", cur, n)
+		}
+		if leafW.V != 0 {
+			pos = 0
+			for pos < n {
+				w, err := ref.Load64(uint32(bpKeysOff + 8*pos))
+				if err != nil {
+					return pmem.Ref{}, 0, 0, false, err
+				}
+				if w.V >= key {
+					break
+				}
+				pos++
+			}
+			e.Compute(nodeWork)
+			e.Branch("bp.leafpos", pos < n)
+			return ref, n, pos, true, nil
+		}
+		i := 0
+		for i < n {
+			w, err := ref.Load64(uint32(bpKeysOff + 8*i))
+			if err != nil {
+				return pmem.Ref{}, 0, 0, false, err
+			}
+			if key < w.V {
+				break
+			}
+			i++
+		}
+		kidW, err := ref.Load64(uint32(bpKidsOff + 8*i))
+		if err != nil {
+			return pmem.Ref{}, 0, 0, false, err
+		}
+		e.Compute(nodeWork)
+		e.Branch("bp.descend", true)
+		cur, dep = kidW.OID(), isa.RZ
+	}
+}
+
+// FindFast is Find without the path materialization: zero heap allocations
+// on hit and miss alike.
+func (t *BPlus) FindFast(ctx Ctx, key uint64) (uint64, bool, error) {
+	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, key)
+	if err != nil || !nonEmpty || pos >= n {
+		return 0, false, err
+	}
+	kw, err := ref.Load64(uint32(bpKeysOff + 8*pos))
+	if err != nil {
+		return 0, false, err
+	}
+	if kw.V != key {
+		return 0, false, nil
+	}
+	vw, err := ref.Load64(uint32(bpValsOff + 8*pos))
+	if err != nil {
+		return 0, false, err
+	}
+	return vw.V, true, nil
+}
+
+// UpdateFast overwrites the value under an existing key, snapshotting the
+// leaf through ctx.Touch and storing only the value slot. It reports
+// whether the key was present; when it is and the caller's transaction
+// machinery is allocation-free, the whole overwrite is too.
+func (t *BPlus) UpdateFast(ctx Ctx, key, val uint64) (bool, error) {
+	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, key)
+	if err != nil || !nonEmpty || pos >= n {
+		return false, err
+	}
+	kw, err := ref.Load64(uint32(bpKeysOff + 8*pos))
+	if err != nil {
+		return false, err
+	}
+	if kw.V != key {
+		return false, nil
+	}
+	if err := ctx.Touch(ref.OID(), bpNodeSize); err != nil {
+		return false, err
+	}
+	if err := ref.Store64(uint32(bpValsOff+8*pos), val, isa.RZ); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ScanAppend is Scan appending into dst (reused across calls by the
+// caller): up to max pairs with key >= from, in key order along the leaf
+// chain. Zero heap allocations once dst's capacity has grown to the
+// steady-state result size.
+func (t *BPlus) ScanAppend(ctx Ctx, dst []KV, from uint64, max int) ([]KV, error) {
+	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, from)
+	if err != nil || !nonEmpty {
+		return dst, err
+	}
+	h := ctx.Heap()
+	start := len(dst)
+	for len(dst)-start < max {
+		for ; pos < n && len(dst)-start < max; pos++ {
+			kw, err := ref.Load64(uint32(bpKeysOff + 8*pos))
+			if err != nil {
+				return dst, err
+			}
+			vw, err := ref.Load64(uint32(bpValsOff + 8*pos))
+			if err != nil {
+				return dst, err
+			}
+			dst = append(dst, KV{kw.V, vw.V})
+		}
+		if len(dst)-start >= max {
+			break
+		}
+		nextW, err := ref.Load64(bpNextOff)
+		if err != nil {
+			return dst, err
+		}
+		if nextW.OID().IsNull() {
+			break
+		}
+		if ref, err = h.Deref(nextW.OID(), isa.RZ); err != nil {
+			return dst, err
+		}
+		nW, err := ref.Load64(bpNOff)
+		if err != nil {
+			return dst, err
+		}
+		n = int(nW.V)
+		if n > bpMaxKeys {
+			return dst, fmt.Errorf("pds: corrupt b+tree node %v: n=%d", ref.OID(), n)
+		}
+		pos = 0
+	}
+	return dst, nil
+}
+
+// Prime warms the volatile root cache. Call it once while the tree is not
+// yet shared: concurrent readers under a shared (read) lock must not race
+// to fill the cache.
+func (t *BPlus) Prime() error {
+	_, err := t.rootOID()
+	return err
+}

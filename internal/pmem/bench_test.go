@@ -1,0 +1,203 @@
+package pmem
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"potgo/internal/emit"
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/trace"
+	"potgo/internal/vm"
+)
+
+// These microbenchmarks pin down the cost of the two hot paths the
+// group-commit and slab work targets: a full undo-logged transaction commit
+// (snapshot, CLWB drain, fence) and an alloc/free pair through the
+// size-class slabs. The parallel variants run against one shared heap so
+// concurrent commits exercise the leader/follower group fence and the
+// allocator's per-shard locking.
+
+func newBenchHeap(b *testing.B) (*Heap, *Pool) {
+	b.Helper()
+	as := vm.NewAddressSpace(1)
+	h, err := NewHeap(as, NewStore(), emit.New(trace.Discard{}, emit.Opt), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := h.CreateSized("bench", 1<<22, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return h, p
+}
+
+// BenchmarkTxCommit measures one undo-logged overwrite transaction:
+// Begin, AddRange (64-byte snapshot), one store, Commit (log seal, CLWB
+// drain, fence, log truncate). Steady state must not allocate — the Tx
+// handle and its snapshot arena are recycled.
+func BenchmarkTxCommit(b *testing.B) {
+	h, p := newBenchHeap(b)
+	o, err := h.Alloc(p, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := h.Deref(o, isa.RZ)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := h.Begin(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.AddRange(o, 64); err != nil {
+			b.Fatal(err)
+		}
+		if err := ref.Store64(0, uint64(i), isa.RZ); err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxCommitParallel runs the same transaction from many goroutines
+// against one sharded heap, each worker on its own pool (and shard lock),
+// so concurrent Commits land in the heap's group-commit window and share
+// one SFENCE per batch instead of paying one each.
+func BenchmarkTxCommitParallel(b *testing.B) {
+	sh, err := NewSharded(NewStore(), 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := sh.Heap()
+	// One pool (plus one pre-allocated object) per prospective worker;
+	// RunParallel never runs more than GOMAXPROCS goroutines.
+	type lane struct {
+		p   *Pool
+		o   oid.OID
+		ref Ref
+	}
+	lanes := make([]lane, 64)
+	for i := range lanes {
+		p, err := sh.CreateSized(fmt.Sprintf("w%d", i), 1<<20, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := h.Alloc(p, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref, err := h.Deref(o, isa.RZ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lanes[i] = lane{p: p, o: o, ref: ref}
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ln := lanes[int(next.Add(1)-1)%len(lanes)]
+		id := ln.p.ID()
+		var i uint64
+		for pb.Next() {
+			i++
+			sh.LockPool(id)
+			t, err := h.Begin(ln.p)
+			if err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			if err := t.AddRange(ln.o, 64); err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			if err := ln.ref.Store64(0, i, isa.RZ); err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			if err := t.Commit(); err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			sh.UnlockPool(id)
+		}
+	})
+}
+
+// BenchmarkAlloc measures an alloc/free pair per size class: a slab-slot
+// bitmap flip plus free-list push/pop once the class's spans are warm.
+func BenchmarkAlloc(b *testing.B) {
+	for _, size := range []uint32{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			h, p := newBenchHeap(b)
+			// Warm the class so the measured loop recycles slots instead
+			// of carving fresh spans.
+			o, err := h.Alloc(p, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := h.Free(o); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := h.Alloc(p, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := h.Free(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocParallel churns alloc/free pairs from many goroutines, each
+// on its own pool under its shard lock, against one shared heap — the
+// allocator's metadata persists through the same nvmsim write-back model
+// the transactions use, so this exposes cross-shard contention in the
+// persistence layer.
+func BenchmarkAllocParallel(b *testing.B) {
+	sh, err := NewSharded(NewStore(), 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := sh.Heap()
+	pools := make([]*Pool, 64)
+	for i := range pools {
+		p, err := sh.CreateSized(fmt.Sprintf("w%d", i), 1<<20, 1<<16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pools[i] = p
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		p := pools[int(next.Add(1)-1)%len(pools)]
+		id := p.ID()
+		for pb.Next() {
+			sh.LockPool(id)
+			o, err := h.Alloc(p, 64)
+			if err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			if err := h.Free(o); err != nil {
+				sh.UnlockPool(id)
+				b.Fatal(err)
+			}
+			sh.UnlockPool(id)
+		}
+	})
+}

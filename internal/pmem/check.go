@@ -12,11 +12,13 @@ import "fmt"
 //
 //   - header sanity: magic, size, log bounds match the backing; the bump
 //     pointer and root object lie inside the data region;
-//   - every free-list entry is a properly aligned block below the bump
-//     pointer whose size word equals its class size;
-//   - no block appears twice (within one list or across lists), and no two
-//     free blocks overlap — the double-free / double-threading detector;
-//   - free lists are acyclic (bounded walk).
+//   - every span chained from a class head is a well-formed slab span: valid
+//     header magic, its class matches the chain it hangs on, its slot count
+//     is in range, and it lies wholly inside [dataStart, bump);
+//   - no span appears twice (within one chain or across chains), and no two
+//     spans overlap — the double-carve / double-threading detector;
+//   - span chains are acyclic (bounded walk);
+//   - no bitmap has occupancy bits beyond its span's slot count.
 func (h *Heap) CheckPool(p *Pool) error {
 	if got := h.read64(p, offMagic); got != poolMagic {
 		return fmt.Errorf("pmem: check %q: bad magic %#x", p.b.name, got)
@@ -41,44 +43,59 @@ func (h *Heap) CheckPool(p *Pool) error {
 		}
 	}
 
-	// Walk every free list, collecting [start,end) extents of free blocks.
+	// Walk every class chain, collecting [start,end) span extents.
 	type extent struct {
 		start, end uint64
 		class      int
 	}
 	var extents []extent
 	seen := make(map[uint64]int)
-	for class, classSize := range sizeClasses {
-		cur := h.read64(p, uint32(p.freeHeadOff(class)))
+	for class := range sizeClasses {
+		cur := h.read64(p, p.freeHeadOff(class))
 		for steps := 0; cur != 0; steps++ {
 			if steps >= 1<<20 {
-				return fmt.Errorf("pmem: check %q: free list class %d longer than %d entries (cycle?)",
+				return fmt.Errorf("pmem: check %q: span chain class %d longer than %d entries (cycle?)",
 					p.b.name, class, 1<<20)
 			}
-			if cur < p.dataStart() || cur%8 != 0 ||
-				cur+blockHeaderBytes+uint64(classSize) > bump {
-				return fmt.Errorf("pmem: check %q: free list class %d holds invalid block %#x",
+			if cur < p.dataStart() || cur%8 != 0 || cur+spanHeaderBytes > bump {
+				return fmt.Errorf("pmem: check %q: class %d chain holds invalid span %#x",
 					p.b.name, class, cur)
 			}
 			if prev, dup := seen[cur]; dup {
-				return fmt.Errorf("pmem: check %q: block %#x on free lists %d and %d",
+				return fmt.Errorf("pmem: check %q: span %#x on chains %d and %d",
 					p.b.name, cur, prev, class)
 			}
 			seen[cur] = class
-			if got := h.read64(p, uint32(cur)); got != uint64(classSize) {
-				return fmt.Errorf("pmem: check %q: free block %#x has size word %d, class %d expects %d",
-					p.b.name, cur, got, class, classSize)
+			w0 := h.read64(p, uint32(cur))
+			c, slots, ok := parseSpanWord0(w0)
+			if !ok || c != class {
+				return fmt.Errorf("pmem: check %q: span %#x has bad header %#x (chain class %d)",
+					p.b.name, cur, w0, class)
 			}
-			extents = append(extents, extent{cur, cur + blockHeaderBytes + uint64(classSize), class})
-			cur = h.read64(p, uint32(cur)+blockHeaderBytes)
+			end := cur + spanHeaderBytes + uint64(slots)*uint64(sizeClasses[class])
+			if end > bump {
+				return fmt.Errorf("pmem: check %q: span %#x (%d slots) overruns bump %#x",
+					p.b.name, cur, slots, bump)
+			}
+			bits := h.read64(p, uint32(cur)+spanOffBitmap)
+			mask := ^uint64(0)
+			if slots < 64 {
+				mask = uint64(1)<<slots - 1
+			}
+			if bits&^mask != 0 {
+				return fmt.Errorf("pmem: check %q: span %#x bitmap %#x has bits beyond %d slots",
+					p.b.name, cur, bits, slots)
+			}
+			extents = append(extents, extent{cur, end, class})
+			cur = h.read64(p, uint32(cur)+spanOffNext)
 		}
 	}
-	// Overlap check across classes (same-class duplicates already caught).
+	// Overlap check across chains (same-chain duplicates already caught).
 	for i := range extents {
 		for j := i + 1; j < len(extents); j++ {
 			a, b := extents[i], extents[j]
 			if a.start < b.end && b.start < a.end {
-				return fmt.Errorf("pmem: check %q: free blocks %#x (class %d) and %#x (class %d) overlap",
+				return fmt.Errorf("pmem: check %q: spans %#x (class %d) and %#x (class %d) overlap",
 					p.b.name, a.start, a.class, b.start, b.class)
 			}
 		}

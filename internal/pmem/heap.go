@@ -2,6 +2,7 @@ package pmem
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"potgo/internal/emit"
 	"potgo/internal/isa"
 	"potgo/internal/nvmsim"
+	"potgo/internal/obs"
 	"potgo/internal/oid"
 	"potgo/internal/pot"
 	"potgo/internal/trace"
@@ -49,6 +51,9 @@ type Heap struct {
 	// Guarded by txMu; independent pools commit in parallel.
 	txMu sync.Mutex
 	txs  map[oid.PoolID]*Tx
+	// txFree recycles retired Tx handles (and their snapshot arenas) so a
+	// steady-state commit loop stops allocating. Guarded by txMu.
+	txFree []*Tx
 	// ambient is the legacy single-transaction API's implicit handle.
 	ambient *Tx
 	// clwbPool memoizes the pool the last observed CLWB landed in;
@@ -61,23 +66,131 @@ type Heap struct {
 	// and single-threaded memos are bypassed.
 	concurrent bool
 	nvMu       sync.Mutex
+	gc         groupCommit
+}
+
+// groupCommit coordinates group commit: concurrently-committing goroutines
+// that reach a fence point share one leader-issued SFENCE instead of each
+// draining the domain themselves (see Heap.fence).
+type groupCommit struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// collecting marks a leader holding the batch open for new arrivals;
+	// fencing marks the batch sealed with its SFENCE in flight.
+	collecting, fencing bool
+	// gen counts completed fences; arrivals compute the generation whose
+	// completion guarantees a fence started after their own CLWBs.
+	gen     uint64
+	waiters uint64
+	// dead is set when the leader's fence crashed (armed crash injection):
+	// the machine is gone, so woken waiters propagate a poisoned signal
+	// instead of claiming durability.
+	dead bool
+	// batchHist, when attached (AttachObs), records each batch's size —
+	// how many committers one leader SFENCE covered.
+	batchHist *obs.Histogram
+}
+
+// fence orders all prior cache-line write-backs: the paper's SFENCE. In
+// sequential mode it emits the fence directly. In concurrent mode it runs
+// the group-commit protocol: because one SFENCE drains every in-flight line
+// in the persistence domain (all pools, all writers), simultaneous
+// committers can share a single fence — the first arrival becomes leader,
+// briefly holds the batch open for followers, issues one SFENCE, and
+// releases everyone whose write-backs preceded it. Followers' CLWBs
+// happen-before their arrival (both run under the domain lock), so the
+// leader's fence covers them; arrivals after the batch seals wait for the
+// next generation's fence.
+func (h *Heap) fence() {
+	if !h.concurrent {
+		h.Emit.SFence()
+		return
+	}
+	h.groupFence()
+}
+
+func (h *Heap) groupFence() {
+	gc := &h.gc
+	gc.mu.Lock()
+	if gc.cond == nil {
+		gc.cond = sync.NewCond(&gc.mu)
+	}
+	// A fence already in flight started before our arrival and may have
+	// missed our lines; only a fence that starts now or later (generation
+	// gen+2) is guaranteed to cover us.
+	need := gc.gen + 1
+	if gc.fencing {
+		need = gc.gen + 2
+	}
+	for gc.gen < need {
+		if gc.dead {
+			gc.mu.Unlock()
+			panic(&nvmsim.CrashSignal{Poisoned: true})
+		}
+		if !gc.fencing && !gc.collecting {
+			// Become leader. Hold the batch open across one scheduling
+			// window so concurrently-committing goroutines can reach
+			// their fence points and share this SFENCE.
+			gc.collecting = true
+			gc.mu.Unlock()
+			runtime.Gosched()
+			gc.mu.Lock()
+			gc.collecting = false
+			gc.fencing = true
+			batch := 1 + gc.waiters
+			gc.mu.Unlock()
+			h.leaderFence()
+			gc.mu.Lock()
+			gc.fencing = false
+			gc.gen++
+			gc.cond.Broadcast()
+			atomic.AddUint64(&h.Metrics.GroupCommits, 1)
+			atomic.AddUint64(&h.Metrics.GroupCommitTxns, batch)
+			gc.batchHist.Observe(float64(batch))
+			continue
+		}
+		gc.waiters++
+		gc.cond.Wait()
+		gc.waiters--
+	}
+	gc.mu.Unlock()
+}
+
+// leaderFence issues the batch's single SFENCE. If the armed crash engine
+// fires inside it, the domain is gone mid-batch: mark the group dead and
+// wake the waiters (who panic poisoned) before propagating the signal.
+func (h *Heap) leaderFence() {
+	defer func() {
+		if r := recover(); r != nil {
+			gc := &h.gc
+			gc.mu.Lock()
+			gc.dead = true
+			gc.cond.Broadcast()
+			gc.mu.Unlock()
+			panic(r)
+		}
+	}()
+	h.Emit.SFence()
 }
 
 // StatsSnapshot returns a coherent copy of the heap's activity counters
 // (atomic loads, safe while workers are running).
 func (h *Heap) StatsSnapshot() HeapStats {
 	return HeapStats{
-		TxBegins:     atomic.LoadUint64(&h.Metrics.TxBegins),
-		TxCommits:    atomic.LoadUint64(&h.Metrics.TxCommits),
-		TxAborts:     atomic.LoadUint64(&h.Metrics.TxAborts),
-		UndoRecords:  atomic.LoadUint64(&h.Metrics.UndoRecords),
-		UndoBytes:    atomic.LoadUint64(&h.Metrics.UndoBytes),
-		Allocs:       atomic.LoadUint64(&h.Metrics.Allocs),
-		Frees:        atomic.LoadUint64(&h.Metrics.Frees),
-		AllocBytes:   atomic.LoadUint64(&h.Metrics.AllocBytes),
-		Persists:     atomic.LoadUint64(&h.Metrics.Persists),
-		PoolsCreated: atomic.LoadUint64(&h.Metrics.PoolsCreated),
-		PoolsOpened:  atomic.LoadUint64(&h.Metrics.PoolsOpened),
+		TxBegins:        atomic.LoadUint64(&h.Metrics.TxBegins),
+		TxCommits:       atomic.LoadUint64(&h.Metrics.TxCommits),
+		TxAborts:        atomic.LoadUint64(&h.Metrics.TxAborts),
+		UndoRecords:     atomic.LoadUint64(&h.Metrics.UndoRecords),
+		UndoBytes:       atomic.LoadUint64(&h.Metrics.UndoBytes),
+		Allocs:          atomic.LoadUint64(&h.Metrics.Allocs),
+		Frees:           atomic.LoadUint64(&h.Metrics.Frees),
+		AllocBytes:      atomic.LoadUint64(&h.Metrics.AllocBytes),
+		SpansCarved:     atomic.LoadUint64(&h.Metrics.SpansCarved),
+		GroupCommits:    atomic.LoadUint64(&h.Metrics.GroupCommits),
+		GroupCommitTxns: atomic.LoadUint64(&h.Metrics.GroupCommitTxns),
+		Persists:        atomic.LoadUint64(&h.Metrics.Persists),
+		PoolsCreated:    atomic.LoadUint64(&h.Metrics.PoolsCreated),
+		PoolsOpened:     atomic.LoadUint64(&h.Metrics.PoolsOpened),
 	}
 }
 
@@ -92,6 +205,12 @@ type HeapStats struct {
 	// Allocs / Frees count pmalloc/pfree operations (transactional and
 	// not); AllocBytes is the total payload requested.
 	Allocs, Frees, AllocBytes uint64
+	// SpansCarved counts slab spans cut off the bump region.
+	SpansCarved uint64
+	// GroupCommits counts leader fences issued by the group-commit
+	// protocol; GroupCommitTxns is the total number of committers those
+	// fences covered (batch size = GroupCommitTxns / GroupCommits).
+	GroupCommits, GroupCommitTxns uint64
 	// Persists counts Persist range flushes (CLWB runs + fence).
 	Persists uint64
 	// PoolsCreated / PoolsOpened count pool_create / pool_open calls.
@@ -210,7 +329,7 @@ func (h *Heap) mapPool(b *backing) (*Pool, error) {
 	if err := h.AS.WriteAt(region.Base, b.data); err != nil {
 		return nil, err
 	}
-	p := &Pool{h: h, b: b, region: region}
+	p := &Pool{h: h, b: b, region: region, alloc: &allocState{}}
 	b.open = true
 	h.open[b.id] = p
 	h.NV.AddPool(uint32(b.id), b.size)
@@ -221,6 +340,16 @@ func (h *Heap) mapPool(b *backing) (*Pool, error) {
 	}
 	if h.POT != nil {
 		if err := h.POT.Insert(b.id, region.Base); err != nil {
+			return nil, err
+		}
+	}
+	// Rebuild the volatile slab index from the durable span chains. A
+	// freshly created backing has no magic yet (CreateSized initializes the
+	// header after mapping and starts with no spans); Open re-checks the
+	// magic and fails cleanly.
+	if h.read64(p, offMagic) == poolMagic {
+		if err := h.rebuildAllocState(p); err != nil {
+			_ = h.discardPool(p)
 			return nil, err
 		}
 	}
@@ -315,7 +444,24 @@ func (h *Heap) Crash(pol nvmsim.Policy) (nvmsim.Report, error) {
 		}
 	}
 	h.dropAllTxs()
+	h.resetGroupCommit()
 	return rep, nil
+}
+
+// resetGroupCommit clears the group-commit coordinator across a simulated
+// power cycle: the goroutines that died with the machine took their batch
+// with them, and the rebooted process starts with a live fence path.
+func (h *Heap) resetGroupCommit() {
+	gc := &h.gc
+	gc.mu.Lock()
+	gc.collecting = false
+	gc.fencing = false
+	gc.waiters = 0
+	gc.dead = false
+	if gc.cond != nil {
+		gc.cond.Broadcast()
+	}
+	gc.mu.Unlock()
 }
 
 // CrashClean simulates the gentlest possible failure: the machine stops,
@@ -332,6 +478,7 @@ func (h *Heap) CrashClean() error {
 		}
 	}
 	h.dropAllTxs()
+	h.resetGroupCommit()
 	return nil
 }
 
@@ -600,7 +747,7 @@ func (h *Heap) Persist(o oid.OID, size uint32) error {
 	if err := h.persistNoFence(o, size); err != nil {
 		return err
 	}
-	h.Emit.SFence()
+	h.fence()
 	atomic.AddUint64(&h.Metrics.Persists, 1)
 	return nil
 }
@@ -613,6 +760,25 @@ func (h *Heap) persistNoFence(o oid.OID, size uint32) error {
 		return err
 	}
 	if size == 0 {
+		return nil
+	}
+	if h.concurrent && h.Emit.Detached() {
+		// A concurrent heap runs detached (no instruction stream), so the
+		// emission loop below would only relay one CLWB observation per
+		// line — each resolving the pool and taking the domain lock again.
+		// Hand the whole range to the write-back model in one call under a
+		// single lock acquisition; CLWBRange steps event-for-event like the
+		// per-line loop, so armed crash points land at the same indices.
+		p := h.open[o.Pool()]
+		func() {
+			// The unlock must be deferred: an armed crash fires as a panic
+			// from inside the range walk, and the domain lock has to be
+			// released on that unwind or every surviving worker deadlocks
+			// instead of observing the poisoned domain.
+			h.nvMu.Lock()
+			defer h.nvMu.Unlock()
+			h.NV.CLWBRange(uint32(p.b.id), o.Offset(), size, h)
+		}()
 		return nil
 	}
 	first := va &^ 63

@@ -21,4 +21,33 @@ func (h *Heap) PublishMetrics(reg *obs.Registry) {
 	reg.Counter("pmem.persists").Add(s.Persists)
 	reg.Counter("pmem.pools.created").Add(s.PoolsCreated)
 	reg.Counter("pmem.pools.opened").Add(s.PoolsOpened)
+	reg.Counter("pmem.alloc.spans_carved").Add(s.SpansCarved)
+	reg.Counter("pmem.groupcommit.fences").Add(s.GroupCommits)
+	reg.Counter("pmem.groupcommit.txns").Add(s.GroupCommitTxns)
+
+	// Slab occupancy across the currently open pools: carved spans, total
+	// slab slots, and the fraction of them live. Gauges (point-in-time),
+	// unlike the monotone counters above.
+	var spans, slots, live int
+	for _, p := range h.open {
+		sp, st, lv := h.SlabStats(p)
+		spans += sp
+		slots += st
+		live += lv
+	}
+	reg.Gauge("pmem.slab.spans").Set(float64(spans))
+	reg.Gauge("pmem.slab.slots").Set(float64(slots))
+	reg.Gauge("pmem.slab.live_slots").Set(float64(live))
+	if slots > 0 {
+		reg.Gauge("pmem.slab.occupancy").Set(float64(live) / float64(slots))
+	}
+}
+
+// AttachObs hands the heap live metric handles for hot-path observations
+// that cannot wait for an end-of-run PublishMetrics: currently the
+// group-commit batch-size histogram (how many committers each leader
+// SFENCE covered). Safe on a nil registry (the handles become no-ops);
+// call before sharing the heap across goroutines.
+func (h *Heap) AttachObs(reg *obs.Registry) {
+	h.gc.batchHist = reg.Histogram("pmem.groupcommit.batch_size", 1, 2, 4, 8, 16, 32, 64)
 }

@@ -48,13 +48,46 @@ const (
 	txStateCommitted = 1 // data is durable, deferred frees may be half-applied: redo
 )
 
-// sizeClasses are the allocator's segregated free-list classes (payload
-// bytes). Larger requests are bump-allocated exactly.
+// sizeClasses are the slab allocator's size classes (payload bytes). Larger
+// requests are bump-allocated exactly.
 var sizeClasses = [...]uint32{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
-// blockHeaderBytes is the allocation header (one word holding the block's
-// payload size) that precedes every payload.
-const blockHeaderBytes = 8
+// classSlots is each class's preferred slots-per-span count (shrunk to fit
+// when the pool's remaining space is smaller). At most 64 so one bitmap
+// word covers a span.
+var classSlots = [...]uint32{64, 64, 32, 16, 8, 4, 2, 1, 1}
+
+// Slab span on-media layout: a 24-byte header followed by slots*classSize
+// payload bytes.
+//
+//	word 0  spanMagic<<32 | slots<<8 | class
+//	word 1  pool offset of the next span in this class's chain (0 = end)
+//	word 2  occupancy bitmap, bit i = slot i is allocated
+const (
+	spanMagic       = 0x53504131 // "SPA1"
+	spanHeaderBytes = 24
+	spanOffWord0    = 0
+	spanOffNext     = 8
+	spanOffBitmap   = 16
+)
+
+// spanWord0 encodes a span header's first word.
+func spanWord0(class int, slots uint32) uint64 {
+	return uint64(spanMagic)<<32 | uint64(slots)<<8 | uint64(class)
+}
+
+// parseSpanWord0 decodes a span header word, rejecting bad magic or fields.
+func parseSpanWord0(w uint64) (class int, slots uint32, ok bool) {
+	if w>>32 != spanMagic {
+		return 0, 0, false
+	}
+	class = int(w & 0xff)
+	slots = uint32(w>>8) & 0xffff
+	if class >= len(sizeClasses) || slots == 0 || slots > 64 {
+		return 0, 0, false
+	}
+	return class, slots, true
+}
 
 // DefaultLogBytes is the default undo-log capacity per pool. Kept small so
 // the EACH pattern (hundreds of single-object pools) stays cheap; the log
@@ -69,6 +102,9 @@ type Pool struct {
 	h      *Heap
 	b      *backing
 	region vm.Region
+	// alloc is the volatile slab index, rebuilt from the durable span
+	// chains when the pool is mapped.
+	alloc *allocState
 }
 
 // ID returns the pool's system-wide identifier.

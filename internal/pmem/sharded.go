@@ -142,6 +142,60 @@ func (s *Sharded) lockAll() func() {
 	}
 }
 
+// The closure-based View/Update/Tx entries allocate (the pool-id slice, the
+// shard set, the closure's captures). The explicit lock helpers below are
+// their allocation-free counterparts for hot single-pool request paths
+// (internal/objstore); callers own the pairing and the discipline: data
+// access only between lock and unlock, ascending shard order for multi-
+// shard masks.
+
+// RLockPool read-locks the shard owning pool id.
+func (s *Sharded) RLockPool(id oid.PoolID) { s.shards[s.ShardOf(id)].mu.RLock() }
+
+// RUnlockPool undoes RLockPool.
+func (s *Sharded) RUnlockPool(id oid.PoolID) { s.shards[s.ShardOf(id)].mu.RUnlock() }
+
+// LockPool write-locks the shard owning pool id.
+func (s *Sharded) LockPool(id oid.PoolID) { s.shards[s.ShardOf(id)].mu.Lock() }
+
+// UnlockPool undoes LockPool.
+func (s *Sharded) UnlockPool(id oid.PoolID) { s.shards[s.ShardOf(id)].mu.Unlock() }
+
+// RLockAll read-locks every shard in ascending order (consistent multi-
+// shard snapshots: scans, invariant sweeps).
+func (s *Sharded) RLockAll() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+}
+
+// RUnlockAll undoes RLockAll.
+func (s *Sharded) RUnlockAll() {
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.RUnlock()
+	}
+}
+
+// LockShardMask write-locks the shards whose bits are set in mask, in
+// ascending order — the deadlock-free multi-shard acquisition for callers
+// that can express their shard set as a bitmask (nshards <= 64).
+func (s *Sharded) LockShardMask(mask uint64) {
+	for i := 0; i < s.nshards; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			s.shards[i].mu.Lock()
+		}
+	}
+}
+
+// UnlockShardMask undoes LockShardMask.
+func (s *Sharded) UnlockShardMask(mask uint64) {
+	for i := s.nshards - 1; i >= 0; i-- {
+		if mask&(1<<uint(i)) != 0 {
+			s.shards[i].mu.Unlock()
+		}
+	}
+}
+
 // View runs fn while holding the read locks of every listed pool's shard.
 // fn must only read — loads emit no persistence-domain events, so
 // concurrent readers of one shard are safe.

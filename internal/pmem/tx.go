@@ -67,6 +67,28 @@ type txState struct {
 	pool     *Pool
 	writeOff uint32 // next free byte in the log region (pool offset)
 	records  []txRecord
+	// snap is the snapshot arena: AddRange carves its undo images here
+	// instead of allocating per call, and txRecord.old aliases the carve.
+	// Reset (not freed) when the Tx is recycled, so a steady-state
+	// transaction loop reaches zero heap allocations.
+	snap []byte
+	// allocPools is resolveAllocPools' reusable result slice.
+	allocPools []*Pool
+}
+
+// scratch carves n zeroed bytes from the snapshot arena. When the arena is
+// full a larger one is started; carves handed out earlier keep aliasing the
+// old backing array (the records that hold them pin it).
+func (st *txState) scratch(n int) []byte {
+	off := len(st.snap)
+	if off+n > cap(st.snap) {
+		st.snap = make([]byte, 0, 2*cap(st.snap)+n+256)
+		off = 0
+	}
+	st.snap = st.snap[:off+n]
+	b := st.snap[off : off+n]
+	clear(b)
+	return b
 }
 
 // Tx is one open transaction: an undo log in its pool plus the in-memory
@@ -91,11 +113,23 @@ func (h *Heap) Begin(p *Pool) (*Tx, error) {
 	if _, ok := h.open[p.b.id]; !ok {
 		return nil, fmt.Errorf("pmem: tx_begin on closed pool %q", p.b.name)
 	}
-	t := &Tx{h: h, st: &txState{pool: p, writeOff: logStart + logOffRecords}}
 	h.txMu.Lock()
 	if h.txs[p.b.id] != nil {
 		h.txMu.Unlock()
 		return nil, fmt.Errorf("pmem: transaction already active on pool %q", p.b.name)
+	}
+	var t *Tx
+	if n := len(h.txFree); n > 0 {
+		t = h.txFree[n-1]
+		h.txFree = h.txFree[:n-1]
+		st := t.st
+		st.pool = p
+		st.writeOff = logStart + logOffRecords
+		st.records = st.records[:0]
+		st.snap = st.snap[:0]
+		st.allocPools = st.allocPools[:0]
+	} else {
+		t = &Tx{h: h, st: &txState{pool: p, writeOff: logStart + logOffRecords}}
 	}
 	h.txs[p.b.id] = t
 	h.txMu.Unlock()
@@ -119,6 +153,17 @@ func (h *Heap) releaseTx(t *Tx) {
 	h.txMu.Lock()
 	if h.txs[t.st.pool.b.id] == t {
 		delete(h.txs, t.st.pool.b.id)
+	}
+	h.txMu.Unlock()
+}
+
+// recycleTx hands a cleanly finished transaction back to Begin's free list.
+// Only call after releaseTx, and never for a handle the caller may still
+// use: the next Begin on any pool can return the same *Tx.
+func (h *Heap) recycleTx(t *Tx) {
+	h.txMu.Lock()
+	if len(h.txFree) < 64 {
+		h.txFree = append(h.txFree, t)
 	}
 	h.txMu.Unlock()
 }
@@ -178,8 +223,17 @@ func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) er
 		return err
 	}
 	if len(data) > 0 {
-		buf := make([]byte, padded)
-		copy(buf, data)
+		// AddRange hands in an arena carve whose capacity already covers the
+		// zeroed pad bytes; only a foreign caller pays for a padded copy.
+		buf := data
+		if uint32(len(buf)) != padded {
+			if uint32(cap(buf)) >= padded {
+				buf = buf[:padded]
+			} else {
+				buf = make([]byte, padded)
+				copy(buf, data)
+			}
+		}
 		if err := rec.WriteBytes(recHeaderBytes, buf); err != nil {
 			return err
 		}
@@ -204,7 +258,9 @@ func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) er
 	}
 	rcd := txRecord{kind: kind, oid: target, size: size}
 	if len(data) > 0 {
-		rcd.old = append([]byte(nil), data...)
+		// The in-memory mirror aliases the arena carve (or the caller's
+		// buffer); both live as long as the record does, so no copy.
+		rcd.old = data
 	}
 	st.records = append(st.records, rcd)
 	atomic.AddUint64(&h.Metrics.UndoRecords, 1)
@@ -220,7 +276,10 @@ func (t *Tx) AddRange(o oid.OID, size uint32) error {
 	if err != nil {
 		return err
 	}
-	old := make([]byte, size)
+	// Carve the snapshot from the transaction's arena, padded to the log's
+	// 8-byte record granularity so logAppend can write it without a copy.
+	padded := int((size + 7) &^ 7)
+	old := t.st.scratch(padded)[:size]
 	if err := src.ReadBytes(0, old); err != nil {
 		return err
 	}
@@ -243,23 +302,30 @@ func (h *Heap) TxAddRange(o oid.OID, size uint32) error {
 // write lock of p's shard.
 func (t *Tx) Alloc(p *Pool, size uint32) (oid.OID, error) {
 	h := t.h
-	o, popped, err := h.alloc(p, size)
+	// Write-ahead order: reserve the block first (span carve included — the
+	// span publishes all-free, so it never needs undoing), persist the
+	// recAlloc record, and only then flip the slot's occupancy bit. The bit
+	// store stays volatile until commit, but the write-back cache can evict
+	// — or a torn crash can retain — any unflushed line at any moment, so
+	// the bit may reach the media the instant it is stored; flipping it
+	// before the record is durable would let a crash in between leak the
+	// slot forever (no record, nothing for recovery to clear). Recovery
+	// decides the slot's fate from the bit, not from pointer threading
+	// through the payload, so the pre-slab reuse hazard (durable free-list
+	// head pointing at a block whose next word was overwritten with object
+	// data) cannot arise and no extra fence is needed here.
+	o, sp, slot, slab, err := h.allocReserve(p, size)
 	if err != nil {
 		return oid.Null, err
 	}
 	if err := t.logAppend(recAlloc, o, size, nil); err != nil {
+		if slab {
+			h.pushFree(p, o.Offset())
+		}
 		return oid.Null, err
 	}
-	if popped >= 0 {
-		// A free-list pop must be durable before the block is handed out:
-		// the caller will persist new contents over the payload (whose
-		// first word is the free list's next pointer), and if the head
-		// advance were still volatile at a crash, the durable head would
-		// point at a block with object data for a next word — which
-		// recovery's membership walk sees as "already threaded" and leaves
-		// in place. The pop persists after the recAlloc record so a crash
-		// between the two re-frees the block instead of leaking it.
-		if err := h.Persist(p.OID(p.freeHeadOff(popped)), 8); err != nil {
+	if slab {
+		if err := h.storeSlabBit(p, sp, slot, true); err != nil {
 			return oid.Null, err
 		}
 	}
@@ -296,19 +362,27 @@ func (h *Heap) TxFree(o oid.OID) error {
 // matters: the same program must produce a bit-identical instruction stream
 // on every run). Resolution happens before commit/abort emit anything, so
 // a closed pool fails the operation cleanly.
-func (h *Heap) resolveAllocPools(records []txRecord, op string) ([]*Pool, error) {
-	var pools []*Pool
-	seen := make(map[oid.PoolID]bool, 4)
-	for _, r := range records {
-		if r.kind == recAlloc && !seen[r.oid.Pool()] {
-			seen[r.oid.Pool()] = true
-			p, ok := h.open[r.oid.Pool()]
-			if !ok {
-				return nil, fmt.Errorf("pmem: %s: alloc pool %d closed mid-transaction", op, r.oid.Pool())
-			}
-			pools = append(pools, p)
+func (h *Heap) resolveAllocPools(st *txState, op string) ([]*Pool, error) {
+	// Dedup by linear scan of the result (a handful of pools at most) into
+	// the txState's reusable slice, so commit allocates nothing.
+	pools := st.allocPools[:0]
+outer:
+	for _, r := range st.records {
+		if r.kind != recAlloc {
+			continue
 		}
+		for _, q := range pools {
+			if q.b.id == r.oid.Pool() {
+				continue outer
+			}
+		}
+		p, ok := h.open[r.oid.Pool()]
+		if !ok {
+			return nil, fmt.Errorf("pmem: %s: alloc pool %d closed mid-transaction", op, r.oid.Pool())
+		}
+		pools = append(pools, p)
 	}
+	st.allocPools = pools
 	return pools, nil
 }
 
@@ -319,7 +393,7 @@ func (h *Heap) resolveAllocPools(records []txRecord, op string) ([]*Pool, error)
 // truncated. On error the transaction stays open.
 func (t *Tx) Commit() error {
 	h, st := t.h, t.st
-	allocPools, err := h.resolveAllocPools(st.records, "tx_end")
+	allocPools, err := h.resolveAllocPools(st, "tx_end")
 	if err != nil {
 		return err
 	}
@@ -335,11 +409,17 @@ func (t *Tx) Commit() error {
 			}
 			fence = true
 		case recAlloc:
-			// Include the block's size-header word: the durable image
-			// must know the block's class for a later free to recycle it.
-			blockOID := oid.New(r.oid.Pool(), r.oid.Offset()-blockHeaderBytes)
-			if err := h.persistNoFence(blockOID, r.size+blockHeaderBytes); err != nil {
+			if err := h.persistNoFence(r.oid, r.size); err != nil {
 				return err
+			}
+			// The slot's occupancy bit (set volatile at Alloc) must reach
+			// durability with the commit: persist the span's bitmap word.
+			ap := h.open[r.oid.Pool()]
+			if idx, _, ok := ap.alloc.lookup(r.oid.Offset()); ok {
+				bmOID := ap.OID(ap.alloc.spans[idx].base + spanOffBitmap)
+				if err := h.persistNoFence(bmOID, 8); err != nil {
+					return err
+				}
 			}
 			fence = true
 		case recFree:
@@ -353,7 +433,10 @@ func (t *Tx) Commit() error {
 		fence = true
 	}
 	if fence {
-		h.Emit.SFence()
+		// One fence covers every range this transaction touched — and, in
+		// concurrent mode, every simultaneously-committing transaction's
+		// ranges too (group commit, see Heap.fence).
+		h.fence()
 	}
 	if hasFree {
 		// Commit point with deferred work: once the committed marker is
@@ -374,6 +457,7 @@ func (t *Tx) Commit() error {
 		return err
 	}
 	h.releaseTx(t)
+	h.recycleTx(t)
 	atomic.AddUint64(&h.Metrics.TxCommits, 1)
 	return nil
 }
@@ -396,7 +480,7 @@ func (h *Heap) TxEnd() error {
 // list can never durably reference a block above the durable bump pointer.
 func (t *Tx) Abort() error {
 	h, st := t.h, t.st
-	allocPools, err := h.resolveAllocPools(st.records, "tx_abort")
+	allocPools, err := h.resolveAllocPools(st, "tx_abort")
 	if err != nil {
 		return err
 	}
@@ -406,7 +490,7 @@ func (t *Tx) Abort() error {
 				return err
 			}
 		}
-		h.Emit.SFence()
+		h.fence()
 	}
 	for i := len(st.records) - 1; i >= 0; i-- {
 		if err := h.undoRecord(st.records[i]); err != nil {
@@ -417,6 +501,7 @@ func (t *Tx) Abort() error {
 		return err
 	}
 	h.releaseTx(t)
+	h.recycleTx(t)
 	atomic.AddUint64(&h.Metrics.TxAborts, 1)
 	return nil
 }
@@ -568,16 +653,17 @@ func (h *Heap) Recover(p *Pool) error {
 				return err
 			}
 		case recAlloc:
-			// The crash decided whether this allocation's bump advance
-			// reached durability. If it did not, the block lies at or
-			// above the durable bump pointer and will be re-allocated
-			// fresh — putting it on the free list would let the free
-			// list and the bump allocator hand out overlapping blocks.
+			// A slab allocation's span was durable before the recAlloc
+			// record existed (carve persists before publication), so the
+			// span lookup resolves and recoverFree clears the slot from
+			// whichever bit state the crash left. A miss means a large
+			// (bump) allocation: nothing to undo — if its bump advance
+			// survived, the bytes leak, exactly as before.
 			ap, ok := h.open[r.oid.Pool()]
 			if !ok {
 				return fmt.Errorf("pmem: recover: alloc pool %d not open", r.oid.Pool())
 			}
-			if uint64(r.oid.Offset())-blockHeaderBytes >= h.read64(ap, offBump) {
+			if _, _, ok := ap.alloc.lookup(r.oid.Offset()); !ok {
 				continue
 			}
 			if err := h.recoverFree(r.oid); err != nil {

@@ -1,0 +1,88 @@
+package potserve
+
+import (
+	"net"
+	"testing"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pmem"
+)
+
+// newPipeServer wires a Server connection handler and a Client together
+// over an in-memory net.Pipe, taking the network stack (and its
+// nondeterministic runtime allocations) out of the measurement: what is
+// left is exactly the wire codec, the server loop, the KV store and the
+// persistent heap underneath.
+func newPipeServer(t *testing.T) *Client {
+	t.Helper()
+	sh, err := pmem.NewSharded(pmem.NewStore(), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := objstore.CreateKV(sh, "allocs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{kv: kv, conns: make(map[net.Conn]struct{})}
+	cs, ss := net.Pipe()
+	s.conns[ss] = struct{}{}
+	s.wg.Add(1)
+	go s.handle(ss)
+	t.Cleanup(func() {
+		cs.Close()
+		ss.Close()
+		s.wg.Wait()
+	})
+	return NewClient(cs)
+}
+
+// TestServeAllocs is the zero-copy regression gate: once the per-connection
+// scratch buffers are warm, a steady-state get / put-overwrite / scan / tx
+// / ping performs zero heap allocations across the whole stack (client
+// encode, server decode, KV, B+-tree walk, undo log, write-back model,
+// response encode). Inserts and deletes restructure the tree and are
+// allowed to allocate; a bounded keyspace makes every gated put an
+// overwrite.
+func TestServeAllocs(t *testing.T) {
+	c := newPipeServer(t)
+
+	const keys = 64
+	for k := uint64(0); k < keys; k++ {
+		if _, err := c.Put(k, k*3); err != nil {
+			t.Fatalf("warmup put %d: %v", k, err)
+		}
+	}
+
+	txOps := []objstore.BatchOp{{Key: 3, Val: 30}, {Key: 7, Val: 70}, {Key: 11, Val: 110}}
+	scanReqs := []Request{{Op: OpScan, From: 0, Max: 16}}
+	var scanResps []Response
+	var opErr error
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ping", func() { opErr = c.Ping() }},
+		{"get-hit", func() { _, _, opErr = c.Get(5) }},
+		{"get-miss", func() { _, _, opErr = c.Get(keys + 1000) }},
+		{"put-overwrite", func() { _, opErr = c.Put(9, 999) }},
+		{"tx-overwrite", func() { opErr = c.Tx(txOps) }},
+		{"scan", func() { scanResps, opErr = c.PipelineAppend(scanReqs, scanResps) }},
+	}
+	for _, tc := range cases {
+		// Warm every scratch buffer this op touches (frame, ops, KVs,
+		// response accumulator, undo-log arena) before measuring.
+		for i := 0; i < 3; i++ {
+			tc.fn()
+			if opErr != nil {
+				t.Fatalf("%s warmup: %v", tc.name, opErr)
+			}
+		}
+		if avg := testing.AllocsPerRun(100, tc.fn); avg != 0 {
+			t.Errorf("%s: %.2f allocs/op, want 0", tc.name, avg)
+		}
+		if opErr != nil {
+			t.Fatalf("%s: %v", tc.name, opErr)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package potserve
+
+import "testing"
+
+// The pipe benchmarks measure the full request path — client codec, server
+// loop, KV store, persistent heap — over an in-memory connection, so
+// per-request CPU and allocation behavior is visible without network noise.
+
+func BenchmarkPingPipe(b *testing.B) {
+	_, kv := newBenchStore(b)
+	c := newPipeClient(b, kv)
+	if err := c.Ping(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetPipe(b *testing.B) {
+	_, kv := newBenchStore(b)
+	c := newPipeClient(b, kv)
+	if _, err := c.Put(1, 42); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutPipe(b *testing.B) {
+	_, kv := newBenchStore(b)
+	c := newPipeClient(b, kv)
+	if _, err := c.Put(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put(1, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package potserve
+
+import (
+	"net"
+	"testing"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pmem"
+)
+
+func newBenchStore(tb testing.TB) (*pmem.Sharded, *objstore.KV) {
+	tb.Helper()
+	sh, err := pmem.NewSharded(pmem.NewStore(), 4, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	kv, err := objstore.CreateKV(sh, "bench")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sh, kv
+}
+
+func newPipeClient(tb testing.TB, kv *objstore.KV) *Client {
+	tb.Helper()
+	s := &Server{kv: kv, conns: make(map[net.Conn]struct{})}
+	cs, ss := net.Pipe()
+	s.conns[ss] = struct{}{}
+	s.wg.Add(1)
+	go s.handle(ss)
+	tb.Cleanup(func() {
+		cs.Close()
+		ss.Close()
+		s.wg.Wait()
+	})
+	return NewClient(cs)
+}

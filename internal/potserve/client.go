@@ -15,11 +15,17 @@ import (
 // the server's pipelined execution. A Client is not safe for concurrent
 // use; open one per goroutine (the server handles connections
 // concurrently).
+//
+// Requests accumulate as complete frames in one connection-lifetime buffer
+// and go out with a single conn.Write per flush point; the response frame
+// buffer is likewise reused. Steady-state gets, puts, deletes, transactions
+// and pings allocate nothing on the client either (scan results are fresh
+// slices — they outlive the call).
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	body []byte
+	conn  net.Conn
+	br    *bufio.Reader
+	out   []byte // unsent request frames
+	frame []byte // response frame scratch
 }
 
 // Dial connects to a potserve server.
@@ -33,7 +39,7 @@ func Dial(addr string) (*Client, error) {
 
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	return &Client{conn: conn, br: bufio.NewReader(conn)}
 }
 
 // Close closes the connection.
@@ -44,26 +50,33 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 	if err := c.send(req); err != nil {
 		return Response{}, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return Response{}, err
 	}
 	return c.recv(req.Op)
 }
 
 func (c *Client) send(req Request) error {
-	body, err := AppendRequest(c.body[:0], req)
-	if err != nil {
-		return err
+	out, err := AppendRequestFrame(c.out, req)
+	c.out = out
+	return err
+}
+
+func (c *Client) flush() error {
+	if len(c.out) == 0 {
+		return nil
 	}
-	c.body = body
-	return WriteFrame(c.bw, body)
+	_, err := c.conn.Write(c.out)
+	c.out = c.out[:0]
+	return err
 }
 
 func (c *Client) recv(op byte) (Response, error) {
-	frame, err := ReadFrame(c.br)
+	frame, err := ReadFrameInto(c.br, c.frame)
 	if err != nil {
 		return Response{}, err
 	}
+	c.frame = frame
 	resp, err := DecodeResponse(op, frame)
 	if err != nil {
 		return Response{}, err
@@ -78,25 +91,43 @@ func (c *Client) recv(op byte) (Response, error) {
 // order. A server-side StatusErr is returned in its Response, not as an
 // error, so one failed op does not hide the others' results.
 func (c *Client) Pipeline(reqs []Request) ([]Response, error) {
+	return c.PipelineAppend(reqs, nil)
+}
+
+// PipelineAppend is Pipeline appending into resps (truncated and reused,
+// element scratch included), so a benchmark loop recycling its response
+// slice drives the full round trip without allocating. The returned
+// responses — scan results included — are only valid until the next
+// PipelineAppend with the same slice.
+func (c *Client) PipelineAppend(reqs []Request, resps []Response) ([]Response, error) {
 	for _, req := range reqs {
 		if err := c.send(req); err != nil {
 			return nil, err
 		}
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := c.flush(); err != nil {
 		return nil, err
 	}
-	resps := make([]Response, 0, len(reqs))
+	resps = resps[:0]
 	for _, req := range reqs {
-		frame, err := ReadFrame(c.br)
+		frame, err := ReadFrameInto(c.br, c.frame)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := DecodeResponse(req.Op, frame)
-		if err != nil {
+		c.frame = frame
+		// Recycle the slot past the length when the backing array has one,
+		// keeping its KVs scratch alive for DecodeResponseInto.
+		var resp *Response
+		if cap(resps) > len(resps) {
+			resps = resps[:len(resps)+1]
+			resp = &resps[len(resps)-1]
+		} else {
+			resps = append(resps, Response{})
+			resp = &resps[len(resps)-1]
+		}
+		if err := DecodeResponseInto(req.Op, frame, resp); err != nil {
 			return nil, err
 		}
-		resps = append(resps, resp)
 	}
 	return resps, nil
 }

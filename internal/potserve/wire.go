@@ -99,20 +99,35 @@ type Response struct {
 }
 
 // ReadFrame reads one length-prefixed frame body from r.
-func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+func ReadFrame(r io.Reader) ([]byte, error) { return ReadFrameInto(r, nil) }
+
+// ReadFrameInto reads one length-prefixed frame body from r into buf's
+// backing array when it fits, allocating only when the frame outgrows every
+// previous one on the connection. The returned slice aliases buf; it is
+// valid until the next ReadFrameInto with the same buffer.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	// The length prefix is read through buf as well: a stack [4]byte would
+	// escape into the io.ReadFull interface call and cost one heap
+	// allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n > MaxFrame {
 		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("potserve: truncated frame: %w", err)
 	}
-	return body, nil
+	return buf, nil
 }
 
 // WriteFrame writes body as one length-prefixed frame.
@@ -127,6 +142,41 @@ func WriteFrame(w io.Writer, body []byte) error {
 	}
 	_, err := w.Write(body)
 	return err
+}
+
+// AppendRequestFrame appends req as one complete frame — length prefix and
+// body — to dst. Batching frames into one buffer and writing it with a
+// single conn.Write is the vectored alternative to WriteFrame's
+// write-header-then-body, and allocates nothing once dst has capacity.
+func AppendRequestFrame(dst []byte, req Request) ([]byte, error) {
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendRequest(dst, req)
+	if err != nil {
+		return dst[:hdr], err
+	}
+	n := len(out) - hdr - 4
+	if n > MaxFrame {
+		return out[:hdr], fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, n)
+	}
+	binary.BigEndian.PutUint32(out[hdr:], uint32(n))
+	return out, nil
+}
+
+// AppendResponseFrame is AppendRequestFrame for responses.
+func AppendResponseFrame(dst []byte, op byte, resp Response) ([]byte, error) {
+	hdr := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendResponse(dst, op, resp)
+	if err != nil {
+		return dst[:hdr], err
+	}
+	n := len(out) - hdr - 4
+	if n > MaxFrame {
+		return out[:hdr], fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, n)
+	}
+	binary.BigEndian.PutUint32(out[hdr:], uint32(n))
+	return out, nil
 }
 
 // reader consumes big-endian fields from a frame body, tracking one
@@ -241,8 +291,27 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 // DecodeRequest decodes one request frame body. It never panics: malformed
 // input returns an error.
 func DecodeRequest(body []byte) (Request, error) {
-	r := &reader{buf: body}
-	req := Request{Op: r.u8()}
+	var req Request
+	if err := DecodeRequestInto(body, &req); err != nil {
+		return Request{}, err
+	}
+	// Canonical form: absent TX ops are a nil slice, not an empty one.
+	if len(req.Ops) == 0 {
+		req.Ops = nil
+	}
+	return req, nil
+}
+
+// DecodeRequestInto is DecodeRequest reusing req's Ops capacity as the TX
+// scratch, so a connection loop decoding into the same Request allocates
+// nothing once the scratch has grown to the largest batch seen. On return
+// req.Ops always carries the scratch (possibly length 0); on error the
+// other fields are zeroed.
+func DecodeRequestInto(body []byte, req *Request) error {
+	ops := req.Ops[:0]
+	*req = Request{Ops: ops}
+	r := reader{buf: body}
+	req.Op = r.u8()
 	switch req.Op {
 	case OpGet, OpDel:
 		req.Key = r.u64()
@@ -263,27 +332,31 @@ func DecodeRequest(body []byte) (Request, error) {
 			r.fail(fmt.Sprintf("tx count %d does not match %d payload bytes", n, len(r.buf)))
 		}
 		if r.err == nil && n > 0 {
-			req.Ops = make([]objstore.BatchOp, 0, n)
+			if cap(ops) < n {
+				ops = make([]objstore.BatchOp, 0, n)
+			}
 			for i := 0; i < n; i++ {
 				kind := r.u8()
 				if r.err == nil && kind != TxPut && kind != TxDel {
 					r.fail(fmt.Sprintf("tx entry %d: unknown kind %d", i, kind))
 				}
-				req.Ops = append(req.Ops, objstore.BatchOp{
+				ops = append(ops, objstore.BatchOp{
 					Key: r.u64(),
 					Val: r.u64(),
 					Del: kind == TxDel,
 				})
 			}
+			req.Ops = ops
 		}
 	case OpPing:
 	default:
 		r.fail(fmt.Sprintf("unknown request op %d", req.Op))
 	}
 	if err := r.done(); err != nil {
-		return Request{}, err
+		*req = Request{Ops: ops[:0]}
+		return err
 	}
-	return req, nil
+	return nil
 }
 
 // AppendResponse appends resp's wire encoding (frame body only) to dst. The
@@ -324,8 +397,26 @@ func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
 // DecodeResponse decodes one response frame body for a request of the given
 // op. It never panics on malformed input.
 func DecodeResponse(op byte, body []byte) (Response, error) {
-	r := &reader{buf: body}
-	resp := Response{Status: r.u8()}
+	var resp Response
+	if err := DecodeResponseInto(op, body, &resp); err != nil {
+		return Response{}, err
+	}
+	// Canonical form: an absent scan result is a nil slice.
+	if len(resp.KVs) == 0 {
+		resp.KVs = nil
+	}
+	return resp, nil
+}
+
+// DecodeResponseInto is DecodeResponse reusing resp's KVs capacity as the
+// scan scratch. On return resp.KVs always carries the scratch (possibly
+// length 0); the decoded pairs are invalidated by the next call with the
+// same Response.
+func DecodeResponseInto(op byte, body []byte, resp *Response) error {
+	kvs := resp.KVs[:0]
+	*resp = Response{KVs: kvs}
+	r := reader{buf: body}
+	resp.Status = r.u8()
 	switch {
 	case r.err != nil:
 	case resp.Status == StatusErr:
@@ -346,10 +437,13 @@ func DecodeResponse(op byte, body []byte) (Response, error) {
 				r.fail(fmt.Sprintf("scan count %d does not match %d payload bytes", n, len(r.buf)))
 			}
 			if r.err == nil && n > 0 {
-				resp.KVs = make([]pds.KV, 0, n)
-				for i := 0; i < n; i++ {
-					resp.KVs = append(resp.KVs, pds.KV{Key: r.u64(), Val: r.u64()})
+				if cap(kvs) < n {
+					kvs = make([]pds.KV, 0, n)
 				}
+				for i := 0; i < n; i++ {
+					kvs = append(kvs, pds.KV{Key: r.u64(), Val: r.u64()})
+				}
+				resp.KVs = kvs
 			}
 		case OpDel, OpTx, OpPing:
 		default:
@@ -357,7 +451,8 @@ func DecodeResponse(op byte, body []byte) (Response, error) {
 		}
 	}
 	if err := r.done(); err != nil {
-		return Response{}, err
+		*resp = Response{KVs: kvs[:0]}
+		return err
 	}
-	return resp, nil
+	return nil
 }
