@@ -1,13 +1,19 @@
-// Command potlint runs potgo's persistence-invariant analyzers over the
-// tree (see internal/analysis and DESIGN.md "Persistence invariants"):
+// Command potlint runs potgo's invariant analyzers over the tree (see
+// internal/analysis and DESIGN.md "Machine-checked invariants"): the four
+// persistence analyzers from PR 2 and the four concurrency/allocation
+// analyzers (lockorder, latchdiscipline, allocorder, noalloc) built on the
+// interprocedural summary layer:
 //
 //	go run ./cmd/potlint ./...
 //
-// It prints one line per finding (file:line:col: [analyzer] message) and
-// exits non-zero if there are any, so CI can gate on it.
+// It prints one line per finding (file:line:col: [analyzer] message) — or,
+// with -json, one JSON object per finding — and exits non-zero if there
+// are any, so CI can gate on it. Findings are silenced line-by-line with
+// `//potlint:allow <analyzer> <reason>`; unused suppressions are reported.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,12 +22,22 @@ import (
 	"potgo/internal/analysis"
 )
 
+// jsonFinding is the -json record shape (one NDJSON object per line).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON records")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: potlint [flags] [packages]\n\n"+
-			"Checks potgo's persistence invariants. Packages default to ./...\n\n")
+			"Checks potgo's persistence and concurrency invariants. Packages default to ./...\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -78,13 +94,27 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	diags = analysis.FilterSuppressed(diags, loader.Fset, loader.Packages())
 	n := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
 		if !requested[d.Pkg] {
 			continue
 		}
 		pos := loader.Fset.Position(d.Pos)
-		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		if *jsonOut {
+			if err := enc.Encode(jsonFinding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
+		}
 		n++
 	}
 	if n > 0 {

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocOrder is the static form of the allocator write-ahead bug PR 6's
+// crash harness found dynamically: in transactional allocation the order is
+// reserve → durable log record → publish, so a crash between reserve and
+// publish is invisible (the bit is still clear) and a crash after the
+// publish replays against the log record. Concretely:
+//
+//  1. In a Tx method, storeSlabBit(..., set=true) — publishing a slot's
+//     occupancy bit — must be dominated by a durable log append
+//     (Tx.logAppend persists and fences the record before returning; a
+//     helper whose summary says it logs durably also counts).
+//  2. A free-list-head publication (Ref.Store64 through Pool.freeHeadOff)
+//     must be dominated by a Heap.Persist of the span being linked — the
+//     span header must be durable before the head points at it.
+//
+// Non-transactional allocation (Heap.alloc, recovery, Free's bit-clears)
+// legitimately skips the log, so rule 1 is scoped to methods whose
+// receiver type is named Tx; rule 2 applies everywhere. Both facts are
+// must-facts: a branch join keeps "logged"/"persisted" only when every
+// path established it.
+var AllocOrder = &Analyzer{
+	Name:     "allocorder",
+	Doc:      "check allocator write-ahead order: occupancy-bit publication after a durable log record, free-list-head publication after the span header persist",
+	Requires: []*Analyzer{Summaries},
+	Run:      runAllocOrder,
+}
+
+type aoState struct {
+	logged    bool // a durable log record was appended on every path here
+	persisted bool // a Heap.Persist completed on every path here
+}
+
+func (s *aoState) Clone() State { c := *s; return &c }
+
+func (s *aoState) Merge(other State) State {
+	o := other.(*aoState)
+	s.logged = s.logged && o.logged
+	s.persisted = s.persisted && o.persisted
+	return s
+}
+
+func runAllocOrder(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		h := &aoHooks{pass: pass, txMethod: receiverTypeNamed(pass.TypesInfo, fd, "Tx")}
+		WalkFunc(pass.TypesInfo, fd.Body, &aoState{}, h)
+	}
+	return nil
+}
+
+// receiverTypeNamed reports whether fd is a method whose receiver's named
+// type is name.
+func receiverTypeNamed(info *types.Info, fd *ast.FuncDecl, name string) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == name
+}
+
+type aoHooks struct {
+	NopHooks
+	pass     *Pass
+	txMethod bool
+}
+
+func (h *aoHooks) OnCall(call *ast.CallExpr, st State) State {
+	s := st.(*aoState)
+	info := h.pass.TypesInfo
+	switch classify(info, call) {
+	case kLogAppend:
+		s.logged = true
+	case kPersist:
+		s.persisted = true
+	case kSlabBitStore:
+		if h.txMethod && !isFalseArg(call) && !s.logged {
+			h.pass.Reportf(call.Pos(), "occupancy bit published before the allocation was logged; write-ahead order is reserve, then durable log record, then publish")
+		}
+	case kRefStore:
+		if len(call.Args) > 0 && callsNamed(info, call.Args[0], "freeHeadOff") && !s.persisted {
+			h.pass.Reportf(call.Pos(), "free-list head published before the span header was persisted; persist the span before linking it")
+		}
+	case kOther:
+		if f := callee(info, call); f != nil {
+			if sum := h.pass.Summary(f); sum != nil && sum.LogsDurably {
+				s.logged = true
+			}
+		}
+	}
+	return s
+}
+
+// isFalseArg reports whether the call's last argument is the literal false
+// (clearing an occupancy bit is the free path, whose write-ahead record is
+// the free log entry applied at commit).
+func isFalseArg(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[len(call.Args)-1]).(*ast.Ident)
+	return ok && id.Name == "false"
+}

@@ -15,6 +15,29 @@
 //     before returning, unless the function's name declares it unfenced
 //     ("NoFence").
 //
+// potlint v2 adds an interprocedural layer (summary.go: per-function facts
+// about locks acquired/released, fences issued and allocation behaviour,
+// propagated through the FactStore in package dependency order) and four
+// concurrency/allocation analyzers over it:
+//
+//   - lockorder: shard/pool locks are acquired at most one set at a time
+//     (multi-shard sets go through the ascending mask/scoped helpers), a
+//     latch is never acquired while a shard lock is held (lock order:
+//     latches before shard locks), and sharded mutex state is only locked
+//     directly inside the owner type's designated helpers.
+//   - latchdiscipline: latch slot sets are sorted (and deduplicated)
+//     before acquisition, and methods of latch-owning types do not open a
+//     heap mutation on a path where the structure's latch is not held.
+//   - allocorder: the allocator's write-ahead order — a transactional
+//     occupancy-bit publication must be dominated by a durable log record,
+//     and a free-list-head publication by the span header's persist.
+//   - noalloc: functions annotated //potlint:noalloc contain no allocating
+//     constructs and call nothing that allocates (the static form of the
+//     0-allocs/op benchmark gates).
+//
+// Findings are suppressed line-by-line with `//potlint:allow <analyzer>
+// <reason>` (suppress.go); unused suppressions are themselves findings.
+//
 // The package mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer, Pass, Diagnostic, facts) but is self-contained on the standard
 // library: the build environment is offline, so x/tools cannot be vendored.
@@ -39,6 +62,10 @@ type Analyzer struct {
 	Name string
 	// Doc is the analyzer's documentation, first sentence first.
 	Doc string
+	// Requires lists analyzers whose facts this one consumes; the driver
+	// runs them first (over every package) even when they were not
+	// requested. Required analyzers typically report nothing themselves.
+	Requires []*Analyzer
 	// Run applies the analyzer to one package, reporting diagnostics and
 	// exporting facts through the pass.
 	Run func(*Pass) error
@@ -92,6 +119,17 @@ func (p *Pass) ImportObjectFact(obj types.Object) any {
 	return p.facts.get(p.Analyzer, obj)
 }
 
+// Summary returns the interprocedural summary the Summaries analyzer
+// exported for obj (a *types.Func), or nil. Analyzers that consume
+// summaries must list Summaries in their Requires.
+func (p *Pass) Summary(obj types.Object) *FuncSummary {
+	if obj == nil {
+		return nil
+	}
+	s, _ := p.facts.get(Summaries, obj).(*FuncSummary)
+	return s
+}
+
 // FactStore holds analyzer-scoped object facts for one driver run. All
 // packages in a run share one type-checker universe, so types.Object
 // identity is stable across packages.
@@ -115,13 +153,35 @@ func (s *FactStore) get(a *Analyzer, obj types.Object) any {
 	return s.m[factKey{a, obj}]
 }
 
-// Run applies each analyzer to each package in order and returns all
-// diagnostics sorted by position. Packages must be in dependency order for
-// facts to flow from dependencies to importers.
+// expand returns analyzers with every (transitive) requirement inserted
+// before its dependents, deduplicated.
+func expand(analyzers []*Analyzer) []*Analyzer {
+	var out []*Analyzer
+	seen := make(map[*Analyzer]bool)
+	var visit func(a *Analyzer)
+	visit = func(a *Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, r := range a.Requires {
+			visit(r)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		visit(a)
+	}
+	return out
+}
+
+// Run applies each analyzer (requirements first) to each package in order
+// and returns all diagnostics sorted by position. Packages must be in
+// dependency order for facts to flow from dependencies to importers.
 func Run(analyzers []*Analyzer, pkgs []*LoadedPackage) ([]Diagnostic, error) {
 	facts := NewFactStore()
 	var diags []Diagnostic
-	for _, a := range analyzers {
+	for _, a := range expand(analyzers) {
 		for _, pkg := range pkgs {
 			pass := &Pass{
 				Analyzer:  a,
@@ -146,12 +206,17 @@ func Run(analyzers []*Analyzer, pkgs []*LoadedPackage) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// All returns the full potlint suite in a fixed order.
+// All returns the full potlint suite in a fixed order: the four PR 2
+// persistence analyzers, then the four concurrency/allocation analyzers.
 func All() []*Analyzer {
 	return []*Analyzer{
 		TouchBeforeStore,
 		PersistBeforePublish,
 		RefEscape,
 		EmitBalance,
+		LockOrder,
+		LatchDiscipline,
+		AllocOrder,
+		NoAlloc,
 	}
 }

@@ -34,6 +34,24 @@ const (
 	kCLWB                    // emit.Emitter.CLWB
 	kSFence                  // emit.Emitter.SFence
 	kInvalidate              // Heap.Close / Crash / TxAbort / Recover
+
+	// Concurrency kinds (lockorder / latchdiscipline).
+	kShardLock          // Sharded.LockPool / RLockPool — one pool's shard, unordered wrt others
+	kShardUnlock        // Sharded.UnlockPool / RUnlockPool
+	kShardLockOrdered   // Sharded.LockShardMask / RLockAll / lockAll / lockShards / rlockShards — ascending by construction
+	kShardUnlockOrdered // Sharded.UnlockShardMask / RUnlockAll
+	kShardScoped        // Sharded.View / Update / Tx — acquires and releases internally
+	kLatchLock          // LatchTable.Lock / RLock (or a *Latch*-named type's Lock/RLock)
+	kMuLock             // sync.Mutex/RWMutex Lock/RLock
+	kMuUnlock           // sync.Mutex/RWMutex Unlock/RUnlock
+	kSortInts           // sort.Ints / sort.Sort / slices.Sort* — establishes sortedness
+	kHeapBegin          // Heap.Begin — opens a mutating transaction
+
+	// Allocator write-ahead kinds (allocorder). These are matched by the
+	// method-name convention (logAppend / storeSlabBit) rather than by
+	// concrete type, so fixture copies of the allocator are analyzable.
+	kLogAppend    // a durable undo/redo log append (record persisted before publish)
+	kSlabBitStore // occupancy-bit read-modify-write (publishes a slot when set=true)
 )
 
 // callee resolves the static callee of a call, or nil (indirect calls,
@@ -129,6 +147,26 @@ func classify(info *types.Info, call *ast.CallExpr) callKind {
 	}
 	pkg, typ := recvTypeName(f)
 	switch {
+	case pkg == "sync" && (typ == "Mutex" || typ == "RWMutex"):
+		switch f.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			return kMuLock
+		case "Unlock", "RUnlock":
+			return kMuUnlock
+		}
+	case pkg == pmemPath && typ == "Sharded":
+		switch f.Name() {
+		case "LockPool", "RLockPool":
+			return kShardLock
+		case "UnlockPool", "RUnlockPool":
+			return kShardUnlock
+		case "LockShardMask", "RLockAll", "lockAll", "lockShards", "rlockShards":
+			return kShardLockOrdered
+		case "UnlockShardMask", "RUnlockAll":
+			return kShardUnlockOrdered
+		case "View", "Update", "Tx":
+			return kShardScoped
+		}
 	case pkg == pmemPath && typ == "Ref":
 		switch f.Name() {
 		case "Store64", "WriteBytes":
@@ -136,6 +174,8 @@ func classify(info *types.Info, call *ast.CallExpr) callKind {
 		}
 	case pkg == pmemPath && typ == "Heap":
 		switch f.Name() {
+		case "Begin":
+			return kHeapBegin
 		case "Deref":
 			return kDeref
 		case "DirectRef":
@@ -179,6 +219,26 @@ func classify(info *types.Info, call *ast.CallExpr) callKind {
 			return kSFence
 		}
 	}
+	// Shape and convention fallbacks, so fixture copies and future types
+	// participate without a hardwired type list.
+	switch f.Name() {
+	case "logAppend":
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return kLogAppend
+		}
+	case "storeSlabBit":
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return kSlabBitStore
+		}
+	case "Ints", "Sort", "Slice", "SortFunc", "Stable", "SortStableFunc":
+		if p := f.Pkg(); p != nil && (p.Path() == "sort" || p.Path() == "slices") && sig_recvless(f) {
+			return kSortInts
+		}
+	case "Lock", "RLock":
+		if _, t := recvTypeName(f); strings.Contains(t, "Latch") || strings.Contains(t, "latch") {
+			return kLatchLock
+		}
+	}
 	if isTouchShaped(f) {
 		return kTouch
 	}
@@ -186,6 +246,87 @@ func classify(info *types.Info, call *ast.CallExpr) callKind {
 		return kAlloc
 	}
 	return kOther
+}
+
+// sig_recvless reports whether f is a plain function (no receiver).
+func sig_recvless(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// callsNamed reports whether expression e contains a call to a function or
+// method with the given name (used to recognise `Store64(p.freeHeadOff(c),
+// ...)`-style free-list-head publications).
+func callsNamed(info *types.Info, e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if f := callee(info, call); f != nil && f.Name() == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// muTarget describes the object a direct sync.Mutex/RWMutex operation is
+// performed on, when the mutex is an element of (or a field of an element
+// of) a slice — the "sharded state" shape:
+//
+//	lt.mus[s].Lock()        -> slice of mutexes   (latch table shape)
+//	s.shards[i].mu.Lock()   -> slice of structs carrying a mutex (shard shape)
+//
+// owner is the named type whose field holds the slice (nil when the slice
+// is not reached through a named struct's field), index is the index
+// expression, and latchShaped distinguishes the two shapes above.
+type muTarget struct {
+	owner       *types.Named
+	index       ast.Expr
+	latchShaped bool
+}
+
+// shardedMuTarget matches the two sharded-state shapes on the receiver
+// expression of a classified kMuLock/kMuUnlock call; ok=false for plain
+// struct-field mutexes (`s.mu.Lock()`), which are not sharded state.
+func shardedMuTarget(info *types.Info, call *ast.CallExpr) (muTarget, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return muTarget{}, false
+	}
+	recv := ast.Unparen(sel.X) // the mutex expression
+	// Unwrap one field selection: shards[i].mu -> shards[i].
+	if fieldSel, ok := recv.(*ast.SelectorExpr); ok {
+		if idx, ok := ast.Unparen(fieldSel.X).(*ast.IndexExpr); ok {
+			return muTarget{owner: sliceFieldOwner(info, idx.X), index: idx.Index}, true
+		}
+		return muTarget{}, false
+	}
+	if idx, ok := recv.(*ast.IndexExpr); ok {
+		// mus[s] — a slice of mutexes directly.
+		if t, ok := info.TypeOf(idx.X).(*types.Slice); ok {
+			if namedAs(t.Elem(), "sync", "RWMutex") || namedAs(t.Elem(), "sync", "Mutex") {
+				return muTarget{owner: sliceFieldOwner(info, idx.X), index: idx.Index, latchShaped: true}, true
+			}
+		}
+	}
+	return muTarget{}, false
+}
+
+// sliceFieldOwner resolves `x.f` (f a slice field) to x's named type.
+func sliceFieldOwner(info *types.Info, e ast.Expr) *types.Named {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
 }
 
 // isNoFenceName reports whether a function name declares the unfenced

@@ -56,6 +56,20 @@ type FlowHooks interface {
 	// AfterIf may replace the default branch join. Returning ok=false
 	// uses the default merge.
 	AfterIf(stmt *ast.IfStmt, pre, thenSt, elseSt State) (State, bool)
+	// OnDefer fires at a defer statement with the deferred call, after its
+	// function and arguments were walked. The deferred call itself runs at
+	// function exit, so OnCall is deliberately not fired for it — but when
+	// the deferred expression is an immediate invocation of another call's
+	// result (`defer lt.Lock(o)()`), the inner call IS walked as an
+	// ordinary expression and receives OnCall at the defer site. OnDefer
+	// lets lock-discipline analyzers record scheduled releases.
+	OnDefer(call *ast.CallExpr, st State) State
+	// OnRange fires at a range statement after the ranged-over expression
+	// was walked and before the body, exposing the source expression and
+	// the key/value variables (either may be nil). It runs before the
+	// generic OnAssign for the same variables, so hooks can bind a range
+	// value variable to the slice it is drawn from.
+	OnRange(x ast.Expr, key, value ast.Expr, st State) State
 }
 
 // NopHooks provides default no-op hook implementations.
@@ -66,6 +80,8 @@ func (NopHooks) OnAssign(_, _ []ast.Expr, st State) State           { return st 
 func (NopHooks) OnReturn(_ *ast.ReturnStmt, _ State, _ bool)        {}
 func (NopHooks) OnHavoc(_ map[types.Object]bool, st State) State    { return st }
 func (NopHooks) AfterIf(_ *ast.IfStmt, _, _, _ State) (State, bool) { return nil, false }
+func (NopHooks) OnDefer(_ *ast.CallExpr, st State) State            { return st }
+func (NopHooks) OnRange(_, _, _ ast.Expr, st State) State           { return st }
 
 type walker struct {
 	info     *types.Info
@@ -170,6 +186,7 @@ func (w *walker) stmt(s ast.Stmt, st State) State {
 	case *ast.RangeStmt:
 		st = w.expr(s.X, st)
 		st = w.hooks.OnHavoc(assignedIn(s, nil, w.info), st)
+		st = w.hooks.OnRange(s.X, s.Key, s.Value, st)
 		var lhs []ast.Expr
 		if s.Key != nil {
 			lhs = append(lhs, s.Key)
@@ -224,7 +241,7 @@ func (w *walker) stmt(s ast.Stmt, st State) State {
 		for _, a := range s.Call.Args {
 			st = w.expr(a, st)
 		}
-		return st
+		return w.hooks.OnDefer(s.Call, st)
 	case *ast.GoStmt:
 		return w.expr(s.Call, st)
 	default: // EmptyStmt, BadStmt

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoAlloc statically backs the 0-allocs/op benchmark gates (TestServeAllocs
+// and friends): a function whose doc comment carries the line
+//
+//	//potlint:noalloc
+//
+// must not contain allocating constructs — make/new, append (growth),
+// slice/map/escaping composite literals, function literals (closure
+// capture), string concatenation, string<->[]byte conversions, interface
+// boxing at call sites, go statements, fmt.Sprint* — and must not call a
+// module function whose summary says it allocates (annotated callees are
+// trusted: they are themselves checked).
+//
+// Error construction is exempt: by convention the failure path of a hot
+// function may allocate (it is cold), so constructs inside an `err != nil`
+// branch, inside a call whose result type is error (fmt.Errorf, wrapped
+// constructors) or inside a panic argument are not flagged. Amortized
+// growth a function deliberately keeps (a reused buffer's rare doubling)
+// is suppressed line-by-line with `//potlint:allow noalloc <reason>`.
+var NoAlloc = &Analyzer{
+	Name:     "noalloc",
+	Doc:      "check //potlint:noalloc-annotated functions contain no allocating constructs and call nothing that allocates",
+	Requires: []*Analyzer{Summaries},
+	Run:      runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		if !hasNoAllocDirective(fd) {
+			continue
+		}
+		for _, f := range scanAllocs(pass.TypesInfo, fd, func(fn *types.Func) *FuncSummary { return pass.Summary(fn) }) {
+			pass.Reportf(f.pos, "%s in //potlint:noalloc function %s", f.what, fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// hasNoAllocDirective reports whether fd's doc comment contains the
+// //potlint:noalloc directive.
+func hasNoAllocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//potlint:noalloc") {
+			return true
+		}
+	}
+	return false
+}
+
+// allocFinding is one allocating construct found by scanAllocs.
+type allocFinding struct {
+	pos  token.Pos
+	what string
+}
+
+// scanAllocs returns the allocating constructs in fd's body, excluding the
+// error-path exemptions. summaryOf supplies callee summaries for the
+// "calls something that allocates" rule (may be nil).
+func scanAllocs(info *types.Info, fd *ast.FuncDecl, summaryOf func(*types.Func) *FuncSummary) []allocFinding {
+	exempt := exemptRanges(info, fd.Body)
+	isExempt := func(pos token.Pos) bool {
+		for _, r := range exempt {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []allocFinding
+	add := func(pos token.Pos, what string) {
+		if !isExempt(pos) {
+			out = append(out, allocFinding{pos, what})
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			add(n.Pos(), "function literal (closure capture) allocates")
+			return false // one finding for the literal; its body runs elsewhere
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates a goroutine")
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Slice:
+				add(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				add(n.Pos(), "map literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					add(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				add(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				add(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			scanCall(info, n, add, summaryOf)
+		}
+		return true
+	})
+	return out
+}
+
+// scanCall applies the call-shaped rules: builtins, conversions, fmt
+// string formatting, interface boxing of arguments, and allocating module
+// callees.
+func scanCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string), summaryOf func(*types.Func) *FuncSummary) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// Conversions: string <-> []byte/[]rune, and boxing conversions to an
+	// interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isStringType(dst) && isByteOrRuneSlice(src):
+			add(call.Pos(), "[]byte/[]rune to string conversion allocates")
+		case isByteOrRuneSlice(dst) && isStringType(src):
+			add(call.Pos(), "string to []byte/[]rune conversion allocates")
+		case types.IsInterface(dst) && src != nil && !types.IsInterface(src) && !isNilType(src):
+			add(call.Pos(), "conversion boxes a value into an interface")
+		}
+		return
+	}
+
+	f := callee(info, call)
+	if f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		switch f.Name() {
+		case "Sprintf", "Sprint", "Sprintln":
+			add(call.Pos(), "fmt string formatting allocates")
+		}
+	}
+
+	// Interface boxing of concrete arguments.
+	if sig, ok := info.TypeOf(call.Fun).(*types.Signature); ok {
+		n := sig.Params().Len()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= n-1:
+				if call.Ellipsis.IsValid() {
+					continue // passing a slice through, no boxing
+				}
+				pt = sig.Params().At(n - 1).Type().(*types.Slice).Elem()
+			case i < n:
+				pt = sig.Params().At(i).Type()
+			}
+			at := info.TypeOf(arg)
+			if pt != nil && types.IsInterface(pt) && at != nil && !types.IsInterface(at) && !isNilType(at) {
+				add(arg.Pos(), "argument boxed into an interface parameter")
+			}
+		}
+	}
+
+	// Allocating module callees (annotated ones are trusted).
+	if f != nil && summaryOf != nil {
+		if sum := summaryOf(f); sum != nil && sum.Allocates && !sum.NoAlloc {
+			add(call.Pos(), "calls "+f.Name()+" which allocates ("+sum.AllocWhat+")")
+		}
+	}
+}
+
+// exemptRanges collects the source ranges where allocation is tolerated:
+// error-path branches, calls constructing an error, and panic arguments.
+func exemptRanges(info *types.Info, body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			switch errNilBranch(info, n.Cond) {
+			case +1:
+				out = append(out, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+			case -1:
+				if n.Else != nil {
+					out = append(out, [2]token.Pos{n.Else.Pos(), n.Else.End()})
+				}
+			}
+		case *ast.CallExpr:
+			if t := info.TypeOf(n); t != nil && !isNilType(t) && types.Implements(t, errorIface) {
+				out = append(out, [2]token.Pos{n.Pos(), n.End()})
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					out = append(out, [2]token.Pos{n.Pos(), n.End()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isNilType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

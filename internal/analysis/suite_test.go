@@ -23,6 +23,22 @@ func TestEmitBalance(t *testing.T) {
 	analysistest.Run(t, analysis.EmitBalance, "emitbalance")
 }
 
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysis.LockOrder, "lockorder")
+}
+
+func TestLatchDiscipline(t *testing.T) {
+	analysistest.Run(t, analysis.LatchDiscipline, "latchdiscipline")
+}
+
+func TestAllocOrder(t *testing.T) {
+	analysistest.Run(t, analysis.AllocOrder, "allocorder")
+}
+
+func TestNoAlloc(t *testing.T) {
+	analysistest.Run(t, analysis.NoAlloc, "noalloc")
+}
+
 // TestTreeIsClean is the potlint gate in test form: the full suite must
 // report nothing on the tree itself. If this fails, either real code broke
 // a persistence invariant or an analyzer grew a false positive — both need
@@ -45,6 +61,7 @@ func TestTreeIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
+	diags = analysis.FilterSuppressed(diags, loader.Fset, loader.Packages())
 	for _, d := range diags {
 		t.Errorf("%s: [%s] %s", loader.Fset.Position(d.Pos), d.Analyzer, d.Message)
 	}

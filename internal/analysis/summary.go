@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The interprocedural layer: Summaries is a fact-only analyzer that
+// computes one FuncSummary per function declaration — which locks it
+// acquires or releases, whether it fences, whether it allocates, whether
+// it appends a durable log record — and exports them as object facts.
+// Dependent analyzers (lockorder, latchdiscipline, allocorder, noalloc)
+// list Summaries in their Requires and read the facts through
+// Pass.Summary, which lets them see through helpers such as
+// Sharded.LockPool, LatchTable.Lock, Heap.fence or Tx.logAppend instead of
+// stopping at the call boundary.
+//
+// Summaries are may-facts computed by a syntactic scan (function literal
+// bodies are skipped — a closure's lock operations run when it is invoked,
+// which the balancing idioms below account for), iterated to a fixpoint
+// within each package; packages are processed in dependency order, so
+// cross-package callees are always final when their callers are scanned.
+//
+// Two balancing idioms turn an acquire into a balanced pair:
+//
+//	defer lt.Lock(o)()            // deferred invocation of the unlock closure
+//	u := lt.Lock(o); ...; u()     // explicit invocation of the unlock closure
+var Summaries = &Analyzer{
+	Name: "summaries",
+	Doc:  "interprocedural fact layer: per-function lock/fence/allocation summaries (reports nothing itself)",
+}
+
+// Run is attached in init: runSummaries reads its own facts back through
+// Pass.Summary, which mentions Summaries — assigning Run in the composite
+// literal would be an initialization cycle.
+func init() { Summaries.Run = runSummaries }
+
+// LockEffect is a function's net effect on one lock domain.
+type LockEffect int
+
+const (
+	LockNone     LockEffect = iota
+	LockAcquires            // may leave locks of the domain held (or return their unlocker)
+	LockReleases            // releases locks the caller holds
+	LockBalanced            // acquires and releases internally
+)
+
+// FuncSummary is the exported per-function fact.
+type FuncSummary struct {
+	// ShardEffect and LatchEffect are the function's net effect on the
+	// shard-lock and latch domains.
+	ShardEffect LockEffect
+	LatchEffect LockEffect
+	// MayFence: the function issues an SFENCE (directly, via Persist, or
+	// via a callee) on some path.
+	MayFence bool
+	// Allocates: the function contains an allocating construct outside
+	// the error-path exemptions, or calls a function that does. AllocWhat
+	// and AllocPos describe the first such construct.
+	Allocates bool
+	AllocWhat string
+	AllocPos  token.Pos
+	// LogsDurably: the function appends a durable log record (it is
+	// logAppend-shaped, or calls something that is). The allocorder
+	// analyzer treats a call to such a function as the write-ahead step
+	// that licenses a subsequent occupancy-bit publication.
+	LogsDurably bool
+	// SortedInts: the function returns a []int it sorted (sort.Ints or
+	// friends) — latch/shard slot-set builders like LatchTable.slots and
+	// Sharded.shardSet. Ranging over its result acquires in order.
+	SortedInts bool
+	// NoAlloc: the function carries the //potlint:noalloc annotation.
+	// Annotated functions are checked by the noalloc analyzer themselves,
+	// so callers treat them as non-allocating.
+	NoAlloc bool
+}
+
+func runSummaries(pass *Pass) error {
+	decls := funcDecls(pass.Files)
+	// Fixpoint: intra-package call chains (and recursion) stabilise in at
+	// most the chain depth; four rounds covers every chain in the tree and
+	// the facts are monotone, so early convergence is detected and extra
+	// rounds are no-ops.
+	for i := 0; i < 4; i++ {
+		changed := false
+		for _, fd := range decls {
+			if summarize(pass, fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}
+
+// summarize recomputes fd's summary and reports whether it changed.
+func summarize(pass *Pass, fd *ast.FuncDecl) bool {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	info := pass.TypesInfo
+	s := &FuncSummary{NoAlloc: hasNoAllocDirective(fd)}
+
+	var shardAcq, shardRel, latchAcq, latchRel bool
+	note := func(k callKind, call *ast.CallExpr) {
+		switch k {
+		case kShardLock, kShardLockOrdered:
+			shardAcq = true
+		case kShardUnlock, kShardUnlockOrdered:
+			shardRel = true
+		case kLatchLock:
+			latchAcq = true
+		case kMuLock, kMuUnlock:
+			if t, ok := shardedMuTarget(info, call); ok {
+				if k == kMuLock {
+					if t.latchShaped {
+						latchAcq = true
+					} else {
+						shardAcq = true
+					}
+				} else {
+					if t.latchShaped {
+						latchRel = true
+					} else {
+						shardRel = true
+					}
+				}
+			}
+		case kSFence, kPersist:
+			s.MayFence = true
+		case kLogAppend:
+			s.LogsDurably = true
+		case kSortInts:
+			if returnsIntSlice(info, fd) {
+				s.SortedInts = true
+			}
+		}
+	}
+
+	// unlockVars maps variables holding an acquire's unlock closure to the
+	// domain they release when invoked.
+	type domain int
+	const (
+		domShard domain = iota
+		domLatch
+	)
+	unlockVars := make(map[types.Object]domain)
+
+	// acquireDomain classifies a call as a lock acquisition, looking
+	// through callee summaries, and returns its domain.
+	acquireDomain := func(call *ast.CallExpr) (domain, bool) {
+		switch classify(info, call) {
+		case kShardLock, kShardLockOrdered:
+			return domShard, true
+		case kLatchLock:
+			return domLatch, true
+		}
+		if f := callee(info, call); f != nil {
+			if sum := pass.Summary(f); sum != nil {
+				if sum.LatchEffect == LockAcquires {
+					return domLatch, true
+				}
+				if sum.ShardEffect == LockAcquires {
+					return domShard, true
+				}
+			}
+		}
+		return domShard, false
+	}
+
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false // runs later, if at all
+			case *ast.DeferStmt:
+				// `defer acquire(...)()`: the inner acquire is counted by
+				// the generic CallExpr case below; the deferred invocation
+				// of its unlock closure balances it at exit.
+				if inner, ok := ast.Unparen(x.Call.Fun).(*ast.CallExpr); ok {
+					if d, ok := acquireDomain(inner); ok {
+						if d == domLatch {
+							latchRel = true
+						} else {
+							shardRel = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				// `u := acquire(...)`: remember u as an unlock closure.
+				for i, r := range x.Rhs {
+					if call, ok := ast.Unparen(r).(*ast.CallExpr); ok && i < len(x.Lhs) {
+						if d, ok := acquireDomain(call); ok {
+							if id, ok := x.Lhs[i].(*ast.Ident); ok {
+								if o := objOf(info, id); o != nil {
+									unlockVars[o] = d
+								}
+							}
+						}
+					}
+				}
+			case *ast.CallExpr:
+				k := classify(info, x)
+				note(k, x)
+				if k == kOther {
+					if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+						// `u()`: invoking a remembered unlock closure.
+						if o := objOf(info, id); o != nil {
+							if d, ok := unlockVars[o]; ok {
+								if d == domLatch {
+									latchRel = true
+								} else {
+									shardRel = true
+								}
+							}
+						}
+					}
+					if f := callee(info, x); f != nil {
+						if sum := pass.Summary(f); sum != nil {
+							mergeCalleeSummary(s, sum, &shardAcq, &shardRel, &latchAcq, &latchRel)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body)
+
+	s.ShardEffect = effectOf(shardAcq, shardRel)
+	s.LatchEffect = effectOf(latchAcq, latchRel)
+
+	// Allocation behaviour: the shared construct scanner, plus callee
+	// propagation. Annotated functions are treated as non-allocating for
+	// callers — their own body is gated by the noalloc analyzer.
+	if !s.NoAlloc {
+		if fs := scanAllocs(info, fd, func(f *types.Func) *FuncSummary { return pass.Summary(f) }); len(fs) > 0 {
+			s.Allocates = true
+			s.AllocWhat = fs[0].what
+			s.AllocPos = fs[0].pos
+		}
+	}
+
+	old, _ := pass.ImportObjectFact(obj).(*FuncSummary)
+	if old != nil && *old == *s {
+		return false
+	}
+	if old == nil && *s == (FuncSummary{}) {
+		return false
+	}
+	pass.ExportObjectFact(obj, s)
+	return true
+}
+
+// mergeCalleeSummary folds a callee's effects into the caller's scan.
+func mergeCalleeSummary(s *FuncSummary, sum *FuncSummary, shardAcq, shardRel, latchAcq, latchRel *bool) {
+	switch sum.ShardEffect {
+	case LockAcquires:
+		*shardAcq = true
+	case LockReleases:
+		*shardRel = true
+	}
+	switch sum.LatchEffect {
+	case LockAcquires:
+		*latchAcq = true
+	case LockReleases:
+		*latchRel = true
+	}
+	if sum.MayFence {
+		s.MayFence = true
+	}
+	if sum.LogsDurably {
+		s.LogsDurably = true
+	}
+}
+
+func effectOf(acq, rel bool) LockEffect {
+	switch {
+	case acq && rel:
+		return LockBalanced
+	case acq:
+		return LockAcquires
+	case rel:
+		return LockReleases
+	}
+	return LockNone
+}
+
+// returnsIntSlice reports whether fd's first result is a []int.
+func returnsIntSlice(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Type.Results.List[0].Type)
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}

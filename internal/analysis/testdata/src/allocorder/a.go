@@ -1,0 +1,121 @@
+// Fixture for the allocorder analyzer: transactional allocation is
+// reserve → durable log record → publish, and a free-list head is only
+// published after the span header persists. The Tx/heap types here are
+// local copies shaped like pmem's (the analyzer matches logAppend /
+// storeSlabBit by method-name convention), so the ordering can be broken
+// deliberately.
+package allocorder
+
+import (
+	"potgo/internal/isa"
+	"potgo/internal/oid"
+	"potgo/internal/pmem"
+)
+
+type span struct{}
+
+type heap struct{}
+
+type Tx struct{ h *heap }
+
+func (h *heap) allocReserve(size uint32) (oid.OID, span, uint32, error) {
+	return 0, span{}, 0, nil
+}
+
+func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32) error { return nil }
+
+func (h *heap) storeSlabBit(sp span, slot uint32, set bool) error { return nil }
+
+// allocGood follows the write-ahead order.
+func (t *Tx) allocGood(size uint32) (oid.OID, error) {
+	o, sp, slot, err := t.h.allocReserve(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.logAppend(1, o, size); err != nil {
+		return 0, err
+	}
+	if err := t.h.storeSlabBit(sp, slot, true); err != nil {
+		return 0, err
+	}
+	return o, nil
+}
+
+// allocBad is allocGood with the log append deleted — the bit becomes
+// visible with no durable record to replay against.
+func (t *Tx) allocBad(size uint32) (oid.OID, error) {
+	o, sp, slot, err := t.h.allocReserve(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.h.storeSlabBit(sp, slot, true); err != nil { // want "occupancy bit published before the allocation was logged"
+		return 0, err
+	}
+	return o, nil
+}
+
+// logHelper wraps the append; the summary layer sees through it.
+func (t *Tx) logHelper(o oid.OID, size uint32) error { return t.logAppend(1, o, size) }
+
+func (t *Tx) allocViaHelper(size uint32) (oid.OID, error) {
+	o, sp, slot, err := t.h.allocReserve(size)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.logHelper(o, size); err != nil {
+		return 0, err
+	}
+	if err := t.h.storeSlabBit(sp, slot, true); err != nil {
+		return 0, err
+	}
+	return o, nil
+}
+
+// allocHalfLogged logs on only one branch: the join demotes "logged"
+// (must-analysis).
+func (t *Tx) allocHalfLogged(size uint32, cond bool) error {
+	o, sp, slot, err := t.h.allocReserve(size)
+	if err != nil {
+		return err
+	}
+	if cond {
+		if err := t.logAppend(1, o, size); err != nil {
+			return err
+		}
+	}
+	return t.h.storeSlabBit(sp, slot, true) // want "occupancy bit published before the allocation was logged"
+}
+
+// freeClear clears a bit: the free path's record is applied at commit, so
+// clearing is exempt.
+func (t *Tx) freeClear(sp span, slot uint32) error {
+	return t.h.storeSlabBit(sp, slot, false)
+}
+
+// allocUnlogged is not a Tx method (Heap.alloc-style non-transactional
+// allocation legitimately skips the log): clean.
+func (h *heap) allocUnlogged(size uint32) error {
+	_, sp, slot, err := h.allocReserve(size)
+	if err != nil {
+		return err
+	}
+	return h.storeSlabBit(sp, slot, true)
+}
+
+// freeHeadOff mirrors Pool.freeHeadOff; the free-list-head rule matches
+// the accessor by name.
+func freeHeadOff(class int) uint32 { return uint32(class) * 8 }
+
+// carveGood persists the span header before linking it.
+func carveGood(h *pmem.Heap, r pmem.Ref, p *pmem.Pool, base uint32, class int) error {
+	if err := h.Persist(p.OID(base), 64); err != nil {
+		return err
+	}
+	return r.Store64(freeHeadOff(class), uint64(base), isa.RZ)
+}
+
+// carveBad publishes the head first: a crash leaves the head pointing at
+// an unpersisted span.
+func carveBad(r pmem.Ref, base uint32, class int) error {
+	return r.Store64(freeHeadOff(class), uint64(base), isa.RZ) // want "free-list head published before the span header was persisted"
+}

@@ -1,0 +1,135 @@
+// Fixture for the latchdiscipline analyzer: slot sets sorted+deduplicated
+// before acquisition, heap mutations in latch-owning types under the
+// latch.
+package latchdiscipline
+
+import (
+	"sort"
+	"sync"
+
+	"potgo/internal/oid"
+	"potgo/internal/pmem"
+)
+
+// table mirrors pmem.LatchTable: a slice of latches indexed by slot sets.
+type table struct {
+	mask uint64
+	mus  []sync.RWMutex
+}
+
+func (t *table) slot(o oid.OID) int { return int(uint64(o) & t.mask) }
+
+// slots is the good slot-set builder: sorted and deduplicated.
+func (t *table) slots(oids []oid.OID) []int {
+	idx := make([]int, 0, len(oids))
+	for _, o := range oids {
+		idx = append(idx, t.slot(o))
+	}
+	sort.Ints(idx)
+	out := idx[:0]
+	for i, s := range idx {
+		if i == 0 || s != idx[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// slotsBad is slots with the sort removed — the seeded violation.
+func (t *table) slotsBad(oids []oid.OID) []int {
+	idx := make([]int, 0, len(oids))
+	for _, o := range oids {
+		idx = append(idx, t.slot(o))
+	}
+	return idx
+}
+
+// lock acquires in slots order: clean.
+func (t *table) lock(oids []oid.OID) func() {
+	idx := t.slots(oids)
+	for _, s := range idx {
+		t.mus[s].Lock()
+	}
+	return func() {
+		for i := len(idx) - 1; i >= 0; i-- {
+			t.mus[idx[i]].Unlock()
+		}
+	}
+}
+
+// lockBad draws slots from the unsorted builder: flagged at the
+// acquisition.
+func (t *table) lockBad(oids []oid.OID) {
+	idx := t.slotsBad(oids)
+	for _, s := range idx {
+		t.mus[s].Lock() // want "drawn from an unsorted slot set"
+	}
+}
+
+// lockManualSort re-establishes sortedness in the caller: clean.
+func (t *table) lockManualSort(oids []oid.OID) {
+	idx := t.slotsBad(oids)
+	sort.Ints(idx)
+	for _, s := range idx {
+		t.mus[s].Lock()
+	}
+}
+
+// lockAllAscending indexes by the range key, which ascends by
+// construction: clean.
+func (t *table) lockAllAscending() {
+	for i := range t.mus {
+		t.mus[i].Lock()
+	}
+}
+
+// lockSlots acquires in argument order, so callers owe it a sorted set —
+// the obligation is exported as a fact and enforced at call sites.
+func (t *table) lockSlots(idx []int) {
+	for _, s := range idx {
+		t.mus[s].Lock()
+	}
+}
+
+func useGood(t *table, oids []oid.OID) {
+	t.lockSlots(t.slots(oids))
+}
+
+func useBad(t *table, oids []oid.OID) {
+	t.lockSlots(t.slotsBad(oids)) // want "argument must be a sorted, deduplicated slot set"
+}
+
+// store owns a latch table: mutations must hold the latch.
+type store struct {
+	latches *pmem.LatchTable
+	sh      *pmem.Sharded
+	pool    *pmem.Pool
+	anchor  oid.OID
+}
+
+// addGood latches before opening the transaction.
+func (s *store) addGood() error {
+	defer s.latches.Lock(s.anchor)()
+	return s.sh.Tx(s.pool, nil, func(t *pmem.Tx) error { return nil })
+}
+
+// addBad mutates with no latch on the path.
+func (s *store) addBad() error {
+	return s.sh.Tx(s.pool, nil, func(t *pmem.Tx) error { return nil }) // want "heap mutation in a latch-owning type without holding the structure latch"
+}
+
+// readOK: views need no latch.
+func (s *store) readOK() error {
+	return s.sh.View([]oid.PoolID{s.pool.ID()}, func() error { return nil })
+}
+
+// addHalfLatched latches on only one branch: the join demotes to
+// not-held (must-analysis).
+func (s *store) addHalfLatched(cond bool) error {
+	var u func()
+	if cond {
+		u = s.latches.Lock(s.anchor)
+		defer u()
+	}
+	return s.sh.Tx(s.pool, nil, func(t *pmem.Tx) error { return nil }) // want "heap mutation in a latch-owning type without holding the structure latch"
+}

@@ -1,0 +1,99 @@
+// Fixture for the noalloc analyzer: //potlint:noalloc-annotated functions
+// contain no allocating constructs; error construction is exempt; deliberate
+// amortized growth is suppressed with //potlint:allow.
+package noalloc
+
+import "fmt"
+
+// copyInto has no allocating constructs.
+//
+//potlint:noalloc
+func copyInto(dst *[16]byte, src []byte) int {
+	return copy(dst[:], src)
+}
+
+// growBad appends on the hot path — the seeded wire-path violation.
+//
+//potlint:noalloc
+func growBad(buf []byte, extra byte) []byte {
+	buf = append(buf, extra) // want "append may grow its backing array"
+	return buf
+}
+
+// makeBad allocates outright.
+//
+//potlint:noalloc
+func makeBad(n int) []byte {
+	return make([]byte, n) // want "make allocates"
+}
+
+// concatBad builds a string.
+//
+//potlint:noalloc
+func concatBad(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// closureBad captures into a heap-allocated closure.
+//
+//potlint:noalloc
+func closureBad(n int) func() int {
+	return func() int { return n } // want "function literal"
+}
+
+// boxBad boxes an int into an interface parameter.
+//
+//potlint:noalloc
+func boxBad(n int) {
+	sink(n) // want "argument boxed into an interface parameter"
+}
+
+func sink(v any) { _ = v }
+
+// convBad converts between string and []byte.
+//
+//potlint:noalloc
+func convBad(s string) []byte {
+	return []byte(s) // want "string to \\[\\]byte"
+}
+
+// errPathOK: error construction is the cold failure path and is exempt,
+// including the boxing of Errorf's arguments.
+//
+//potlint:noalloc
+func errPathOK(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative length %d", n)
+	}
+	return nil
+}
+
+// callsAllocator calls a module function whose summary says it allocates.
+//
+//potlint:noalloc
+func callsAllocator(n int) []int {
+	return build(n) // want "calls build which allocates"
+}
+
+func build(n int) []int { return make([]int, n) }
+
+// callsAnnotated trusts an annotated callee (checked on its own).
+//
+//potlint:noalloc
+func callsAnnotated(dst *[16]byte, src []byte) int {
+	return copyInto(dst, src)
+}
+
+// suppressedGrowth keeps a deliberate amortized append under an allow
+// directive: no finding.
+//
+//potlint:noalloc
+func suppressedGrowth(dst []byte, b byte) []byte {
+	dst = append(dst, b) //potlint:allow noalloc amortized growth of a caller-owned buffer
+	return dst
+}
+
+// unannotated functions are not checked.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}

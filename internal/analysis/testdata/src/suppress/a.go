@@ -1,0 +1,30 @@
+// Fixture for the //potlint:allow suppression directive (exercised by
+// TestSuppressions directly rather than through want comments, because an
+// allow directive is itself a comment and cannot share a line with a want
+// expectation).
+package suppress
+
+// grow keeps a deliberate amortized append: the allow silences the
+// noalloc finding on its line.
+//
+//potlint:noalloc
+func grow(dst []byte, b byte) []byte {
+	dst = append(dst, b) //potlint:allow noalloc amortized doubling
+	return dst
+}
+
+// fine has no finding, so its allow is stale and reported as unused.
+//
+//potlint:noalloc
+func fine(a, b int) int {
+	//potlint:allow noalloc stale allowance
+	return a + b
+}
+
+// missing suppresses a real finding but omits the mandatory reason.
+//
+//potlint:noalloc
+func missing(dst []byte, b byte) []byte {
+	dst = append(dst, b) //potlint:allow noalloc
+	return dst
+}

@@ -18,6 +18,8 @@ import (
 
 // bpProbe positions a walk at the leaf for key: it returns the leaf's Ref,
 // its key count, and the position of the first key >= key.
+//
+//potlint:noalloc
 func (t *BPlus) bpProbe(ctx Ctx, key uint64) (ref pmem.Ref, n, pos int, ok bool, err error) {
 	rootW, err := t.rootOID()
 	if err != nil {
@@ -85,6 +87,8 @@ func (t *BPlus) bpProbe(ctx Ctx, key uint64) (ref pmem.Ref, n, pos int, ok bool,
 
 // FindFast is Find without the path materialization: zero heap allocations
 // on hit and miss alike.
+//
+//potlint:noalloc
 func (t *BPlus) FindFast(ctx Ctx, key uint64) (uint64, bool, error) {
 	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, key)
 	if err != nil || !nonEmpty || pos >= n {
@@ -108,6 +112,8 @@ func (t *BPlus) FindFast(ctx Ctx, key uint64) (uint64, bool, error) {
 // leaf through ctx.Touch and storing only the value slot. It reports
 // whether the key was present; when it is and the caller's transaction
 // machinery is allocation-free, the whole overwrite is too.
+//
+//potlint:noalloc
 func (t *BPlus) UpdateFast(ctx Ctx, key, val uint64) (bool, error) {
 	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, key)
 	if err != nil || !nonEmpty || pos >= n {
@@ -133,6 +139,8 @@ func (t *BPlus) UpdateFast(ctx Ctx, key, val uint64) (bool, error) {
 // caller): up to max pairs with key >= from, in key order along the leaf
 // chain. Zero heap allocations once dst's capacity has grown to the
 // steady-state result size.
+//
+//potlint:noalloc
 func (t *BPlus) ScanAppend(ctx Ctx, dst []KV, from uint64, max int) ([]KV, error) {
 	ref, n, pos, nonEmpty, err := t.bpProbe(ctx, from)
 	if err != nil || !nonEmpty {
@@ -150,7 +158,7 @@ func (t *BPlus) ScanAppend(ctx Ctx, dst []KV, from uint64, max int) ([]KV, error
 			if err != nil {
 				return dst, err
 			}
-			dst = append(dst, KV{kw.V, vw.V})
+			dst = append(dst, KV{kw.V, vw.V}) //potlint:allow noalloc caller reuses dst; growth stops at the steady-state result size
 		}
 		if len(dst)-start >= max {
 			break
@@ -181,6 +189,8 @@ func (t *BPlus) ScanAppend(ctx Ctx, dst []KV, from uint64, max int) ([]KV, error
 // Prime warms the volatile root cache. Call it once while the tree is not
 // yet shared: concurrent readers under a shared (read) lock must not race
 // to fill the cache.
+//
+//potlint:noalloc
 func (t *BPlus) Prime() error {
 	_, err := t.rootOID()
 	return err

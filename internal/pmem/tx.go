@@ -200,6 +200,8 @@ func (h *Heap) TxBegin(p *Pool) error {
 
 // logAppend writes one record into the log, persists it, then publishes it
 // by bumping and persisting the count.
+//
+//potlint:noalloc
 func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) error {
 	h, st := t.h, t.st
 	padded := (uint32(len(data)) + 7) &^ 7
@@ -230,7 +232,7 @@ func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) er
 			if uint32(cap(buf)) >= padded {
 				buf = buf[:padded]
 			} else {
-				buf = make([]byte, padded)
+				buf = make([]byte, padded) //potlint:allow noalloc only a foreign caller pays the padded copy; AddRange hands in an arena carve
 				copy(buf, data)
 			}
 		}
@@ -262,7 +264,7 @@ func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) er
 		// buffer); both live as long as the record does, so no copy.
 		rcd.old = data
 	}
-	st.records = append(st.records, rcd)
+	st.records = append(st.records, rcd) //potlint:allow noalloc record mirror is recycled across transactions; growth is amortized
 	atomic.AddUint64(&h.Metrics.UndoRecords, 1)
 	atomic.AddUint64(&h.Metrics.UndoBytes, recHeaderBytes+uint64(padded))
 	return nil
@@ -271,6 +273,8 @@ func (t *Tx) logAppend(kind uint64, target oid.OID, size uint32, data []byte) er
 // AddRange snapshots [o, o+size) into the undo log. Call it before
 // modifying the range; commit makes the new contents durable, abort or
 // recovery restores the snapshot.
+//
+//potlint:noalloc
 func (t *Tx) AddRange(o oid.OID, size uint32) error {
 	src, err := t.h.Deref(o, isa.RZ)
 	if err != nil {
@@ -279,7 +283,7 @@ func (t *Tx) AddRange(o oid.OID, size uint32) error {
 	// Carve the snapshot from the transaction's arena, padded to the log's
 	// 8-byte record granularity so logAppend can write it without a copy.
 	padded := int((size + 7) &^ 7)
-	old := t.st.scratch(padded)[:size]
+	old := t.st.scratch(padded)[:size] //potlint:allow noalloc arena doubles rarely; carves are recycled with the transaction
 	if err := src.ReadBytes(0, old); err != nil {
 		return err
 	}
@@ -391,9 +395,11 @@ outer:
 // metadata of every pool that served an allocation is persisted, deferred
 // frees are applied durably under a committed-state marker, and the log is
 // truncated. On error the transaction stays open.
+//
+//potlint:noalloc
 func (t *Tx) Commit() error {
 	h, st := t.h, t.st
-	allocPools, err := h.resolveAllocPools(st, "tx_end")
+	allocPools, err := h.resolveAllocPools(st, "tx_end") //potlint:allow noalloc alloc-pool set is recycled with the tx state; growth is amortized
 	if err != nil {
 		return err
 	}
@@ -415,7 +421,7 @@ func (t *Tx) Commit() error {
 			// The slot's occupancy bit (set volatile at Alloc) must reach
 			// durability with the commit: persist the span's bitmap word.
 			ap := h.open[r.oid.Pool()]
-			if idx, _, ok := ap.alloc.lookup(r.oid.Offset()); ok {
+			if idx, _, ok := ap.alloc.lookup(r.oid.Offset()); ok { //potlint:allow noalloc lookup's search closure does not escape
 				bmOID := ap.OID(ap.alloc.spans[idx].base + spanOffBitmap)
 				if err := h.persistNoFence(bmOID, 8); err != nil {
 					return err
@@ -436,7 +442,7 @@ func (t *Tx) Commit() error {
 		// One fence covers every range this transaction touched — and, in
 		// concurrent mode, every simultaneously-committing transaction's
 		// ranges too (group commit, see Heap.fence).
-		h.fence()
+		h.fence() //potlint:allow noalloc group-commit bookkeeping boxes a waiter only when commits overlap
 	}
 	if hasFree {
 		// Commit point with deferred work: once the committed marker is
@@ -457,7 +463,7 @@ func (t *Tx) Commit() error {
 		return err
 	}
 	h.releaseTx(t)
-	h.recycleTx(t)
+	h.recycleTx(t) //potlint:allow noalloc tx free list grows amortized to the peak concurrency
 	atomic.AddUint64(&h.Metrics.TxCommits, 1)
 	return nil
 }

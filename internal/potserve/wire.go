@@ -105,12 +105,14 @@ func ReadFrame(r io.Reader) ([]byte, error) { return ReadFrameInto(r, nil) }
 // backing array when it fits, allocating only when the frame outgrows every
 // previous one on the connection. The returned slice aliases buf; it is
 // valid until the next ReadFrameInto with the same buffer.
+//
+//potlint:noalloc
 func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	// The length prefix is read through buf as well: a stack [4]byte would
 	// escape into the io.ReadFull interface call and cost one heap
 	// allocation per frame.
 	if cap(buf) < 4 {
-		buf = make([]byte, 4, 512)
+		buf = make([]byte, 4, 512) //potlint:allow noalloc first frame on a connection seeds the reusable buffer
 	}
 	hdr := buf[:4]
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -121,7 +123,7 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, n)
 	}
 	if uint32(cap(buf)) < n {
-		buf = make([]byte, n)
+		buf = make([]byte, n) //potlint:allow noalloc amortized regrowth when a frame outgrows every previous one
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
@@ -131,6 +133,8 @@ func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 }
 
 // WriteFrame writes body as one length-prefixed frame.
+//
+//potlint:noalloc
 func WriteFrame(w io.Writer, body []byte) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("%w (%d bytes)", ErrFrameTooBig, len(body))
@@ -148,9 +152,11 @@ func WriteFrame(w io.Writer, body []byte) error {
 // body — to dst. Batching frames into one buffer and writing it with a
 // single conn.Write is the vectored alternative to WriteFrame's
 // write-header-then-body, and allocates nothing once dst has capacity.
+//
+//potlint:noalloc
 func AppendRequestFrame(dst []byte, req Request) ([]byte, error) {
 	hdr := len(dst)
-	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, 0, 0, 0, 0) //potlint:allow noalloc amortized growth of the caller-owned batch buffer
 	out, err := AppendRequest(dst, req)
 	if err != nil {
 		return dst[:hdr], err
@@ -164,9 +170,11 @@ func AppendRequestFrame(dst []byte, req Request) ([]byte, error) {
 }
 
 // AppendResponseFrame is AppendRequestFrame for responses.
+//
+//potlint:noalloc
 func AppendResponseFrame(dst []byte, op byte, resp Response) ([]byte, error) {
 	hdr := len(dst)
-	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, 0, 0, 0, 0) //potlint:allow noalloc amortized growth of the caller-owned batch buffer
 	out, err := AppendResponse(dst, op, resp)
 	if err != nil {
 		return dst[:hdr], err
@@ -186,12 +194,14 @@ type reader struct {
 	err error
 }
 
+//potlint:noalloc
 func (r *reader) fail(what string) {
 	if r.err == nil {
 		r.err = fmt.Errorf("potserve: malformed frame: %s", what)
 	}
 }
 
+//potlint:noalloc
 func (r *reader) u8() byte {
 	if r.err != nil {
 		return 0
@@ -205,6 +215,7 @@ func (r *reader) u8() byte {
 	return v
 }
 
+//potlint:noalloc
 func (r *reader) u16() uint16 {
 	if r.err != nil {
 		return 0
@@ -218,6 +229,7 @@ func (r *reader) u16() uint16 {
 	return v
 }
 
+//potlint:noalloc
 func (r *reader) u32() uint32 {
 	if r.err != nil {
 		return 0
@@ -231,6 +243,7 @@ func (r *reader) u32() uint32 {
 	return v
 }
 
+//potlint:noalloc
 func (r *reader) u64() uint64 {
 	if r.err != nil {
 		return 0
@@ -245,16 +258,20 @@ func (r *reader) u64() uint64 {
 }
 
 // done errors on trailing bytes, so every request has exactly one encoding.
+//
+//potlint:noalloc
 func (r *reader) done() error {
 	if r.err == nil && len(r.buf) != 0 {
-		r.fail(fmt.Sprintf("%d trailing bytes", len(r.buf)))
+		r.fail(fmt.Sprintf("%d trailing bytes", len(r.buf))) //potlint:allow noalloc cold malformed-input path
 	}
 	return r.err
 }
 
 // AppendRequest appends req's wire encoding (frame body only) to dst.
+//
+//potlint:noalloc
 func AppendRequest(dst []byte, req Request) ([]byte, error) {
-	dst = append(dst, req.Op)
+	dst = append(dst, req.Op) //potlint:allow noalloc amortized growth of the caller-owned buffer
 	switch req.Op {
 	case OpGet, OpDel:
 		dst = binary.BigEndian.AppendUint64(dst, req.Key)
@@ -277,7 +294,7 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			if op.Del {
 				kind = TxDel
 			}
-			dst = append(dst, kind)
+			dst = append(dst, kind) //potlint:allow noalloc amortized growth of the caller-owned buffer
 			dst = binary.BigEndian.AppendUint64(dst, op.Key)
 			dst = binary.BigEndian.AppendUint64(dst, op.Val)
 		}
@@ -307,6 +324,8 @@ func DecodeRequest(body []byte) (Request, error) {
 // nothing once the scratch has grown to the largest batch seen. On return
 // req.Ops always carries the scratch (possibly length 0); on error the
 // other fields are zeroed.
+//
+//potlint:noalloc
 func DecodeRequestInto(body []byte, req *Request) error {
 	ops := req.Ops[:0]
 	*req = Request{Ops: ops}
@@ -322,24 +341,25 @@ func DecodeRequestInto(body []byte, req *Request) error {
 		req.From = r.u64()
 		req.Max = r.u32()
 		if r.err == nil && req.Max > MaxScan {
-			r.fail(fmt.Sprintf("scan max %d exceeds %d", req.Max, MaxScan))
+			r.fail(fmt.Sprintf("scan max %d exceeds %d", req.Max, MaxScan)) //potlint:allow noalloc cold malformed-input path
 		}
 	case OpTx:
 		n := int(r.u16())
 		// A TX entry is 17 bytes; reject counts the remaining bytes cannot
 		// hold before allocating.
 		if r.err == nil && len(r.buf) != n*17 {
-			r.fail(fmt.Sprintf("tx count %d does not match %d payload bytes", n, len(r.buf)))
+			r.fail(fmt.Sprintf("tx count %d does not match %d payload bytes", n, len(r.buf))) //potlint:allow noalloc cold malformed-input path
 		}
 		if r.err == nil && n > 0 {
 			if cap(ops) < n {
-				ops = make([]objstore.BatchOp, 0, n)
+				ops = make([]objstore.BatchOp, 0, n) //potlint:allow noalloc scratch grows once to the largest batch seen
 			}
 			for i := 0; i < n; i++ {
 				kind := r.u8()
 				if r.err == nil && kind != TxPut && kind != TxDel {
-					r.fail(fmt.Sprintf("tx entry %d: unknown kind %d", i, kind))
+					r.fail(fmt.Sprintf("tx entry %d: unknown kind %d", i, kind)) //potlint:allow noalloc cold malformed-input path
 				}
+				//potlint:allow noalloc appends within the capacity checked above
 				ops = append(ops, objstore.BatchOp{
 					Key: r.u64(),
 					Val: r.u64(),
@@ -350,7 +370,7 @@ func DecodeRequestInto(body []byte, req *Request) error {
 		}
 	case OpPing:
 	default:
-		r.fail(fmt.Sprintf("unknown request op %d", req.Op))
+		r.fail(fmt.Sprintf("unknown request op %d", req.Op)) //potlint:allow noalloc cold malformed-input path
 	}
 	if err := r.done(); err != nil {
 		*req = Request{Ops: ops[:0]}
@@ -361,10 +381,12 @@ func DecodeRequestInto(body []byte, req *Request) error {
 
 // AppendResponse appends resp's wire encoding (frame body only) to dst. The
 // originating op selects the payload shape, mirroring DecodeResponse.
+//
+//potlint:noalloc
 func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
-	dst = append(dst, resp.Status)
+	dst = append(dst, resp.Status) //potlint:allow noalloc amortized growth of the caller-owned buffer
 	if resp.Status == StatusErr {
-		return append(dst, resp.Msg...), nil
+		return append(dst, resp.Msg...), nil //potlint:allow noalloc error responses are the cold path
 	}
 	if resp.Status != StatusOK {
 		return dst, nil
@@ -377,7 +399,7 @@ func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
 		if resp.Created {
 			created = 1
 		}
-		dst = append(dst, created)
+		dst = append(dst, created) //potlint:allow noalloc amortized growth of the caller-owned buffer
 	case OpScan:
 		if len(resp.KVs) > MaxScan {
 			return nil, fmt.Errorf("potserve: scan result %d exceeds %d", len(resp.KVs), MaxScan)
@@ -412,6 +434,8 @@ func DecodeResponse(op byte, body []byte) (Response, error) {
 // scan scratch. On return resp.KVs always carries the scratch (possibly
 // length 0); the decoded pairs are invalidated by the next call with the
 // same Response.
+//
+//potlint:noalloc
 func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 	kvs := resp.KVs[:0]
 	*resp = Response{KVs: kvs}
@@ -420,11 +444,11 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 	switch {
 	case r.err != nil:
 	case resp.Status == StatusErr:
-		resp.Msg = string(r.buf)
+		resp.Msg = string(r.buf) //potlint:allow noalloc error responses materialize their message on the cold path
 		r.buf = nil
 	case resp.Status == StatusNotFound:
 	case resp.Status != StatusOK:
-		r.fail(fmt.Sprintf("unknown status %d", resp.Status))
+		r.fail(fmt.Sprintf("unknown status %d", resp.Status)) //potlint:allow noalloc cold malformed-input path
 	default:
 		switch op {
 		case OpGet:
@@ -434,20 +458,20 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 		case OpScan:
 			n := int(r.u32())
 			if r.err == nil && (n > MaxScan || len(r.buf) != n*16) {
-				r.fail(fmt.Sprintf("scan count %d does not match %d payload bytes", n, len(r.buf)))
+				r.fail(fmt.Sprintf("scan count %d does not match %d payload bytes", n, len(r.buf))) //potlint:allow noalloc cold malformed-input path
 			}
 			if r.err == nil && n > 0 {
 				if cap(kvs) < n {
-					kvs = make([]pds.KV, 0, n)
+					kvs = make([]pds.KV, 0, n) //potlint:allow noalloc scratch grows once to the largest scan seen
 				}
 				for i := 0; i < n; i++ {
-					kvs = append(kvs, pds.KV{Key: r.u64(), Val: r.u64()})
+					kvs = append(kvs, pds.KV{Key: r.u64(), Val: r.u64()}) //potlint:allow noalloc appends within the capacity checked above
 				}
 				resp.KVs = kvs
 			}
 		case OpDel, OpTx, OpPing:
 		default:
-			r.fail(fmt.Sprintf("unknown response op %d", op))
+			r.fail(fmt.Sprintf("unknown response op %d", op)) //potlint:allow noalloc cold malformed-input path
 		}
 	}
 	if err := r.done(); err != nil {
