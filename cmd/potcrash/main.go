@@ -30,6 +30,7 @@ import (
 	"potgo/internal/harness"
 	"potgo/internal/nvmsim"
 	"potgo/internal/obs"
+	"potgo/internal/pmem"
 )
 
 func main() {
@@ -53,6 +54,10 @@ func main() {
 		concurrent  = flag.Bool("concurrent", false, "run the concurrent campaign: crash a multi-worker workload on the sharded heap (-workers/-shards; -ops is per worker, -points crash points)")
 		workers     = flag.Int("workers", 4, "concurrent campaign: worker goroutines")
 		shards      = flag.Int("shards", 4, "concurrent campaign: heap lock shards")
+		corruptK    = flag.Int("corrupt-k", 0, "repair campaign: single-bit media faults per round (>0 selects the corrupt-scrub-verify campaign)")
+		corruptMode = flag.String("corrupt-mode", "detect", "repair campaign fault flavor: detect (payload bits) or silent (checksum/parity bits)")
+		scrubCrash  = flag.Bool("scrub", false, "repair campaign: arm a power failure inside each round's scrub pass (-points rounds)")
+		mutNoParity = flag.Bool("mutate-no-parity", false, "bug injection: let the parity column go stale under part of the workload (repair campaign must fail)")
 	)
 	flag.Parse()
 
@@ -122,6 +127,11 @@ func main() {
 			}
 		}
 		os.Exit(status(false, *expectFail))
+	}
+
+	if *corruptK > 0 || *mutNoParity || *scrubCrash {
+		os.Exit(runRepair(reg, opt, *corruptK, *corruptMode, *scrubCrash, *mutNoParity,
+			*shards, *ops, *points, *expectFail, *benchPath, *metricsOut))
 	}
 
 	targets, err := selectTargets(*targetsFlag, *seed)
@@ -209,6 +219,95 @@ func main() {
 	}
 
 	os.Exit(status(failures > 0, *expectFail))
+}
+
+// runRepair drives the media-fault repair campaign: inject -corrupt-k
+// single-bit faults per round, scrub, and verify byte-exact recovery
+// (crashing mid-scrub when -scrub is set). It returns the process exit
+// status with -expect-failure folded in.
+func runRepair(reg *obs.Registry, opt crashtest.Options, k int, mode string, scrubCrash, noParity bool,
+	shards, ops, points int, expectFail bool, benchPath, metricsOut string) int {
+	ropt := crashtest.DefaultRepairOptions()
+	ropt.Seed = opt.Seed
+	ropt.Shards = shards
+	ropt.Obs = reg
+	ropt.Policies = opt.Policies
+	if k > 0 {
+		ropt.K = k
+	} else if noParity {
+		ropt.K = 6 // the mutation check wants enough faults to hit a stale group
+	}
+	if ops > 0 {
+		ropt.Ops = ops
+	}
+	m, err := pmem.ParseCorruptMode(mode)
+	if err != nil {
+		fatal(err)
+	}
+	ropt.Mode = m
+	ropt.NoParity = noParity
+	if scrubCrash {
+		ropt.CrashMidScrub = true
+		if points > 1 {
+			ropt.Rounds = points
+		}
+	}
+
+	start := time.Now()
+	sum, err := crashtest.RunRepair(ropt)
+	wall := time.Since(start).Seconds()
+	failed := err != nil
+	if failed {
+		fmt.Printf("repair campaign: FAIL: %v (summary %+v)\n", err, sum)
+	} else {
+		fmt.Printf("repair campaign: %d rounds x %d faults (%s), %d repaired + %d parity, %d crashes fired, scrub span %d events (%.1fs)\n",
+			sum.Rounds, ropt.K, mode, sum.Repaired, sum.ParityRepaired, sum.Fired, sum.ScrubSpan, wall)
+	}
+
+	if benchPath != "" && !failed {
+		plainNs, verifyNs, err := harness.MeasureVerifyOverhead(ropt.Keys, 50000, ropt.Seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("get path: %.0f ns plain, %.0f ns verified (+%.1f%%)\n",
+			plainNs, verifyNs, 100*(verifyNs-plainNs)/plainNs)
+		rec := harness.RepairRecord{
+			Timestamp:      time.Now().UTC().Format(time.RFC3339),
+			GitSHA:         gitSHA(),
+			GoVersion:      runtime.Version(),
+			NumCPU:         runtime.NumCPU(),
+			Seed:           ropt.Seed,
+			K:              ropt.K,
+			Mode:           mode,
+			Rounds:         ropt.Rounds,
+			Keys:           ropt.Keys,
+			Ops:            ropt.Ops,
+			CrashMidScrub:  ropt.CrashMidScrub,
+			Injected:       sum.Injected,
+			Repaired:       sum.Repaired,
+			ParityRepaired: sum.ParityRepaired,
+			Unrepairable:   sum.Unrepairable,
+			Fired:          sum.Fired,
+			ScrubSpan:      sum.ScrubSpan,
+			WallSeconds:    wall,
+			GetNsPlain:     plainNs,
+			GetNsVerify:    verifyNs,
+		}
+		switch err := harness.AppendRepairRecord(benchPath, rec); {
+		case err == nil:
+			fmt.Printf("appended trajectory record to %s\n", benchPath)
+		case strings.Contains(err.Error(), harness.ErrDuplicateRepairRecord.Error()):
+			fmt.Fprintf(os.Stderr, "potcrash: %v (not recording)\n", err)
+		default:
+			fatal(err)
+		}
+	}
+	if metricsOut != "" {
+		if err := reg.WriteFile(metricsOut); err != nil {
+			fatal(err)
+		}
+	}
+	return status(failed, expectFail)
 }
 
 // replay reproduces one recorded case and reports whether it still fails.

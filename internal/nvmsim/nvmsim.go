@@ -61,6 +61,15 @@ type Memory interface {
 	// WriteDurableWords writes the 8-byte words of src selected by mask
 	// (bit i = word i) into the durable view of the line.
 	WriteDurableWords(pool, off uint32, src *[LineBytes]byte, mask byte)
+	// ReadDurableLine copies the line's durable-view content into dst. It
+	// reports false when the pool is no longer mapped. The media-fault
+	// injector uses it to flip bits in what actually survives a crash.
+	ReadDurableLine(pool, off uint32, dst *[LineBytes]byte) bool
+	// WriteCacheLine overwrites the line's cache-view content from src.
+	// It reports false when the pool is no longer mapped. The media-fault
+	// injector uses it to make a flip in a *clean* line visible to the
+	// running program too: a clean line's next load refills from media.
+	WriteCacheLine(pool, off uint32, src *[LineBytes]byte) bool
 }
 
 // CrashSignal is the panic payload thrown when an armed Domain reaches its
@@ -120,6 +129,8 @@ type Domain struct {
 	// bufFree recycles drained snapshot buffers: the steady-state commit
 	// loop (CLWB lines, fence, repeat) then allocates nothing.
 	bufFree []*[LineBytes]byte
+	// flips holds armed media faults (see ArmFlip), sorted by event index.
+	flips []armedFlip
 }
 
 // maxFreeBufs bounds the snapshot-buffer free list (64 KiB of lines).
@@ -193,9 +204,18 @@ func (d *Domain) Clean(pool uint32) {
 }
 
 // step numbers one event and, when armed, crashes just before applying it.
+// Armed media faults (ArmFlip) land first: a flip scheduled at event i hits
+// the media just before event i is applied, so a crash armed at the same
+// index observes the corrupted bytes — exactly the ordering a replay token
+// that covers both must reproduce.
 func (d *Domain) step() {
 	if atomic.LoadUint32(&d.poisoned) != 0 {
 		panic(&CrashSignal{Event: d.events, Poisoned: true})
+	}
+	for len(d.flips) > 0 && d.flips[0].at <= d.events {
+		af := d.flips[0]
+		d.flips = d.flips[1:]
+		d.applyFlip(af.f, af.mem)
 	}
 	if d.armed && d.events == d.armAt {
 		d.armed = false

@@ -35,6 +35,22 @@ func (m *fakeMem) WriteDurableWords(pool, off uint32, src *[LineBytes]byte, mask
 	}
 }
 
+func (m *fakeMem) ReadDurableLine(pool, off uint32, dst *[LineBytes]byte) bool {
+	if pool != 1 || int(off)+LineBytes > len(m.durable) {
+		return false
+	}
+	copy(dst[:], m.durable[off:off+LineBytes])
+	return true
+}
+
+func (m *fakeMem) WriteCacheLine(pool, off uint32, src *[LineBytes]byte) bool {
+	if pool != 1 || int(off)+LineBytes > len(m.cache) {
+		return false
+	}
+	copy(m.cache[off:off+LineBytes], src[:])
+	return true
+}
+
 func (m *fakeMem) store(d *Domain, off uint32, b []byte) {
 	d.Store(1, off, uint32(len(b)))
 	copy(m.cache[off:], b)

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 
@@ -80,6 +81,30 @@ func CreateKV(sh *pmem.Sharded, prefix string) (*KV, error) {
 	return kv, nil
 }
 
+// CreateKVFT is CreateKV with media-fault tolerance: every shard pool
+// carries per-object checksums and a parity column, and the derived state
+// is rebuilt once after the non-transactional root setup so VerifyOnRead
+// and scrubbing can be enabled immediately. Subsequent Puts/Deletes
+// maintain checksums and parity inside their commit fences.
+func CreateKVFT(sh *pmem.Sharded, prefix string) (*KV, error) {
+	kv := &KV{sh: sh, shards: make([]kvShard, sh.Shards())}
+	for i := range kv.shards {
+		p, err := sh.CreateSizedFT(kvPoolName(prefix, i), kvPoolBytes, kvLogBytes)
+		if err != nil {
+			return nil, err
+		}
+		s, err := kvBind(sh, p)
+		if err != nil {
+			return nil, err
+		}
+		kv.shards[i] = s
+		if err := sh.RebuildFT(p); err != nil {
+			return nil, err
+		}
+	}
+	return kv, nil
+}
+
 // OpenKV reattaches to a previously created store: every pool is opened
 // first, then every undo log is recovered, so a multi-pool batch
 // interrupted by a crash rolls back completely before any tree is read.
@@ -110,14 +135,60 @@ func OpenKV(sh *pmem.Sharded, prefix string) (*KV, error) {
 // Sharded exposes the underlying sharded heap.
 func (kv *KV) Sharded() *pmem.Sharded { return kv.sh }
 
+// Reprime drops and refills every shard tree's volatile root cache.
+// A store reattached while its media still carried faults (OpenKV runs
+// before the post-crash scrub) may have cached a corrupt root pointer;
+// after the scrub repairs the bytes, Reprime flushes the poison out of
+// the volatile layer.
+func (kv *KV) Reprime() error {
+	for i := range kv.shards {
+		s := &kv.shards[i]
+		err := func() error {
+			kv.sh.LockPool(s.pool.ID())
+			defer kv.sh.UnlockPool(s.pool.ID())
+			s.tree.DropCache()
+			return s.tree.Prime()
+		}()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (kv *KV) shardOf(key uint64) *kvShard { return &kv.shards[key%uint64(len(kv.shards))] }
 
 // Get returns the value stored under key. Allocation-free: the request
-// path of potserve rides on it.
+// path of potserve rides on it. With VerifyOnRead enabled on a
+// fault-tolerant store, a checksum miss triggers one inline repair —
+// drop the read lock, rebuild the object from parity under the write
+// lock, retry — before the corruption is surfaced to the caller.
 func (kv *KV) Get(key uint64) (val uint64, ok bool, err error) {
 	s := kv.shardOf(key)
 	kv.sh.RLockPool(s.pool.ID())
 	val, ok, err = s.tree.FindFast(&s.rctx, key)
+	kv.sh.RUnlockPool(s.pool.ID())
+	if err != nil && errors.Is(err, pmem.ErrCorrupt) {
+		return kv.getRepair(s, key, err)
+	}
+	return val, ok, err
+}
+
+// getRepair is Get's cold path: repair the corrupt object named by the
+// error and retry the lookup once. An unrepairable object (or a second,
+// different corruption) surfaces as the final ErrCorrupt — never as
+// silently wrong data.
+func (kv *KV) getRepair(s *kvShard, key uint64, derefErr error) (uint64, bool, error) {
+	var ce *pmem.CorruptError
+	if !errors.As(derefErr, &ce) {
+		return 0, false, derefErr
+	}
+	repaired, err := kv.sh.RepairObject(ce.OID)
+	if err != nil || !repaired {
+		return 0, false, derefErr
+	}
+	kv.sh.RLockPool(s.pool.ID())
+	val, ok, err := s.tree.FindFast(&s.rctx, key)
 	kv.sh.RUnlockPool(s.pool.ID())
 	return val, ok, err
 }

@@ -54,6 +54,13 @@ func (t *BPlus) rootOID() (pmem.Word, error) {
 	return w, nil
 }
 
+// DropCache invalidates the volatile root cache so the next access
+// re-reads the anchor cell. Reattachment code paths that may have read
+// the anchor while the media was corrupt (mount before a scrub) call
+// this once the bytes are repaired: a poisoned cached OID otherwise
+// outlives the repair.
+func (t *BPlus) DropCache() { t.haveCache = false }
+
 // setRootOID writes the anchor (snapshotting via ctx) and refreshes the
 // cache.
 func (t *BPlus) setRootOID(ctx Ctx, v oid.OID) error {

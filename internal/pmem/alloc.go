@@ -46,6 +46,7 @@ const (
 // spanInfo is one carved span in the volatile index.
 type spanInfo struct {
 	base  uint32 // pool offset of the span header
+	hdr   uint16 // header size: 24, plus the checksum array in FT pools
 	class uint16
 	slots uint16
 }
@@ -54,12 +55,17 @@ func (s spanInfo) classSize() uint32 { return sizeClasses[s.class] }
 
 // end is the pool offset one past the span's last slot.
 func (s spanInfo) end() uint64 {
-	return uint64(s.base) + spanHeaderBytes + uint64(s.slots)*uint64(s.classSize())
+	return uint64(s.base) + uint64(s.hdr) + uint64(s.slots)*uint64(s.classSize())
 }
 
 // slotOff is the pool offset of slot i's payload.
 func (s spanInfo) slotOff(slot uint32) uint32 {
-	return s.base + spanHeaderBytes + slot*s.classSize()
+	return s.base + uint32(s.hdr) + slot*s.classSize()
+}
+
+// csumOff is the pool offset of slot i's stored CRC32C (FT spans only).
+func (s spanInfo) csumOff(slot uint32) uint32 {
+	return s.base + spanOffCsum + 4*slot
 }
 
 // allocState is a pool's volatile slab index: the span index sorted by base
@@ -79,14 +85,29 @@ func (st *allocState) lookup(off uint32) (spanIdx int, slot uint32, ok bool) {
 		return 0, 0, false
 	}
 	sp := st.spans[i-1]
-	if uint64(off) >= sp.end() || off < sp.base+spanHeaderBytes {
+	if uint64(off) >= sp.end() || off < sp.base+uint32(sp.hdr) {
 		return 0, 0, false
 	}
-	rel := off - sp.base - spanHeaderBytes
+	rel := off - sp.base - uint32(sp.hdr)
 	if rel%sp.classSize() != 0 {
 		return 0, 0, false
 	}
 	return i - 1, rel / sp.classSize(), true
+}
+
+// lookupAny is lookup without the slot-alignment requirement: any offset
+// inside a slot's payload resolves to that slot. Checksum maintenance uses
+// it, because undo records may snapshot interior ranges of an object.
+func (st *allocState) lookupAny(off uint32) (spanIdx int, slot uint32, ok bool) {
+	i := sort.Search(len(st.spans), func(i int) bool { return st.spans[i].base > off })
+	if i == 0 {
+		return 0, 0, false
+	}
+	sp := st.spans[i-1]
+	if uint64(off) >= sp.end() || off < sp.base+uint32(sp.hdr) {
+		return 0, 0, false
+	}
+	return i - 1, (off - sp.base - uint32(sp.hdr)) / sp.classSize(), true
 }
 
 // Alloc is pmalloc (paper Table 1): allocate size bytes in pool p and return
@@ -201,25 +222,29 @@ func (h *Heap) carveSpan(p *Pool, class int, classSize uint32) error {
 	if err != nil {
 		return err
 	}
+	ft := p.ft()
+	// Shrink-to-fit: the header grows with the slot count in FT pools
+	// (4 checksum bytes per slot), so fit is re-checked per candidate.
 	slots := classSlots[class]
-	avail := uint64(0)
-	if p.b.size > bump.V+spanHeaderBytes {
-		avail = p.b.size - bump.V - spanHeaderBytes
-	}
-	if max := uint32(avail / uint64(classSize)); max < slots {
-		slots = max
+	for slots > 0 {
+		need := uint64(spanHdrBytes(slots, ft)) + uint64(slots)*uint64(classSize)
+		if bump.V+need <= p.b.size {
+			break
+		}
+		slots--
 	}
 	if slots == 0 {
 		return fmt.Errorf("pmem: pool %q out of memory (%d requested, %d free)",
 			p.b.name, classSize, p.b.size-bump.V)
 	}
+	hdrBytes := spanHdrBytes(slots, ft)
 	base := uint32(bump.V)
-	newBump := bump.V + spanHeaderBytes + uint64(slots)*uint64(classSize)
+	newBump := bump.V + uint64(hdrBytes) + uint64(slots)*uint64(classSize)
 	h.Emit.Compute(6, bump.Reg)
 
 	// Write and persist the span header before anything references it.
 	span := h.DirectRef(p, base)
-	if err := span.Store64(spanOffWord0, spanWord0(class, slots), isa.RZ); err != nil {
+	if err := span.Store64(spanOffWord0, spanWord0(class, slots, ft), isa.RZ); err != nil {
 		return err
 	}
 	head, err := hdr.Load64(p.freeHeadOff(class))
@@ -234,8 +259,28 @@ func (h *Heap) carveSpan(p *Pool, class int, classSize uint32) error {
 	if err := span.Store64(spanOffBitmap, 0, isa.RZ); err != nil {
 		return err
 	}
-	if err := h.Persist(p.OID(base), spanHeaderBytes); err != nil {
-		return err
+	// FT spans: the checksum array starts explicitly zeroed — a fresh
+	// slot's stored CRC is defined garbage until its first commit fills it.
+	for off := uint32(spanOffCsum); off < hdrBytes; off += 8 {
+		if err := span.Store64(off, 0, isa.RZ); err != nil {
+			return err
+		}
+	}
+	if !ft {
+		if err := h.Persist(p.OID(base), hdrBytes); err != nil {
+			return err
+		}
+	} else {
+		// The header lines live in the parity-covered data region: fold
+		// their parity groups into the same fence.
+		if err := h.persistNoFence(p.OID(base), hdrBytes); err != nil {
+			return err
+		}
+		if err := h.ftSyncRangeNoFence(p, base, hdrBytes); err != nil {
+			return err
+		}
+		h.fence()
+		atomic.AddUint64(&h.Metrics.Persists, 1)
 	}
 
 	// Publish: advance the bump past the span and chain the span in, one
@@ -243,7 +288,7 @@ func (h *Heap) carveSpan(p *Pool, class int, classSize uint32) error {
 	if err := hdr.Store64(offBump, newBump, bump.Reg); err != nil {
 		return err
 	}
-	if err := hdr.Store64(p.freeHeadOff(class), uint64(base), isa.RZ); err != nil {
+	if err := hdr.Store64(p.freeHeadOff(class), uint64(base), isa.RZ); err != nil { //potlint:allow allocorder FT branch persists the span header under its own fence just above; only the naming differs
 		return err
 	}
 	if err := h.persistNoFence(p.OID(offBump), 8); err != nil {
@@ -256,7 +301,7 @@ func (h *Heap) carveSpan(p *Pool, class int, classSize uint32) error {
 	atomic.AddUint64(&h.Metrics.SpansCarved, 1)
 
 	st := p.alloc
-	sp := spanInfo{base: base, class: uint16(class), slots: uint16(slots)}
+	sp := spanInfo{base: base, hdr: uint16(hdrBytes), class: uint16(class), slots: uint16(slots)}
 	idx := uint32(len(st.spans))
 	st.spans = append(st.spans, sp)
 	for slot := int(slots) - 1; slot >= 0; slot-- {
@@ -359,10 +404,27 @@ func (h *Heap) freeDurable(o oid.OID) error {
 	if err := h.storeSlabBit(p, sp, slot, false); err != nil {
 		return err
 	}
-	if err := h.Persist(p.OID(sp.base+spanOffBitmap), 8); err != nil {
+	if err := h.persistBitmapFT(p, sp); err != nil {
 		return err
 	}
 	h.pushFree(p, o.Offset())
+	return nil
+}
+
+// persistBitmapFT persists a span's bitmap word under its own fence,
+// folding the word's parity group into the fence for FT pools.
+func (h *Heap) persistBitmapFT(p *Pool, sp spanInfo) error {
+	if !p.ft() {
+		return h.Persist(p.OID(sp.base+spanOffBitmap), 8)
+	}
+	if err := h.persistNoFence(p.OID(sp.base+spanOffBitmap), 8); err != nil {
+		return err
+	}
+	if err := h.ftSyncRangeNoFence(p, sp.base+spanOffBitmap, 8); err != nil {
+		return err
+	}
+	h.fence()
+	atomic.AddUint64(&h.Metrics.Persists, 1)
 	return nil
 }
 
@@ -390,7 +452,7 @@ func (h *Heap) recoverFree(o oid.OID) error {
 	if err := h.storeSlabBit(p, sp, slot, false); err != nil {
 		return err
 	}
-	if err := h.Persist(p.OID(sp.base+spanOffBitmap), 8); err != nil {
+	if err := h.persistBitmapFT(p, sp); err != nil {
 		return err
 	}
 	h.pushFree(p, o.Offset())
@@ -443,12 +505,16 @@ func (h *Heap) rebuildAllocState(p *Pool) error {
 					p.b.name, class, cur)
 			}
 			w0 := h.read64(p, uint32(cur))
-			c, slots, ok := parseSpanWord0(w0)
+			c, slots, ft, ok := parseSpanWord0(w0)
 			if !ok || c != class {
 				return fmt.Errorf("pmem: open %q: span %#x has bad header %#x (chain class %d)",
 					p.b.name, cur, w0, class)
 			}
-			sp := spanInfo{base: uint32(cur), class: uint16(class), slots: uint16(slots)}
+			if ft != p.ft() {
+				return fmt.Errorf("pmem: open %q: span %#x fault-tolerance flag %v does not match pool",
+					p.b.name, cur, ft)
+			}
+			sp := spanInfo{base: uint32(cur), hdr: uint16(spanHdrBytes(slots, ft)), class: uint16(class), slots: uint16(slots)}
 			if sp.end() > p.b.size {
 				return fmt.Errorf("pmem: open %q: span %#x (%d slots) overruns the pool",
 					p.b.name, cur, slots)

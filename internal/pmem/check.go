@@ -29,6 +29,9 @@ func (h *Heap) CheckPool(p *Pool) error {
 	if got := h.read64(p, offLogBytes); got != p.b.logBytes {
 		return fmt.Errorf("pmem: check %q: header log size %d != backing %d", p.b.name, got, p.b.logBytes)
 	}
+	if got := h.read64(p, offParityBytes); got != p.b.parityBytes {
+		return fmt.Errorf("pmem: check %q: header parity size %d != backing %d", p.b.name, got, p.b.parityBytes)
+	}
 	bump := h.read64(p, offBump)
 	if bump < p.dataStart() || bump > p.b.size {
 		return fmt.Errorf("pmem: check %q: bump %#x outside data region [%#x,%#x]",
@@ -67,12 +70,16 @@ func (h *Heap) CheckPool(p *Pool) error {
 			}
 			seen[cur] = class
 			w0 := h.read64(p, uint32(cur))
-			c, slots, ok := parseSpanWord0(w0)
+			c, slots, ft, ok := parseSpanWord0(w0)
 			if !ok || c != class {
 				return fmt.Errorf("pmem: check %q: span %#x has bad header %#x (chain class %d)",
 					p.b.name, cur, w0, class)
 			}
-			end := cur + spanHeaderBytes + uint64(slots)*uint64(sizeClasses[class])
+			if ft != p.ft() {
+				return fmt.Errorf("pmem: check %q: span %#x fault-tolerance bit %v != pool %v",
+					p.b.name, cur, ft, p.ft())
+			}
+			end := cur + uint64(spanHdrBytes(slots, ft)) + uint64(slots)*uint64(sizeClasses[class])
 			if end > bump {
 				return fmt.Errorf("pmem: check %q: span %#x (%d slots) overruns bump %#x",
 					p.b.name, cur, slots, bump)

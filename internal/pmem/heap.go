@@ -67,6 +67,19 @@ type Heap struct {
 	concurrent bool
 	nvMu       sync.Mutex
 	gc         groupCommit
+
+	// verifyOnRead makes Deref of an object in a fault-tolerant pool
+	// check its stored CRC32C first (see SetVerifyOnRead).
+	verifyOnRead bool
+	// txActive counts live transactions; VerifyOnRead stands down while
+	// any is open, because checksums are only recomputed at commit.
+	txActive int32
+	// ftNoParity disables parity-column maintenance — a deliberately
+	// injected bug for the CI mutation check (see MutateNoParity).
+	ftNoParity bool
+	// ftPools counts open fault-tolerant pools, so commit's checksum and
+	// parity maintenance costs one compare on heaps that have none.
+	ftPools int
 }
 
 // groupCommit coordinates group commit: concurrently-committing goroutines
@@ -275,7 +288,7 @@ func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
 	if size < MinPoolBytes(logBytes) {
 		return nil, fmt.Errorf("pmem: pool size %d below minimum %d", size, MinPoolBytes(logBytes))
 	}
-	b, err := h.Store.create(name, size, logBytes)
+	b, err := h.Store.create(name, size, logBytes, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +345,9 @@ func (h *Heap) mapPool(b *backing) (*Pool, error) {
 	p := &Pool{h: h, b: b, region: region, alloc: &allocState{}}
 	b.open = true
 	h.open[b.id] = p
+	if b.parityBytes != 0 {
+		h.ftPools++
+	}
 	h.NV.AddPool(uint32(b.id), b.size)
 	if h.Soft != nil {
 		if err := h.Soft.Register(b.id, region.Base); err != nil {
@@ -373,6 +389,9 @@ func (h *Heap) discardPool(p *Pool) error {
 	}
 	p.b.open = false
 	delete(h.open, p.b.id)
+	if p.b.parityBytes != 0 {
+		h.ftPools--
+	}
 	h.NV.DropPool(uint32(p.b.id))
 	h.clwbPool = nil
 	if h.Soft != nil {
@@ -597,6 +616,29 @@ func (h *Heap) WriteDurableWords(pool, off uint32, src *[nvmsim.LineBytes]byte, 
 	}
 }
 
+// ReadDurableLine copies a line's durable backing content (nvmsim.Memory);
+// the media-fault injector flips bits in what it reads here.
+func (h *Heap) ReadDurableLine(pool, off uint32, dst *[nvmsim.LineBytes]byte) bool {
+	p, ok := h.open[oid.PoolID(pool)]
+	if !ok || int(off)+nvmsim.LineBytes > len(p.b.data) {
+		return false
+	}
+	copy(dst[:], p.b.data[off:int(off)+nvmsim.LineBytes])
+	return true
+}
+
+// WriteCacheLine overwrites a line's mapped cache-view content
+// (nvmsim.Memory); the media-fault injector uses it to make a flip in a
+// clean line visible to the running program, modelling a load that
+// refilled the line from the corrupted media.
+func (h *Heap) WriteCacheLine(pool, off uint32, src *[nvmsim.LineBytes]byte) bool {
+	p, ok := h.open[oid.PoolID(pool)]
+	if !ok {
+		return false
+	}
+	return h.AS.WriteAt(p.region.Base+uint64(off), src[:]) == nil
+}
+
 // Word is a 64-bit value loaded from persistent memory together with the
 // register that holds it, so later emitted instructions can depend on it.
 type Word struct {
@@ -644,6 +686,11 @@ func (h *Heap) Deref(o oid.OID, oidReg isa.Reg) (Ref, error) {
 	va, err := h.vaOf(o)
 	if err != nil {
 		return Ref{}, err
+	}
+	if h.verifyOnRead {
+		if err := h.verifyOnDeref(o); err != nil {
+			return Ref{}, err
+		}
 	}
 	if h.Emit.Mode() == emit.Base {
 		vaReg, va2, err := h.Soft.Translate(oidReg, o)

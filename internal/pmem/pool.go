@@ -18,20 +18,23 @@ import (
 //	0x20  root object size
 //	0x28  log region size in bytes
 //	0x30  free-list heads, one word per size class
+//	0x78  parity region size in bytes (0 = no media-fault tolerance)
 //	...
-//	0x1000            undo log: [count][state][records...]
-//	0x1000+logBytes   object data
+//	0x1000                        undo log: [count][state][records...]
+//	0x1000+logBytes               XOR-parity column (fault-tolerant pools)
+//	0x1000+logBytes+parityBytes   object data
 const (
-	poolMagic   = 0x504f4f4c_474f4f44 // "POOLGOOD"
-	offMagic    = 0
-	offSize     = 8
-	offBump     = 16
-	offRootOff  = 24
-	offRootSize = 32
-	offLogBytes = 40
-	offFreeHead = 48 // + 8*class
-	headerBytes = vm.PageSize
-	logStart    = headerBytes
+	poolMagic      = 0x504f4f4c_474f4f44 // "POOLGOOD"
+	offMagic       = 0
+	offSize        = 8
+	offBump        = 16
+	offRootOff     = 24
+	offRootSize    = 32
+	offLogBytes    = 40
+	offFreeHead    = 48  // + 8*class
+	offParityBytes = 120 // first word past the free heads
+	headerBytes    = vm.PageSize
+	logStart       = headerBytes
 )
 
 // Undo-log region layout (offsets relative to logStart). The count word
@@ -57,36 +60,54 @@ var sizeClasses = [...]uint32{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 // word covers a span.
 var classSlots = [...]uint32{64, 64, 32, 16, 8, 4, 2, 1, 1}
 
-// Slab span on-media layout: a 24-byte header followed by slots*classSize
-// payload bytes.
+// Slab span on-media layout: a 24-byte header followed — in fault-tolerant
+// pools — by a per-slot CRC32C checksum array (4 bytes per slot, rounded up
+// to a whole word), then slots*classSize payload bytes.
 //
-//	word 0  spanMagic<<32 | slots<<8 | class
+//	word 0  spanMagic<<32 | ft<<24 | slots<<8 | class
 //	word 1  pool offset of the next span in this class's chain (0 = end)
 //	word 2  occupancy bitmap, bit i = slot i is allocated
+//	[ft]    checksum array: uint32 CRC32C of slot i's full payload
 const (
 	spanMagic       = 0x53504131 // "SPA1"
 	spanHeaderBytes = 24
 	spanOffWord0    = 0
 	spanOffNext     = 8
 	spanOffBitmap   = 16
+	spanOffCsum     = 24 // + 4*slot, fault-tolerant spans only
+	spanFTBit       = 1 << 24
 )
 
+// spanHdrBytes returns the full header size of a span: the fixed 24 bytes
+// plus, for fault-tolerant spans, the word-rounded checksum array.
+func spanHdrBytes(slots uint32, ft bool) uint32 {
+	if !ft {
+		return spanHeaderBytes
+	}
+	return spanHeaderBytes + (4*slots+7)&^7
+}
+
 // spanWord0 encodes a span header's first word.
-func spanWord0(class int, slots uint32) uint64 {
-	return uint64(spanMagic)<<32 | uint64(slots)<<8 | uint64(class)
+func spanWord0(class int, slots uint32, ft bool) uint64 {
+	w := uint64(spanMagic)<<32 | uint64(slots)<<8 | uint64(class)
+	if ft {
+		w |= spanFTBit
+	}
+	return w
 }
 
 // parseSpanWord0 decodes a span header word, rejecting bad magic or fields.
-func parseSpanWord0(w uint64) (class int, slots uint32, ok bool) {
+func parseSpanWord0(w uint64) (class int, slots uint32, ft, ok bool) {
 	if w>>32 != spanMagic {
-		return 0, 0, false
+		return 0, 0, false, false
 	}
 	class = int(w & 0xff)
 	slots = uint32(w>>8) & 0xffff
+	ft = w&spanFTBit != 0
 	if class >= len(sizeClasses) || slots == 0 || slots > 64 {
-		return 0, 0, false
+		return 0, 0, false, false
 	}
-	return class, slots, true
+	return class, slots, ft, true
 }
 
 // DefaultLogBytes is the default undo-log capacity per pool. Kept small so
@@ -119,8 +140,9 @@ func (p *Pool) Base() uint64 { return p.region.Base }
 // Size returns the pool size in bytes.
 func (p *Pool) Size() uint64 { return p.b.size }
 
-// dataStart is the offset of the first allocatable byte.
-func (p *Pool) dataStart() uint64 { return logStart + p.b.logBytes }
+// dataStart is the offset of the first allocatable byte (past the parity
+// column, which is empty for pools without media-fault tolerance).
+func (p *Pool) dataStart() uint64 { return logStart + p.b.logBytes + p.b.parityBytes }
 
 // LogBytes returns the pool's undo-log region capacity.
 func (p *Pool) LogBytes() uint64 { return p.b.logBytes }

@@ -1,0 +1,160 @@
+package pmem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"potgo/internal/isa"
+	"potgo/internal/obs"
+	"potgo/internal/oid"
+	"potgo/internal/randtest"
+)
+
+// shardedFTPool creates a fault-tolerant pool on a sharded heap and fills
+// it with n committed objects.
+func shardedFTPool(t *testing.T, s *Sharded, name string, n int) (*Pool, []oid.OID) {
+	t.Helper()
+	p, err := s.CreateSizedFT(name, 1<<20, DefaultLogBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]oid.OID, n)
+	for i := range objs {
+		err := s.Tx(p, nil, func(tx *Tx) error {
+			o, err := tx.Alloc(p, 256)
+			if err != nil {
+				return err
+			}
+			ref, err := s.h.Deref(o, isa.RZ)
+			if err != nil {
+				return err
+			}
+			for off := uint32(0); off < 256; off += 8 {
+				if err := ref.Store64(off, uint64(i)<<16|uint64(off), isa.RZ); err != nil {
+					return err
+				}
+			}
+			objs[i] = o
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, objs
+}
+
+func TestScrubberRepairsInBackground(t *testing.T) {
+	s := newTestSharded(t, 4)
+	_, _ = shardedFTPool(t, s, "ft", 32)
+	if err := s.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(randtest.Seed(t, 61))
+	t.Logf("corruption seed %d", seed)
+	faults, err := s.CorruptObjects(3, CorruptDetect, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sc, err := s.StartScrubber(200*time.Microsecond, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, passes := sc.Stats()
+		if st.Unrepairable > 0 {
+			t.Fatalf("background scrub: %+v", st)
+		}
+		if st.Repaired >= len(faults) && passes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scrubber did not repair %d faults in time: %+v", len(faults), st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sc.Stop()
+	if got := reg.Counter("scrub.repaired").Value(); got < uint64(len(faults)) {
+		t.Fatalf("scrub.repaired = %d, want >= %d", got, len(faults))
+	}
+	if got := reg.Counter("scrub.unrepairable").Value(); got != 0 {
+		t.Fatalf("scrub.unrepairable = %d, want 0", got)
+	}
+	// Everything verifies now.
+	s.SetVerifyOnRead(true)
+	st, err := s.ScrubAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repaired != 0 || st.Unrepairable != 0 || st.ParityRepaired != 0 {
+		t.Fatalf("post-repair scrub = %+v, want clean", st)
+	}
+}
+
+// TestScrubberStructuralInterleave races the background scrubber against
+// foreground transactions and stop-the-world structural operations; run
+// under -race this is the pause-protocol regression test.
+func TestScrubberStructuralInterleave(t *testing.T) {
+	s := newTestSharded(t, 4)
+	p, objs := shardedFTPool(t, s, "ft", 16)
+	sc, err := s.StartScrubber(100*time.Microsecond, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			o := objs[i%len(objs)]
+			err := s.Tx(p, nil, func(tx *Tx) error {
+				if err := tx.AddRange(o, 8); err != nil {
+					return err
+				}
+				ref, err := s.h.Deref(o, isa.RZ)
+				if err != nil {
+					return err
+				}
+				return ref.Store64(0, uint64(i), isa.RZ)
+			})
+			if err != nil {
+				t.Errorf("tx: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Structural churn: creates, closes, syncs and synchronous scrubs,
+	// each pausing the background scrubber around its all-shard lock.
+	for i := 0; i < 20; i++ {
+		q, err := s.CreateSizedFT("churn", 1<<18, DefaultLogBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SyncAll(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.ScrubAll(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(q); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Heap().Store.Delete("churn"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

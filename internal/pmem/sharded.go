@@ -40,6 +40,12 @@ type Sharded struct {
 	h       *Heap
 	nshards int
 	shards  []rwShard
+
+	// scrub is the background media scrubber, if one is running; scrubMu
+	// guards the slot. Structural operations pause it (stopTheWorld)
+	// before taking every shard lock.
+	scrubMu sync.Mutex
+	scrub   *Scrubber
 }
 
 // rwShard pads each lock to its own cache line so shard locks don't false-
@@ -239,37 +245,37 @@ func (s *Sharded) Tx(logPool *Pool, extra []oid.PoolID, fn func(*Tx) error) erro
 
 // Create makes a new pool with the default undo-log capacity.
 func (s *Sharded) Create(name string, size uint64) (*Pool, error) {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.Create(name, size)
 }
 
 // CreateSized is Create with an explicit undo-log capacity.
 func (s *Sharded) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.CreateSized(name, size, logBytes)
 }
 
 // Open maps a previously created pool.
 func (s *Sharded) Open(name string) (*Pool, error) {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.Open(name)
 }
 
 // Close unmaps a pool.
 func (s *Sharded) Close(p *Pool) error {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.Close(p)
 }
 
 // Recover replays a pool's undo log after a crash.
 func (s *Sharded) Recover(p *Pool) error {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.Recover(p)
 }
 
 // SyncAll flushes every pool's cache view to the durable store.
 func (s *Sharded) SyncAll() error {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.SyncAll()
 }
 
@@ -278,6 +284,6 @@ func (s *Sharded) SyncAll() error {
 // domain poison-stops any that race past the crash point, and Crash itself
 // runs stop-the-world.
 func (s *Sharded) Crash(pol nvmsim.Policy) (nvmsim.Report, error) {
-	defer s.lockAll()()
+	defer s.stopTheWorld()()
 	return s.h.Crash(pol)
 }

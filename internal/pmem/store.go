@@ -30,7 +30,11 @@ type backing struct {
 	data     []byte
 	size     uint64
 	logBytes uint64
-	open     bool
+	// parityBytes is the size of the XOR-parity column between the undo
+	// log and the data region; zero for pools created without media-fault
+	// tolerance. Immutable after create, like logBytes.
+	parityBytes uint64
+	open        bool
 }
 
 // Store is the durable home of every pool ever created — the moral
@@ -55,7 +59,7 @@ func (s *Store) Exists(name string) bool {
 // Pools returns the number of pools in the store.
 func (s *Store) Pools() int { return len(s.byName) }
 
-func (s *Store) create(name string, size, logBytes uint64) (*backing, error) {
+func (s *Store) create(name string, size, logBytes, parityBytes uint64) (*backing, error) {
 	if _, ok := s.byName[name]; ok {
 		return nil, fmt.Errorf("pmem: pool %q already exists", name)
 	}
@@ -63,11 +67,12 @@ func (s *Store) create(name string, size, logBytes uint64) (*backing, error) {
 		return nil, fmt.Errorf("pmem: pool id space exhausted")
 	}
 	b := &backing{
-		name:     name,
-		id:       oid.PoolID(s.nextID),
-		data:     make([]byte, size),
-		size:     size,
-		logBytes: logBytes,
+		name:        name,
+		id:          oid.PoolID(s.nextID),
+		data:        make([]byte, size),
+		size:        size,
+		logBytes:    logBytes,
+		parityBytes: parityBytes,
 	}
 	s.nextID++
 	s.byName[name] = b

@@ -74,6 +74,9 @@ type txState struct {
 	snap []byte
 	// allocPools is resolveAllocPools' reusable result slice.
 	allocPools []*Pool
+	// ftGroups is ftCommitSyncNoFence's reusable parity-group dedup scratch
+	// (keys pool<<32|group), so fault-tolerant commits allocate nothing.
+	ftGroups []uint64
 }
 
 // scratch carves n zeroed bytes from the snapshot arena. When the arena is
@@ -128,11 +131,15 @@ func (h *Heap) Begin(p *Pool) (*Tx, error) {
 		st.records = st.records[:0]
 		st.snap = st.snap[:0]
 		st.allocPools = st.allocPools[:0]
+		st.ftGroups = st.ftGroups[:0]
 	} else {
 		t = &Tx{h: h, st: &txState{pool: p, writeOff: logStart + logOffRecords}}
 	}
 	h.txs[p.b.id] = t
 	h.txMu.Unlock()
+	// VerifyOnRead stands down while any transaction is live: checksums
+	// are only brought up to date at commit.
+	atomic.AddInt32(&h.txActive, 1)
 	// A crash between the two truncation fences can leave a stale
 	// committed marker behind an empty log; clear it before this
 	// transaction publishes any record under it.
@@ -153,6 +160,7 @@ func (h *Heap) releaseTx(t *Tx) {
 	h.txMu.Lock()
 	if h.txs[t.st.pool.b.id] == t {
 		delete(h.txs, t.st.pool.b.id)
+		atomic.AddInt32(&h.txActive, -1)
 	}
 	h.txMu.Unlock()
 }
@@ -180,6 +188,7 @@ func (h *Heap) poolBusy(p *Pool) bool {
 func (h *Heap) dropAllTxs() {
 	h.txMu.Lock()
 	h.txs = make(map[oid.PoolID]*Tx)
+	atomic.StoreInt32(&h.txActive, 0)
 	h.txMu.Unlock()
 	h.ambient = nil
 }
@@ -438,6 +447,15 @@ func (t *Tx) Commit() error {
 		}
 		fence = true
 	}
+	if h.ftPools > 0 {
+		// Bring checksums and parity of touched fault-tolerant pools up to
+		// date under the same fence as the data they describe.
+		synced, err := h.ftCommitSyncNoFence(st)
+		if err != nil {
+			return err
+		}
+		fence = fence || synced
+	}
 	if fence {
 		// One fence covers every range this transaction touched — and, in
 		// concurrent mode, every simultaneously-committing transaction's
@@ -501,6 +519,18 @@ func (t *Tx) Abort() error {
 	for i := len(st.records) - 1; i >= 0; i-- {
 		if err := h.undoRecord(st.records[i]); err != nil {
 			return err
+		}
+	}
+	if h.ftPools > 0 {
+		// The rollback rewrote object bytes (and freed transactional
+		// allocations whose payloads keep whatever the tx stored), so the
+		// derived checksum and parity state must follow.
+		synced, err := h.ftCommitSyncNoFence(st)
+		if err != nil {
+			return err
+		}
+		if synced {
+			h.fence()
 		}
 	}
 	if err := h.truncateLog(st.pool); err != nil {
@@ -594,6 +624,10 @@ func (h *Heap) truncateLog(p *Pool) error {
 // Recover persists everything it writes, so running it again — or crashing
 // in the middle and running it again — converges to the same durable bytes.
 func (h *Heap) Recover(p *Pool) error {
+	// Recovery dereferences objects whose checksums are not yet restored;
+	// stand VerifyOnRead down for the duration.
+	atomic.AddInt32(&h.txActive, 1)
+	defer atomic.AddInt32(&h.txActive, -1)
 	count := h.read64(p, logStart+logOffCount)
 	state := h.read64(p, logStart+logOffState)
 	if count == 0 {
@@ -679,6 +713,18 @@ func (h *Heap) Recover(p *Pool) error {
 			// Never applied before commit.
 		default:
 			return fmt.Errorf("pmem: corrupt undo record kind %d", r.kind)
+		}
+	}
+	if h.ftPools > 0 {
+		// The rollback rewrote object bytes; recompute the checksums and
+		// parity of every range it touched before the pool is used again.
+		for _, r := range recs {
+			if r.kind == recFree {
+				continue
+			}
+			if err := h.ftRecoverRange(r.oid, r.size); err != nil {
+				return err
+			}
 		}
 	}
 	return h.truncateLog(p)

@@ -28,6 +28,14 @@ type Client struct {
 	frame []byte // response frame scratch
 }
 
+// ServerError is a failure the server reported in a StatusErr response.
+// The connection is healthy and the response stream in sync — the
+// request was executed (or rejected) exactly once — so the retry layer
+// never retries one.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "potserve: server: " + e.Msg }
+
 // Dial connects to a potserve server.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
@@ -81,8 +89,11 @@ func (c *Client) recv(op byte) (Response, error) {
 	if err != nil {
 		return Response{}, err
 	}
-	if resp.Status == StatusErr {
-		return resp, fmt.Errorf("potserve: server: %s", resp.Msg)
+	switch resp.Status {
+	case StatusErr:
+		return resp, &ServerError{Msg: resp.Msg}
+	case StatusCorrupt:
+		return resp, ErrCorrupt
 	}
 	return resp, nil
 }

@@ -62,6 +62,9 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(OpPing, []byte{StatusOK})
 	f.Add(OpGet, []byte{StatusErr, 'b', 'o', 'o', 'm'})
 	f.Add(OpDel, []byte{StatusNotFound})
+	f.Add(OpGet, []byte{StatusCorrupt})
+	f.Add(OpScan, []byte{StatusCorrupt})
+	f.Add(OpGet, []byte{StatusCorrupt, 1}) // corrupt frames carry no payload
 	f.Add(byte(0xff), []byte{0xff})
 
 	f.Fuzz(func(t *testing.T, op byte, body []byte) {

@@ -1,0 +1,236 @@
+package potserve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pds"
+)
+
+// RetryPolicy configures a RetryClient: capped exponential backoff with
+// multiplicative jitter. The zero value means "use the defaults"; the
+// hooks exist so tests can drive the policy with a deterministic clock
+// and jitter source.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, the first
+	// one included (default 4).
+	MaxAttempts int
+	// Base is the backoff before the second attempt (default 1ms); the
+	// delay doubles per attempt up to Cap (default 100ms), then a jitter
+	// factor in [0.5, 1.0] is applied so a thundering herd of retriers
+	// decorrelates.
+	Base time.Duration
+	Cap  time.Duration
+
+	// Sleep, Rand and DialFunc default to time.Sleep, rand.Float64 and
+	// Dial; tests substitute fakes.
+	Sleep    func(time.Duration)
+	Rand     func() float64
+	DialFunc func(addr string) (*Client, error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Rand == nil {
+		p.Rand = rand.Float64
+	}
+	if p.DialFunc == nil {
+		p.DialFunc = Dial
+	}
+	return p
+}
+
+// backoff returns the jittered delay after failed attempt i (0-based).
+func (p *RetryPolicy) backoff(i int) time.Duration {
+	d := p.Cap
+	// Guard the shift: past ~40 doublings the multiply overflows long
+	// before the cap comparison sees it.
+	if i < 40 {
+		if b := p.Base << uint(i); b < d {
+			d = b
+		}
+	}
+	return time.Duration(float64(d) * (0.5 + 0.5*p.Rand()))
+}
+
+// retryable reports whether err indicates the request may not have been
+// executed (transport loss, desynced stream) as opposed to an answer
+// the server actually gave. Server-reported errors and corruption
+// reports arrive on a healthy connection; retrying them re-executes a
+// request that already ran.
+func retryable(err error) bool {
+	var se *ServerError
+	return !errors.As(err, &se) && !errors.Is(err, ErrCorrupt)
+}
+
+// RetryClient wraps a Client with reconnect-and-retry: dial failures
+// are retried for every operation (nothing has been sent yet), but a
+// connection lost mid-request is only retried for idempotent operations
+// — Get, Scan and Ping. A Put, Delete or Tx whose connection died after
+// the request may already have executed on the server; replaying it
+// could double-apply, so those surface the transport error instead.
+//
+// Like Client, a RetryClient is not safe for concurrent use.
+type RetryClient struct {
+	addr string
+	pol  RetryPolicy
+	c    *Client
+}
+
+// DialRetry connects to addr under the given policy, retrying the
+// initial dial itself.
+func DialRetry(addr string, pol RetryPolicy) (*RetryClient, error) {
+	rc := &RetryClient{addr: addr, pol: pol.withDefaults()}
+	if err := rc.connect(); err != nil {
+		return nil, err
+	}
+	return rc, nil
+}
+
+// connect dials with backoff until a connection is established or the
+// attempt budget runs out.
+func (rc *RetryClient) connect() error {
+	var lastErr error
+	for a := 0; a < rc.pol.MaxAttempts; a++ {
+		if a > 0 {
+			rc.pol.Sleep(rc.pol.backoff(a - 1))
+		}
+		c, err := rc.pol.DialFunc(rc.addr)
+		if err == nil {
+			rc.c = c
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("potserve: dial failed after %d attempts: %w", rc.pol.MaxAttempts, lastErr)
+}
+
+// Close closes the current connection, if any.
+func (rc *RetryClient) Close() error {
+	if rc.c == nil {
+		return nil
+	}
+	err := rc.c.Close()
+	rc.c = nil
+	return err
+}
+
+// drop discards a connection presumed broken.
+func (rc *RetryClient) drop() {
+	if rc.c != nil {
+		rc.c.Close()
+		rc.c = nil
+	}
+}
+
+// doIdem round-trips an idempotent request, reconnecting and retrying
+// on dial failure or mid-request connection loss.
+func (rc *RetryClient) doIdem(req Request) (Response, error) {
+	var lastErr error
+	for a := 0; a < rc.pol.MaxAttempts; a++ {
+		if a > 0 {
+			rc.pol.Sleep(rc.pol.backoff(a - 1))
+		}
+		if rc.c == nil {
+			c, err := rc.pol.DialFunc(rc.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			rc.c = c
+		}
+		resp, err := rc.c.roundTrip(req)
+		if err == nil || !retryable(err) {
+			return resp, err
+		}
+		lastErr = err
+		rc.drop()
+	}
+	return Response{}, fmt.Errorf("potserve: %s failed after %d attempts: %w",
+		opName(req.Op), rc.pol.MaxAttempts, lastErr)
+}
+
+// doOnce round-trips a non-idempotent request: the dial is retried
+// (nothing sent yet), the round trip itself is attempted exactly once.
+func (rc *RetryClient) doOnce(req Request) (Response, error) {
+	if rc.c == nil {
+		if err := rc.connect(); err != nil {
+			return Response{}, err
+		}
+	}
+	resp, err := rc.c.roundTrip(req)
+	if err != nil && retryable(err) {
+		// The connection is broken (not a server answer); drop it so
+		// the next operation reconnects, but do NOT replay this one.
+		rc.drop()
+	}
+	return resp, err
+}
+
+// Get fetches a key; ok reports presence.
+func (rc *RetryClient) Get(key uint64) (val uint64, ok bool, err error) {
+	resp, err := rc.doIdem(Request{Op: OpGet, Key: key})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Val, resp.Status == StatusOK, nil
+}
+
+// Scan returns up to max pairs with key >= from, ascending.
+func (rc *RetryClient) Scan(from uint64, max int) ([]pds.KV, error) {
+	if max < 0 || max > MaxScan {
+		return nil, fmt.Errorf("potserve: scan max %d out of range [0, %d]", max, MaxScan)
+	}
+	resp, err := rc.doIdem(Request{Op: OpScan, From: from, Max: uint32(max)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.KVs, nil
+}
+
+// Ping round-trips an empty request.
+func (rc *RetryClient) Ping() error {
+	_, err := rc.doIdem(Request{Op: OpPing})
+	return err
+}
+
+// Put upserts a key; created reports whether it was absent. Not
+// retried after the request is on the wire.
+func (rc *RetryClient) Put(key, val uint64) (created bool, err error) {
+	resp, err := rc.doOnce(Request{Op: OpPut, Key: key, Val: val})
+	if err != nil {
+		return false, err
+	}
+	return resp.Created, nil
+}
+
+// Delete removes a key; existed reports whether it was present. Not
+// retried after the request is on the wire.
+func (rc *RetryClient) Delete(key uint64) (existed bool, err error) {
+	resp, err := rc.doOnce(Request{Op: OpDel, Key: key})
+	if err != nil {
+		return false, err
+	}
+	return resp.Status == StatusOK, nil
+}
+
+// Tx applies a batch atomically. Not retried after the request is on
+// the wire.
+func (rc *RetryClient) Tx(ops []objstore.BatchOp) error {
+	_, err := rc.doOnce(Request{Op: OpTx, Ops: ops})
+	return err
+}

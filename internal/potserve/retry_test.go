@@ -1,0 +1,311 @@
+package potserve_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"potgo/internal/objstore"
+	"potgo/internal/pmem"
+	"potgo/internal/potserve"
+	"potgo/internal/randtest"
+)
+
+// clock records the sleeps a RetryPolicy requests instead of taking
+// them, making backoff schedules assertable.
+type clock struct{ slept []time.Duration }
+
+func (c *clock) sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+// scriptedDialer returns a DialFunc whose connection is served by fn on
+// the other end of a net.Pipe.
+func scriptedDialer(fn func(server net.Conn)) func(string) (*potserve.Client, error) {
+	return func(string) (*potserve.Client, error) {
+		cs, ss := net.Pipe()
+		go fn(ss)
+		return potserve.NewClient(cs), nil
+	}
+}
+
+// readThenClose consumes one request frame and hangs up — the
+// connection dies with the request on the wire.
+func readThenClose(ss net.Conn) {
+	potserve.ReadFrame(ss)
+	ss.Close()
+}
+
+func TestRetryDialBackoffDeterministic(t *testing.T) {
+	s, _ := newServer(t, nil)
+	var ck clock
+	fails := 2
+	dials := 0
+	pol := potserve.RetryPolicy{
+		MaxAttempts: 5,
+		Base:        time.Millisecond,
+		Cap:         4 * time.Millisecond,
+		Sleep:       ck.sleep,
+		Rand:        func() float64 { return 1 }, // jitter factor exactly 1.0
+		DialFunc: func(addr string) (*potserve.Client, error) {
+			dials++
+			if dials <= fails {
+				return nil, errors.New("connection refused")
+			}
+			return potserve.Dial(addr)
+		},
+	}
+	rc, err := potserve.DialRetry(s.Addr(), pol)
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	defer rc.Close()
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3", dials)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(ck.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", ck.slept, want)
+	}
+	for i := range want {
+		if ck.slept[i] != want[i] {
+			t.Fatalf("slept[%d] = %v, want %v", i, ck.slept[i], want[i])
+		}
+	}
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping after retried dial: %v", err)
+	}
+}
+
+func TestRetryBackoffCapsAndJitters(t *testing.T) {
+	var ck clock
+	pol := potserve.RetryPolicy{
+		MaxAttempts: 6,
+		Base:        time.Millisecond,
+		Cap:         4 * time.Millisecond,
+		Sleep:       ck.sleep,
+		Rand:        func() float64 { return 0 }, // jitter factor exactly 0.5
+		DialFunc: func(string) (*potserve.Client, error) {
+			return nil, errors.New("connection refused")
+		},
+	}
+	if _, err := potserve.DialRetry("nowhere:0", pol); err == nil {
+		t.Fatal("DialRetry succeeded against a dialer that always fails")
+	}
+	// min(Cap, Base<<i) * 0.5 for i = 0..4: the 4ms cap holds from the
+	// third backoff on.
+	want := []time.Duration{
+		time.Millisecond / 2, time.Millisecond, 2 * time.Millisecond,
+		2 * time.Millisecond, 2 * time.Millisecond,
+	}
+	if len(ck.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", ck.slept, want)
+	}
+	for i := range want {
+		if ck.slept[i] != want[i] {
+			t.Fatalf("slept[%d] = %v, want %v", i, ck.slept[i], want[i])
+		}
+	}
+}
+
+func TestRetryIdempotentSurvivesMidStreamLoss(t *testing.T) {
+	s, kv := newServer(t, nil)
+	if _, err := kv.Put(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	var ck clock
+	dials := 0
+	lossy := scriptedDialer(readThenClose)
+	pol := potserve.RetryPolicy{
+		MaxAttempts: 4,
+		Base:        time.Millisecond,
+		Sleep:       ck.sleep,
+		Rand:        func() float64 { return 1 },
+		DialFunc: func(addr string) (*potserve.Client, error) {
+			dials++
+			if dials == 1 {
+				return lossy(addr)
+			}
+			return potserve.Dial(addr)
+		},
+	}
+	rc, err := potserve.DialRetry(s.Addr(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// The first Get rides the doomed connection, loses it mid-request,
+	// reconnects and succeeds.
+	v, ok, err := rc.Get(7)
+	if err != nil || !ok || v != 70 {
+		t.Fatalf("Get(7) = %d,%v,%v want 70,true,nil", v, ok, err)
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2 (one loss, one reconnect)", dials)
+	}
+	if len(ck.slept) != 1 {
+		t.Fatalf("slept %v, want exactly one backoff", ck.slept)
+	}
+}
+
+func TestRetryNonIdempotentNotReplayed(t *testing.T) {
+	s, _ := newServer(t, nil)
+	dials := 0
+	lossy := scriptedDialer(readThenClose)
+	pol := potserve.RetryPolicy{
+		MaxAttempts: 4,
+		Base:        time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		DialFunc: func(addr string) (*potserve.Client, error) {
+			dials++
+			if dials == 1 {
+				return lossy(addr)
+			}
+			return potserve.Dial(addr)
+		},
+	}
+	rc, err := potserve.DialRetry(s.Addr(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// The Put's connection dies with the request on the wire: it must
+	// surface the error, not replay.
+	if _, err := rc.Put(1, 10); err == nil {
+		t.Fatal("Put on a dead connection reported success")
+	}
+	if dials != 1 {
+		t.Fatalf("dials = %d after failed Put, want 1 (no replay)", dials)
+	}
+	// The next operation reconnects and works.
+	if err := rc.Ping(); err != nil {
+		t.Fatalf("ping after dropped Put: %v", err)
+	}
+	if dials != 2 {
+		t.Fatalf("dials = %d, want 2", dials)
+	}
+}
+
+func TestRetryServerErrorNotRetried(t *testing.T) {
+	var ck clock
+	dials := 0
+	answerErr := scriptedDialer(func(ss net.Conn) {
+		for {
+			if _, err := potserve.ReadFrame(ss); err != nil {
+				return
+			}
+			body := append([]byte{potserve.StatusErr}, "boom"...)
+			if err := potserve.WriteFrame(ss, body); err != nil {
+				return
+			}
+		}
+	})
+	pol := potserve.RetryPolicy{
+		MaxAttempts: 4,
+		Sleep:       ck.sleep,
+		DialFunc: func(addr string) (*potserve.Client, error) {
+			dials++
+			return answerErr(addr)
+		},
+	}
+	rc, err := potserve.DialRetry("scripted:0", pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	_, _, err = rc.Get(1)
+	var se *potserve.ServerError
+	if !errors.As(err, &se) || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Get = %v, want ServerError carrying \"boom\"", err)
+	}
+	if dials != 1 || len(ck.slept) != 0 {
+		t.Fatalf("server error was retried: dials=%d slept=%v", dials, ck.slept)
+	}
+}
+
+// TestServerCorruptStatus drives graceful degradation end to end: an
+// unrepairable object answers StatusCorrupt, the client surfaces
+// ErrCorrupt without retrying, and the same connection keeps serving
+// healthy keys.
+func TestServerCorruptStatus(t *testing.T) {
+	sh, err := pmem.NewSharded(pmem.NewStore(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := objstore.CreateKVFT(sh, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nkeys = 128
+	for k := uint64(0); k < nkeys; k++ {
+		if _, err := kv.Put(k, k+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stale parity (see objstore's TestKVFTUnrepairableNeverLies): the
+	// overwritten lines are detectable but unrepairable after a flip.
+	sh.MutateNoParity(true)
+	for k := uint64(0); k < nkeys; k++ {
+		if _, err := kv.Put(k, k+2000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	sh.SetVerifyOnRead(true)
+	seed := uint64(randtest.Seed(t, 73))
+	t.Logf("corruption seed %d", seed)
+	if _, err := sh.CorruptObjects(3, pmem.CorruptDetect, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := potserve.Serve(ln, kv, nil)
+	defer srv.Close()
+
+	dials := 0
+	pol := potserve.RetryPolicy{
+		Sleep: func(time.Duration) {},
+		DialFunc: func(addr string) (*potserve.Client, error) {
+			dials++
+			return potserve.Dial(addr)
+		},
+	}
+	rc, err := potserve.DialRetry(srv.Addr(), pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	sawCorrupt := 0
+	lastGood := uint64(0)
+	for k := uint64(0); k < nkeys; k++ {
+		v, ok, err := rc.Get(k)
+		if err != nil {
+			if !errors.Is(err, potserve.ErrCorrupt) {
+				t.Fatalf("Get(%d): %v", k, err)
+			}
+			sawCorrupt++
+			continue
+		}
+		if !ok || v != k+2000 {
+			t.Fatalf("Get(%d) = %d,%v want %d,true — silent corruption over the wire", k, v, ok, k+2000)
+		}
+		lastGood = k
+	}
+	if sawCorrupt == 0 {
+		t.Fatal("no lookup tripped over the injected faults; test exercised nothing")
+	}
+	t.Logf("%d keys answered StatusCorrupt", sawCorrupt)
+	if dials != 1 {
+		t.Fatalf("dials = %d, want 1: StatusCorrupt must not tear the connection down", dials)
+	}
+	// The connection is still in sync after corrupt answers.
+	if v, ok, err := rc.Get(lastGood); err != nil || !ok || v != lastGood+2000 {
+		t.Fatalf("healthy Get after corrupt answers = %d,%v,%v", v, ok, err)
+	}
+}

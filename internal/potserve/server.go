@@ -13,6 +13,7 @@ import (
 	"potgo/internal/objstore"
 	"potgo/internal/obs"
 	"potgo/internal/pds"
+	"potgo/internal/pmem"
 )
 
 // latencyBounds are the request-latency histogram bucket upper bounds in
@@ -51,6 +52,9 @@ type Server struct {
 	connCount *obs.Counter
 	protoErrs *obs.Counter
 	reqErrs   *obs.Counter
+	// corrupts counts StatusCorrupt responses: reads that tripped a
+	// checksum on an object the store could not repair from parity.
+	corrupts *obs.Counter
 	// bufGrows counts reallocations of any per-connection wire buffer — the
 	// observable "wire allocs": zero after warm-up.
 	bufGrows *obs.Counter
@@ -74,6 +78,7 @@ func Serve(ln net.Listener, kv *objstore.KV, reg *obs.Registry) *Server {
 	s.connCount = reg.Counter("potserve.connections")
 	s.protoErrs = reg.Counter("potserve.protocol_errors")
 	s.reqErrs = reg.Counter("potserve.request_errors")
+	s.corrupts = reg.Counter("potserve.corrupt_responses")
 	s.bufGrows = reg.Counter("potserve.wire.buf_grows")
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -206,6 +211,9 @@ func (s *Server) handle(c net.Conn) {
 			if resp.Status == StatusErr {
 				s.reqErrs.Add(1)
 			}
+			if resp.Status == StatusCorrupt {
+				s.corrupts.Add(1)
+			}
 			out, err = AppendResponseFrame(out, req.Op, resp)
 			if err != nil {
 				out = appendErrFrame(out, err.Error())
@@ -248,6 +256,12 @@ func (s *Server) executeInto(req *Request, resp *Response) {
 	case OpGet:
 		val, ok, err := s.kv.Get(req.Key)
 		switch {
+		// The store already tried an inline repair before surfacing
+		// ErrCorrupt; answer StatusCorrupt rather than tearing the
+		// connection down — the stream is in sync and every other key
+		// is still servable. Graceful degradation, never wrong data.
+		case err != nil && errors.Is(err, pmem.ErrCorrupt):
+			resp.Status = StatusCorrupt
 		case err != nil:
 			resp.Status, resp.Msg = StatusErr, err.Error()
 		case !ok:
@@ -276,6 +290,11 @@ func (s *Server) executeInto(req *Request, resp *Response) {
 		kvs, err := s.kv.ScanAppend(kvs, req.From, int(req.Max))
 		resp.KVs = kvs
 		if err != nil {
+			if errors.Is(err, pmem.ErrCorrupt) {
+				resp.KVs = kvs[:0]
+				resp.Status = StatusCorrupt
+				return
+			}
 			resp.Status, resp.Msg = StatusErr, err.Error()
 			return
 		}

@@ -22,6 +22,9 @@
 //	                      TX, PING -> empty
 //	  StatusNotFound (1): empty (GET of an absent key, DEL of an absent key)
 //	  StatusErr      (2): UTF-8 error message
+//	  StatusCorrupt  (3): empty (the read tripped a checksum and the object
+//	                      could not be repaired from parity; the connection
+//	                      stays usable — only that datum is bad)
 //
 // Decoding is total: any byte string either decodes or returns an error;
 // malformed input (truncated payloads, trailing junk, oversized counts,
@@ -53,7 +56,15 @@ const (
 	StatusOK       byte = 0
 	StatusNotFound byte = 1
 	StatusErr      byte = 2
+	StatusCorrupt  byte = 3
 )
+
+// ErrCorrupt is what a client method returns for a StatusCorrupt
+// response: the server detected unrepairable media corruption under the
+// requested datum. The connection is healthy and the response stream in
+// sync; retrying the same request cannot help, so the retry layer never
+// does.
+var ErrCorrupt = errors.New("potserve: server reported unrepairable corruption")
 
 // TX entry kinds.
 const (
@@ -446,7 +457,7 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 	case resp.Status == StatusErr:
 		resp.Msg = string(r.buf) //potlint:allow noalloc error responses materialize their message on the cold path
 		r.buf = nil
-	case resp.Status == StatusNotFound:
+	case resp.Status == StatusNotFound, resp.Status == StatusCorrupt:
 	case resp.Status != StatusOK:
 		r.fail(fmt.Sprintf("unknown status %d", resp.Status)) //potlint:allow noalloc cold malformed-input path
 	default:
@@ -454,7 +465,11 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 		case OpGet:
 			resp.Val = r.u64()
 		case OpPut:
-			resp.Created = r.u8() != 0
+			created := r.u8()
+			if r.err == nil && created > 1 {
+				r.fail(fmt.Sprintf("created byte %d not 0 or 1", created)) //potlint:allow noalloc cold malformed-input path
+			}
+			resp.Created = created == 1
 		case OpScan:
 			n := int(r.u32())
 			if r.err == nil && (n > MaxScan || len(r.buf) != n*16) {
