@@ -39,6 +39,7 @@ func main() {
 		readPct    = flag.Int("read-pct", 50, "percentage of requests that are GETs (writes split 4:1 put:delete)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		shards     = flag.Int("shards", 8, "in-process server: heap and KV shards")
+		latched    = flag.Bool("latched", false, "in-process server: serve reads through the latched path instead of MVCC snapshots (baseline for read-heavy comparisons)")
 		benchPath  = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_serve.json)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 		p99Gate    = flag.Float64("p99-gate", 0, "fail (exit 1) when p99 latency exceeds this many µs; 0 disables. Only meaningful against records taken at the same GOMAXPROCS")
@@ -59,7 +60,11 @@ func main() {
 		}
 		sh.Heap().AttachObs(reg)
 		benchHeap = sh.Heap()
-		kv, err := objstore.CreateKV(sh, "potbench")
+		create := objstore.CreateKV
+		if *latched {
+			create = objstore.CreateKVLatched
+		}
+		kv, err := create(sh, "potbench")
 		if err != nil {
 			fatal(err)
 		}
@@ -70,7 +75,11 @@ func main() {
 		srv := potserve.Serve(ln, kv, reg)
 		defer srv.Close()
 		target = srv.Addr()
-		fmt.Fprintf(os.Stderr, "potbench: in-process server on %s (%d shards)\n", target, *shards)
+		mode := "snapshot reads"
+		if *latched {
+			mode = "latched reads"
+		}
+		fmt.Fprintf(os.Stderr, "potbench: in-process server on %s (%d shards, %s)\n", target, *shards, mode)
 	}
 
 	// Per-worker latency slices merge into exact percentiles afterwards;
@@ -178,6 +187,7 @@ func main() {
 			ReadPct:     *readPct,
 			Shards:      *shards,
 			InProcess:   inProcess,
+			Snapshot:    inProcess && !*latched,
 			Ops:         total,
 			Errors:      errors,
 			WallSeconds: wall,

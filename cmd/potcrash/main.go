@@ -52,6 +52,8 @@ func main() {
 		listen      = flag.String("listen", "", "serve live metrics on this address at /debug/vars (expvar JSON)")
 		progress    = flag.Duration("progress", 0, "periodic cases/sec + ETA report interval on stderr (0 disables)")
 		concurrent  = flag.Bool("concurrent", false, "run the concurrent campaign: crash a multi-worker workload on the sharded heap (-workers/-shards; -ops is per worker, -points crash points)")
+		mvccFlag    = flag.Bool("mvcc", false, "run the MVCC campaign: crash a journaled snapshot-read workload with concurrent epoch reclamation (-workers/-shards; -ops is per worker, -points crash points)")
+		mutStale    = flag.Bool("mutate-stale-read", false, "bug injection: freeze snapshot pins at a stale epoch (MVCC campaign must fail; pair with -expect-failure)")
 		workers     = flag.Int("workers", 4, "concurrent campaign: worker goroutines")
 		shards      = flag.Int("shards", 4, "concurrent campaign: heap lock shards")
 		corruptK    = flag.Int("corrupt-k", 0, "repair campaign: single-bit media faults per round (>0 selects the corrupt-scrub-verify campaign)")
@@ -101,6 +103,32 @@ func main() {
 
 	if *replayTok != "" {
 		os.Exit(replay(*replayTok, opt, *expectFail))
+	}
+
+	if *mvccFlag {
+		copt := crashtest.DefaultConcurrentOptions()
+		copt.Seed = *seed
+		copt.Workers = *workers
+		copt.Shards = *shards
+		copt.OpsPerWorker = *ops
+		copt.Points = *points
+		copt.Policies = opt.Policies
+		copt.Obs = reg
+		start := time.Now()
+		sum, err := crashtest.RunMVCC(copt, *mutStale)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Printf("mvcc campaign: FAIL after %d/%d points: %v\n", sum.Fired+sum.Completed, sum.Points, err)
+			os.Exit(status(true, *expectFail))
+		}
+		fmt.Printf("mvcc campaign: %d workers on %d shards, %d points (%d fired, %d drained), %d acked ops, %d snapshot reads, %d reclaim sweeps, %d events spanned (%.1fs)\n",
+			copt.Workers, copt.Shards, sum.Points, sum.Fired, sum.Completed, sum.AckedOps, sum.SnapshotReads, sum.Reclaims, sum.Span, wall)
+		if *metricsOut != "" {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fatal(err)
+			}
+		}
+		os.Exit(status(false, *expectFail))
 	}
 
 	if *concurrent {

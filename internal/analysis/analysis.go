@@ -218,5 +218,6 @@ func All() []*Analyzer {
 		LatchDiscipline,
 		AllocOrder,
 		NoAlloc,
+		SnapshotRead,
 	}
 }

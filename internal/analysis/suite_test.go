@@ -39,6 +39,10 @@ func TestNoAlloc(t *testing.T) {
 	analysistest.Run(t, analysis.NoAlloc, "noalloc")
 }
 
+func TestSnapshotRead(t *testing.T) {
+	analysistest.Run(t, analysis.SnapshotRead, "snapshotread")
+}
+
 // TestTreeIsClean is the potlint gate in test form: the full suite must
 // report nothing on the tree itself. If this fails, either real code broke
 // a persistence invariant or an analyzer grew a false positive — both need

@@ -74,6 +74,11 @@ type FuncSummary struct {
 	// Annotated functions are checked by the noalloc analyzer themselves,
 	// so callers treat them as non-allocating.
 	NoAlloc bool
+	// SnapshotRead: the function carries the //potlint:snapshot-read
+	// annotation — it is part of the epoch-pinned MVCC read path. The
+	// snapshotread analyzer checks annotated bodies itself, so annotated
+	// callers treat annotated callees as latch-free and read-only.
+	SnapshotRead bool
 }
 
 func runSummaries(pass *Pass) error {
@@ -103,7 +108,7 @@ func summarize(pass *Pass, fd *ast.FuncDecl) bool {
 		return false
 	}
 	info := pass.TypesInfo
-	s := &FuncSummary{NoAlloc: hasNoAllocDirective(fd)}
+	s := &FuncSummary{NoAlloc: hasNoAllocDirective(fd), SnapshotRead: hasSnapshotReadDirective(fd)}
 
 	var shardAcq, shardRel, latchAcq, latchRel bool
 	note := func(k callKind, call *ast.CallExpr) {

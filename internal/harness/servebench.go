@@ -33,6 +33,10 @@ type ServeRecord struct {
 	ReadPct    int    `json:"read_pct"`
 	Shards     int    `json:"shards"`
 	InProcess  bool   `json:"in_process"`
+	// Snapshot records whether the in-process server's KV store served
+	// reads from the MVCC snapshot mirror (false = latched baseline), so
+	// snapshot and latched runs form separate trajectories.
+	Snapshot bool `json:"snapshot,omitempty"`
 	// Results.
 	Ops         int     `json:"ops_total"`
 	Errors      int     `json:"errors_total"`
@@ -50,7 +54,8 @@ var ErrDuplicateServeRecord = errors.New("duplicate serve record for this git SH
 func sameServeConfig(a, b ServeRecord) bool {
 	return a.GitSHA == b.GitSHA && a.Seed == b.Seed && a.Conns == b.Conns &&
 		a.OpsPerConn == b.OpsPerConn && a.Depth == b.Depth && a.KeySpace == b.KeySpace &&
-		a.ReadPct == b.ReadPct && a.Shards == b.Shards && a.InProcess == b.InProcess
+		a.ReadPct == b.ReadPct && a.Shards == b.Shards && a.InProcess == b.InProcess &&
+		a.Snapshot == b.Snapshot
 }
 
 // AppendServeRecord appends rec to the JSON-array trajectory file at path,

@@ -176,18 +176,22 @@ func (r *Recorder) Begin(worker int, input any) Pending {
 }
 
 // End timestamps the return and commits the completed operation to the
-// history. Call it immediately after the operation returns.
-func (r *Recorder) End(p Pending, output any) {
+// history, returning it (callers building secondary histories — e.g. the
+// SI checker's — read the timestamps off the result). Call it immediately
+// after the operation returns.
+func (r *Recorder) End(p Pending, output any) Op {
 	ret := atomic.AddUint64(&r.clock, 1)
-	r.mu.Lock()
-	r.ops = append(r.ops, Op{
+	op := Op{
 		Worker: p.worker,
 		Input:  p.input,
 		Output: output,
 		Call:   p.call,
 		Ret:    ret,
-	})
+	}
+	r.mu.Lock()
+	r.ops = append(r.ops, op)
 	r.mu.Unlock()
+	return op
 }
 
 // History snapshots the completed operations (call with workers joined).

@@ -1,0 +1,220 @@
+package lincheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Snapshot-read checking. The MVCC read path of the object stores promises
+// snapshot consistency: every read (a Get, or a whole multi-key Scan)
+// observes the committed state as of ONE instant, and — because a reader
+// pins the epoch inside its own call — that instant lies within the read's
+// own [Call, Ret] window (strong snapshot reads: no read returns data
+// staler than its invocation).
+//
+// CheckSI decides whether a history of writes and reads is consistent with
+// that promise. Writes are assumed linearizable (the write path is latched
+// and separately checked with the Wing & Gong checker); what is unknown is
+// each write's commit instant, which can lie anywhere in the write's
+// [Call, Ret]. A read is accepted iff there EXISTS a snapshot instant t in
+// its window and an assignment of commit instants under which every one of
+// its key observations is exactly "the last committed write at t":
+//
+//   - An observation of put w's value is feasible at t iff w could have
+//     committed by t (w.Call <= t) and no other same-key write is FORCED
+//     to commit after w and at-or-before t. Choosing w's commit as late as
+//     possible, c = min(w.Ret, t), a write w' is forced into (c, t] iff
+//     w'.Call > c and w'.Ret <= t. The feasible t form one interval:
+//     [w.Call, max(w.Ret+1, X)) where X = min{w'.Ret : w'.Call > w.Ret}.
+//   - An observation of absence is feasible at t iff either no put is
+//     forced by t (t < min put Ret — the key can still be initially
+//     absent), or some delete d can be the last write at t (the same
+//     interval shape, with only puts able to break it).
+//
+// Feasibility is checked per read: it is a sound necessary condition (any
+// true snapshot execution passes), so a reported violation is never a
+// false positive. Values must uniquely identify puts — each (key, value)
+// pair may be written at most once in a history, which the stress harness
+// arranges by encoding worker<<32|seq into every value.
+
+// SIWrite is one completed write of a snapshot history: a put of Val under
+// Key, or (Del) a delete of Key. Call/Ret are timestamps from the shared
+// Recorder clock; the commit took effect at some unknown instant between
+// them.
+type SIWrite struct {
+	Key  uint64
+	Val  uint64 // ignored when Del
+	Del  bool
+	Call uint64
+	Ret  uint64
+}
+
+// SIObs is one key observation inside a read: Key held Val (Found) or was
+// absent (!Found) in the read's snapshot.
+type SIObs struct {
+	Key   uint64
+	Val   uint64
+	Found bool
+}
+
+// SIRead is one completed read: every key observation it made, plus its
+// call window. A Get contributes one observation; a Scan contributes one
+// per key of the scanned range (including absences, so phantoms are
+// caught).
+type SIRead struct {
+	Worker int
+	Obs    []SIObs
+	Call   uint64
+	Ret    uint64
+}
+
+// siKeyIndex holds one key's writes in the sorted forms the feasibility
+// queries need.
+type siKeyIndex struct {
+	// all writes sorted by Call, with the suffix-minimum of Ret, answering
+	// "min Ret among writes with Call > c" in O(log n).
+	all       []SIWrite
+	allSufRet []uint64
+	// the same two structures restricted to puts (absence feasibility).
+	puts       []SIWrite
+	putsSufRet []uint64
+	dels       []SIWrite
+	byVal      map[uint64]SIWrite
+	minPutRet  uint64
+}
+
+const siInf = ^uint64(0)
+
+func buildSIIndex(writes []SIWrite) (map[uint64]*siKeyIndex, error) {
+	idx := make(map[uint64]*siKeyIndex)
+	for _, w := range writes {
+		if w.Call >= w.Ret {
+			return nil, fmt.Errorf("lincheck: SI write %+v has Call >= Ret", w)
+		}
+		k := idx[w.Key]
+		if k == nil {
+			k = &siKeyIndex{byVal: make(map[uint64]SIWrite), minPutRet: siInf}
+			idx[w.Key] = k
+		}
+		k.all = append(k.all, w)
+		if w.Del {
+			k.dels = append(k.dels, w)
+			continue
+		}
+		if _, dup := k.byVal[w.Val]; dup {
+			return nil, fmt.Errorf("lincheck: duplicate put of (key %d, val %d): values must identify writes uniquely", w.Key, w.Val)
+		}
+		k.byVal[w.Val] = w
+		k.puts = append(k.puts, w)
+		if w.Ret < k.minPutRet {
+			k.minPutRet = w.Ret
+		}
+	}
+	for _, k := range idx {
+		sortByCall := func(ws []SIWrite) []uint64 {
+			sort.Slice(ws, func(i, j int) bool { return ws[i].Call < ws[j].Call })
+			suf := make([]uint64, len(ws)+1)
+			suf[len(ws)] = siInf
+			for i := len(ws) - 1; i >= 0; i-- {
+				suf[i] = min(suf[i+1], ws[i].Ret)
+			}
+			return suf
+		}
+		k.allSufRet = sortByCall(k.all)
+		k.putsSufRet = sortByCall(k.puts)
+	}
+	return idx, nil
+}
+
+// minRetAfter returns the minimum Ret among the Call-sorted writes whose
+// Call exceeds c (siInf if none).
+func minRetAfter(ws []SIWrite, suf []uint64, c uint64) uint64 {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].Call > c })
+	return suf[i]
+}
+
+// siInterval is a half-open feasible range [lo, hi) of snapshot instants.
+type siInterval struct{ lo, hi uint64 }
+
+// writeInterval is the feasible snapshot range for "w is the last
+// committed same-key write": t >= w.Call, and t < max(w.Ret+1, X) where X
+// is the earliest Ret among competitors (all writes for a value
+// observation, puts only for a delete anchoring an absence) that cannot
+// commit before w does.
+func writeInterval(w SIWrite, comp []SIWrite, sufRet []uint64) siInterval {
+	hi := w.Ret + 1
+	if x := minRetAfter(comp, sufRet, w.Ret); x != siInf && x > hi {
+		hi = x
+	} else if x == siInf {
+		hi = siInf
+	}
+	return siInterval{lo: w.Call, hi: hi}
+}
+
+// obsIntervals returns the union of feasible snapshot ranges for one
+// observation, clipped later by the caller.
+func (k *siKeyIndex) obsIntervals(o SIObs) ([]siInterval, error) {
+	if o.Found {
+		w, ok := k.byVal[o.Val]
+		if !ok {
+			return nil, fmt.Errorf("phantom value %d under key %d: no put ever wrote it", o.Val, o.Key)
+		}
+		return []siInterval{writeInterval(w, k.all, k.allSufRet)}, nil
+	}
+	var ivs []siInterval
+	if k.minPutRet > 0 {
+		// Initially absent and no put forced yet.
+		ivs = append(ivs, siInterval{lo: 0, hi: k.minPutRet})
+	}
+	for _, d := range k.dels {
+		ivs = append(ivs, writeInterval(d, k.puts, k.putsSufRet))
+	}
+	return ivs, nil
+}
+
+// intersect returns the intersection of two interval unions.
+func intersect(a, b []siInterval) []siInterval {
+	var out []siInterval
+	for _, x := range a {
+		for _, y := range b {
+			lo, hi := max(x.lo, y.lo), min(x.hi, y.hi)
+			if lo < hi {
+				out = append(out, siInterval{lo, hi})
+			}
+		}
+	}
+	return out
+}
+
+// CheckSI reports whether every read in the history is a consistent
+// snapshot read (see the package comment above): nil on success, or an
+// error naming the first read no snapshot instant can explain.
+func CheckSI(writes []SIWrite, reads []SIRead) error {
+	idx, err := buildSIIndex(writes)
+	if err != nil {
+		return err
+	}
+	empty := siKeyIndex{minPutRet: siInf, allSufRet: []uint64{siInf}, putsSufRet: []uint64{siInf}}
+	for _, r := range reads {
+		if r.Call >= r.Ret {
+			return fmt.Errorf("lincheck: SI read %+v has Call >= Ret", r)
+		}
+		feasible := []siInterval{{lo: r.Call, hi: r.Ret + 1}}
+		for _, o := range r.Obs {
+			k := idx[o.Key]
+			if k == nil {
+				k = &empty
+			}
+			ivs, err := k.obsIntervals(o)
+			if err != nil {
+				return fmt.Errorf("lincheck: SI read by worker %d [%d,%d]: %w", r.Worker, r.Call, r.Ret, err)
+			}
+			feasible = intersect(feasible, ivs)
+			if len(feasible) == 0 {
+				return fmt.Errorf("lincheck: SI violation: read by worker %d [%d,%d] has no snapshot instant consistent with observation {key %d val %d found %v} and its other observations",
+					r.Worker, r.Call, r.Ret, o.Key, o.Val, o.Found)
+			}
+		}
+	}
+	return nil
+}

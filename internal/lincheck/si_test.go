@@ -1,0 +1,111 @@
+package lincheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// Deterministic SI-checker cases: hand-built histories with known
+// feasibility. Timestamps are arbitrary unique integers; intervals are
+// inclusive [Call, Ret].
+
+func TestSISequentialRead(t *testing.T) {
+	writes := []SIWrite{{Key: 7, Val: 1, Call: 1, Ret: 2}}
+	reads := []SIRead{{Obs: []SIObs{{Key: 7, Val: 1, Found: true}}, Call: 3, Ret: 4}}
+	if err := CheckSI(writes, reads); err != nil {
+		t.Fatalf("sequential read rejected: %v", err)
+	}
+}
+
+func TestSIStaleReadRejected(t *testing.T) {
+	// put(7,1) completed, then put(7,2) completed, THEN the read starts —
+	// returning the overwritten 1 is exactly the stale-pin bug.
+	writes := []SIWrite{
+		{Key: 7, Val: 1, Call: 1, Ret: 2},
+		{Key: 7, Val: 2, Call: 3, Ret: 4},
+	}
+	reads := []SIRead{{Obs: []SIObs{{Key: 7, Val: 1, Found: true}}, Call: 5, Ret: 6}}
+	err := CheckSI(writes, reads)
+	if err == nil {
+		t.Fatal("stale read accepted")
+	}
+	if !strings.Contains(err.Error(), "SI violation") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestSIConcurrentWriteEitherWay(t *testing.T) {
+	// A write overlapping the read may or may not be visible.
+	writes := []SIWrite{{Key: 7, Val: 1, Call: 1, Ret: 10}}
+	for _, obs := range []SIObs{
+		{Key: 7, Val: 1, Found: true},
+		{Key: 7, Found: false},
+	} {
+		reads := []SIRead{{Obs: []SIObs{obs}, Call: 2, Ret: 3}}
+		if err := CheckSI(writes, reads); err != nil {
+			t.Fatalf("concurrent-write observation %+v rejected: %v", obs, err)
+		}
+	}
+}
+
+func TestSIPhantomValueRejected(t *testing.T) {
+	writes := []SIWrite{{Key: 7, Val: 1, Call: 1, Ret: 2}}
+	reads := []SIRead{{Obs: []SIObs{{Key: 7, Val: 99, Found: true}}, Call: 3, Ret: 4}}
+	if err := CheckSI(writes, reads); err == nil {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestSITornSnapshotRejected(t *testing.T) {
+	// Both writes completed before the read began; a snapshot seeing key 1's
+	// write but missing key 2's would be torn across keys.
+	writes := []SIWrite{
+		{Key: 1, Val: 1, Call: 1, Ret: 2},
+		{Key: 2, Val: 2, Call: 3, Ret: 4},
+	}
+	reads := []SIRead{{
+		Obs:  []SIObs{{Key: 1, Val: 1, Found: true}, {Key: 2, Found: false}},
+		Call: 5, Ret: 6,
+	}}
+	if err := CheckSI(writes, reads); err == nil {
+		t.Fatal("torn multi-key snapshot accepted")
+	}
+}
+
+func TestSIDeleteObservations(t *testing.T) {
+	writes := []SIWrite{
+		{Key: 7, Val: 1, Call: 1, Ret: 2},
+		{Key: 7, Del: true, Call: 3, Ret: 4},
+	}
+	// Absence after the delete completed: fine.
+	ok := []SIRead{{Obs: []SIObs{{Key: 7, Found: false}}, Call: 5, Ret: 6}}
+	if err := CheckSI(writes, ok); err != nil {
+		t.Fatalf("post-delete absence rejected: %v", err)
+	}
+	// The deleted value after the delete completed: stale.
+	bad := []SIRead{{Obs: []SIObs{{Key: 7, Val: 1, Found: true}}, Call: 5, Ret: 6}}
+	if err := CheckSI(writes, bad); err == nil {
+		t.Fatal("read of a deleted value accepted")
+	}
+}
+
+func TestSIUnwrittenKeyAbsent(t *testing.T) {
+	reads := []SIRead{{Obs: []SIObs{{Key: 42, Found: false}}, Call: 1, Ret: 2}}
+	if err := CheckSI(nil, reads); err != nil {
+		t.Fatalf("absence of an unwritten key rejected: %v", err)
+	}
+	bad := []SIRead{{Obs: []SIObs{{Key: 42, Val: 5, Found: true}}, Call: 1, Ret: 2}}
+	if err := CheckSI(nil, bad); err == nil {
+		t.Fatal("value under an unwritten key accepted")
+	}
+}
+
+func TestSIDuplicateValueRejected(t *testing.T) {
+	writes := []SIWrite{
+		{Key: 7, Val: 1, Call: 1, Ret: 2},
+		{Key: 7, Val: 1, Call: 3, Ret: 4},
+	}
+	if err := CheckSI(writes, nil); err == nil {
+		t.Fatal("duplicate (key, value) puts accepted")
+	}
+}

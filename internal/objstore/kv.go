@@ -18,11 +18,25 @@ import (
 type KV struct {
 	sh     *pmem.Sharded
 	shards []kvShard
+	// mvcc routes Get/Scan through the epoch-versioned snapshot path:
+	// readers pin an epoch and traverse committed post-images without
+	// latches or shard locks, falling back to the latched path when the
+	// mirror cannot serve a walk. On by CreateKV/OpenKV default; the
+	// latched-baseline constructors leave it off.
+	mvcc bool
+	// journaled arms the crash-verification protocol: Put/Delete append to
+	// a per-shard volatile journal under the shard lock and bump the
+	// shard's persistent op counter inside the transaction (see
+	// EnableJournal).
+	journaled bool
 }
 
 type kvShard struct {
 	pool *pmem.Pool
 	tree *pds.BPlus
+	// root is the shard's 16-byte root object: field 0 holds the tree
+	// anchor cell, field 8 the persistent op counter of journaled mode.
+	root oid.OID
 	// rctx is the read-path pds.Ctx (tx nil, so no mutable state): shared
 	// freely by concurrent readers under the shard's read lock.
 	rctx txCtx
@@ -30,6 +44,9 @@ type kvShard struct {
 	// shard lock holders only; the touched map is reused across
 	// transactions so steady-state writes stop allocating.
 	wctx txCtx
+	// journal is the volatile commit-order op journal of journaled mode,
+	// appended under the shard's write lock inside the transaction.
+	journal []BatchOp
 }
 
 // kvPoolBytes sizes each shard pool. The B+-tree allocates ~72-byte nodes;
@@ -58,14 +75,73 @@ func kvBind(sh *pmem.Sharded, p *pmem.Pool) (kvShard, error) {
 	return kvShard{
 		pool: p,
 		tree: tree,
+		root: root,
 		rctx: txCtx{h: sh.Heap(), alloc: p},
 		wctx: txCtx{h: sh.Heap(), alloc: p},
 	}, nil
 }
 
+// enableSnapshots flips every shard pool to MVCC and seeds the version
+// mirror with the store's current reachable objects (anchor cell + every
+// tree node), so snapshot readers can resolve the whole structure at the
+// mount epoch.
+//
+// Fault-tolerant stores stay latched: the version mirror serves volatile
+// post-images, which would bypass VerifyOnRead checksum verification and
+// mask media faults that must surface as ErrCorrupt through the verified
+// read path.
+func (kv *KV) enableSnapshots() error {
+	for i := range kv.shards {
+		if kv.shards[i].pool.FaultTolerant() {
+			return nil
+		}
+	}
+	for i := range kv.shards {
+		kv.sh.EnableMVCC(kv.shards[i].pool)
+	}
+	for i := range kv.shards {
+		if err := kv.seedShard(&kv.shards[i]); err != nil {
+			// A seed walk can fail on a store mounted over still-corrupt
+			// media (OpenKV runs before the post-crash scrub). A partial
+			// mirror is safe — snapshot walks that miss fall back to the
+			// latched path — and Reprime reseeds after repair.
+			break
+		}
+	}
+	kv.mvcc = true
+	return nil
+}
+
+// seedShard publishes initial versions for one shard's reachable objects.
+func (kv *KV) seedShard(s *kvShard) error {
+	m := kv.sh.MVCC()
+	h := kv.sh.Heap()
+	if err := m.Seed(h, s.pool, s.tree.AnchorOID(), 8); err != nil {
+		return err
+	}
+	return s.tree.VisitNodes(&s.rctx, func(o oid.OID) error {
+		return m.Seed(h, s.pool, o, pds.BPNodeSize)
+	})
+}
+
 // CreateKV creates one pool per heap shard (named prefix-0 … prefix-N-1)
-// and plants an empty B+-tree in each.
+// and plants an empty B+-tree in each. Snapshot (MVCC) reads are enabled:
+// Get/Scan pin an epoch and traverse latch-free. CreateKVLatched builds
+// the latched baseline.
 func CreateKV(sh *pmem.Sharded, prefix string) (*KV, error) {
+	kv, err := CreateKVLatched(sh, prefix)
+	if err != nil {
+		return nil, err
+	}
+	if err := kv.enableSnapshots(); err != nil {
+		return nil, err
+	}
+	return kv, nil
+}
+
+// CreateKVLatched is CreateKV without the snapshot-read path: every Get
+// and Scan takes shard read locks. The read-heavy benchmark baseline.
+func CreateKVLatched(sh *pmem.Sharded, prefix string) (*KV, error) {
 	kv := &KV{sh: sh, shards: make([]kvShard, sh.Shards())}
 	for i := range kv.shards {
 		p, err := sh.CreateSized(kvPoolName(prefix, i), kvPoolBytes, kvLogBytes)
@@ -102,6 +178,9 @@ func CreateKVFT(sh *pmem.Sharded, prefix string) (*KV, error) {
 			return nil, err
 		}
 	}
+	if err := kv.enableSnapshots(); err != nil {
+		return nil, err
+	}
 	return kv, nil
 }
 
@@ -129,6 +208,9 @@ func OpenKV(sh *pmem.Sharded, prefix string) (*KV, error) {
 		}
 		kv.shards[i] = s
 	}
+	if err := kv.enableSnapshots(); err != nil {
+		return nil, err
+	}
 	return kv, nil
 }
 
@@ -147,7 +229,18 @@ func (kv *KV) Reprime() error {
 			kv.sh.LockPool(s.pool.ID())
 			defer kv.sh.UnlockPool(s.pool.ID())
 			s.tree.DropCache()
-			return s.tree.Prime()
+			if err := s.tree.Prime(); err != nil {
+				return err
+			}
+			if kv.mvcc {
+				// The mirror may have been seeded from corrupt bytes at
+				// mount; reseed from the repaired media. Seed drops the
+				// old chains to the garbage collector (never the
+				// freelist), so a concurrently pinned reader keeps its
+				// buffers and at worst falls back to a latched read.
+				return kv.seedShard(s)
+			}
+			return nil
 		}()
 		if err != nil {
 			return err
@@ -158,18 +251,73 @@ func (kv *KV) Reprime() error {
 
 func (kv *KV) shardOf(key uint64) *kvShard { return &kv.shards[key%uint64(len(kv.shards))] }
 
+// EnableJournal arms the crash-verification protocol: from now on every
+// Put/Delete appends its op to the owning shard's volatile journal (under
+// the shard write lock, so journal order is commit order) and bumps the
+// shard's persistent op counter inside the same transaction. After a
+// simulated crash the invariant acked <= counter <= len(journal) holds per
+// shard, and replaying the journal's counter-length prefix reproduces the
+// recovered state exactly (see internal/crashtest).
+func (kv *KV) EnableJournal() { kv.journaled = true }
+
+// Journal returns shard i's volatile op journal (commit order; at most the
+// last entry may be uncommitted after a crash).
+func (kv *KV) Journal(i int) []BatchOp { return kv.shards[i].journal }
+
+// Counter reads shard i's persistent op counter.
+func (kv *KV) Counter(i int) (uint64, error) {
+	s := &kv.shards[i]
+	return counterValue(kv.sh.Heap(), s.root.FieldAt(8))
+}
+
+// ReplayKVJournal folds the first n ops of a shard journal into a model
+// map — the oracle a recovered shard is compared against.
+func ReplayKVJournal(j []BatchOp, n int) map[uint64]uint64 {
+	m := make(map[uint64]uint64, n)
+	for _, op := range j[:n] {
+		if op.Del {
+			delete(m, op.Key)
+		} else {
+			m[op.Key] = op.Val
+		}
+	}
+	return m
+}
+
+// journalOp records op in the shard journal and bumps the persistent
+// counter inside the already-bound transaction. Caller holds the shard
+// write lock.
+func (kv *KV) journalOp(s *kvShard, op BatchOp) error {
+	s.journal = append(s.journal, op)
+	return bumpCounter(&s.wctx, s.root.FieldAt(8))
+}
+
 // Get returns the value stored under key. Allocation-free: the request
-// path of potserve rides on it. With VerifyOnRead enabled on a
-// fault-tolerant store, a checksum miss triggers one inline repair —
-// drop the read lock, rebuild the object from parity under the write
-// lock, retry — before the corruption is surfaced to the caller.
+// path of potserve rides on it. On an MVCC store the read pins an epoch
+// and walks the version mirror without latches or shard locks; the
+// latched path below is the fallback (mirror miss, pin registry
+// exhausted) and the authority for checksum repair. With VerifyOnRead
+// enabled on a fault-tolerant store, a checksum miss triggers one inline
+// repair — drop the read lock, rebuild the object from parity under the
+// write lock, retry — before the corruption is surfaced to the caller.
+//
+//potlint:snapshot-read
 func (kv *KV) Get(key uint64) (val uint64, ok bool, err error) {
 	s := kv.shardOf(key)
-	kv.sh.RLockPool(s.pool.ID())
+	if kv.mvcc {
+		if pin := kv.sh.Pin(); pin != nil {
+			v, found, sok := s.tree.FindSnap(pin, key)
+			kv.sh.Unpin(pin)
+			if sok {
+				return v, found, nil
+			}
+		}
+	}
+	kv.sh.RLockPool(s.pool.ID()) //potlint:allow snapshotread latched fallback on mirror miss or pin exhaustion
 	val, ok, err = s.tree.FindFast(&s.rctx, key)
 	kv.sh.RUnlockPool(s.pool.ID())
 	if err != nil && errors.Is(err, pmem.ErrCorrupt) {
-		return kv.getRepair(s, key, err)
+		return kv.getRepair(s, key, err) //potlint:allow snapshotread checksum repair rides the latched fallback
 	}
 	return val, ok, err
 }
@@ -201,6 +349,7 @@ func (kv *KV) Put(key, val uint64) (created bool, err error) {
 	s := kv.shardOf(key)
 	kv.sh.LockPool(s.pool.ID())
 	defer kv.sh.UnlockPool(s.pool.ID())
+	jlen := len(s.journal)
 	t, err := kv.sh.Heap().Begin(s.pool)
 	if err != nil {
 		return false, err
@@ -211,7 +360,17 @@ func (kv *KV) Put(key, val uint64) (created bool, err error) {
 		created = true
 		err = s.tree.Insert(&s.wctx, key, val)
 	}
+	if err == nil && kv.journaled {
+		err = kv.journalOp(s, BatchOp{Key: key, Val: val})
+	}
 	if err != nil {
+		// An aborted op must not leave a dead journal entry behind: later
+		// committed ops would land after it and misalign every replay
+		// prefix. (A crashed commit is different — its entry stays as the
+		// at-most-one uncommitted journal tail.)
+		if kv.journaled && len(s.journal) > jlen {
+			s.journal = s.journal[:jlen]
+		}
 		if aerr := t.Abort(); aerr != nil {
 			return false, fmt.Errorf("%w (abort also failed: %v)", err, aerr)
 		}
@@ -225,13 +384,20 @@ func (kv *KV) Delete(key uint64) (existed bool, err error) {
 	s := kv.shardOf(key)
 	kv.sh.LockPool(s.pool.ID())
 	defer kv.sh.UnlockPool(s.pool.ID())
+	jlen := len(s.journal)
 	t, err := kv.sh.Heap().Begin(s.pool)
 	if err != nil {
 		return false, err
 	}
 	s.wctx.bind(t)
 	existed, err = s.tree.Remove(&s.wctx, key)
+	if err == nil && kv.journaled {
+		err = kv.journalOp(s, BatchOp{Key: key, Del: true})
+	}
 	if err != nil {
+		if kv.journaled && len(s.journal) > jlen {
+			s.journal = s.journal[:jlen]
+		}
 		if aerr := t.Abort(); aerr != nil {
 			return false, fmt.Errorf("%w (abort also failed: %v)", err, aerr)
 		}
@@ -253,13 +419,33 @@ func (kv *KV) Scan(from uint64, max int) ([]pds.KV, error) {
 
 // ScanAppend is Scan appending into dst (truncated and reused), so a
 // caller that recycles its result buffer scans without allocating once the
-// buffer has reached its steady-state capacity.
+// buffer has reached its steady-state capacity. On an MVCC store one
+// pinned epoch covers every shard — the global epoch makes the cross-shard
+// snapshot consistent without RLockAll; the latched store-wide read lock
+// is the fallback.
+//
+//potlint:snapshot-read
 func (kv *KV) ScanAppend(dst []pds.KV, from uint64, max int) ([]pds.KV, error) {
 	dst = dst[:0]
 	if max <= 0 {
 		return dst, nil
 	}
-	kv.sh.RLockAll()
+	if kv.mvcc {
+		if pin := kv.sh.Pin(); pin != nil {
+			sok := true
+			for i := range kv.shards {
+				if dst, sok = kv.shards[i].tree.ScanAppendSnap(pin, dst, from, max); !sok {
+					break
+				}
+			}
+			kv.sh.Unpin(pin)
+			if sok {
+				return kvMergeScan(dst, max), nil
+			}
+			dst = dst[:0]
+		}
+	}
+	kv.sh.RLockAll() //potlint:allow snapshotread latched fallback on mirror miss or pin exhaustion
 	defer kv.sh.RUnlockAll()
 	for i := range kv.shards {
 		s := &kv.shards[i]
@@ -268,9 +454,13 @@ func (kv *KV) ScanAppend(dst []pds.KV, from uint64, max int) ([]pds.KV, error) {
 			return dst, err
 		}
 	}
-	// Each shard contributed up to max ascending pairs; merge by sorting
-	// (slices.SortFunc: no interface boxing, non-capturing comparator) and
-	// truncate.
+	return kvMergeScan(dst, max), nil
+}
+
+// kvMergeScan merges the per-shard ascending runs: each shard contributed
+// up to max ascending pairs; sort (slices.SortFunc: no interface boxing,
+// non-capturing comparator) and truncate.
+func kvMergeScan(dst []pds.KV, max int) []pds.KV {
 	slices.SortFunc(dst, func(a, b pds.KV) int {
 		switch {
 		case a.Key < b.Key:
@@ -283,7 +473,7 @@ func (kv *KV) ScanAppend(dst []pds.KV, from uint64, max int) ([]pds.KV, error) {
 	if len(dst) > max {
 		dst = dst[:max]
 	}
-	return dst, nil
+	return dst
 }
 
 // BatchOp is one operation of an atomic batch: a put (Del false) or a

@@ -80,6 +80,11 @@ type Heap struct {
 	// ftPools counts open fault-tolerant pools, so commit's checksum and
 	// parity maintenance costs one compare on heaps that have none.
 	ftPools int
+
+	// mvcc is the epoch-versioned snapshot mirror (see mvcc.go), nil until
+	// EnableMVCC attaches it; heaps that never enable it pay one nil check
+	// per commit.
+	mvcc *MVCC
 }
 
 // groupCommit coordinates group commit: concurrently-committing goroutines
@@ -189,7 +194,13 @@ func (h *Heap) leaderFence() {
 // StatsSnapshot returns a coherent copy of the heap's activity counters
 // (atomic loads, safe while workers are running).
 func (h *Heap) StatsSnapshot() HeapStats {
+	var mvPub, mvRec uint64
+	if h.mvcc != nil {
+		mvPub, mvRec = h.mvcc.Stats()
+	}
 	return HeapStats{
+		MVCCPublishes: mvPub,
+		MVCCReclaimed: mvRec,
 		TxBegins:        atomic.LoadUint64(&h.Metrics.TxBegins),
 		TxCommits:       atomic.LoadUint64(&h.Metrics.TxCommits),
 		TxAborts:        atomic.LoadUint64(&h.Metrics.TxAborts),
@@ -228,6 +239,9 @@ type HeapStats struct {
 	Persists uint64
 	// PoolsCreated / PoolsOpened count pool_create / pool_open calls.
 	PoolsCreated, PoolsOpened uint64
+	// MVCCPublishes / MVCCReclaimed count snapshot versions published by
+	// commits and freed by epoch reclamation (zero on heaps without MVCC).
+	MVCCPublishes, MVCCReclaimed uint64
 }
 
 // NewHeap builds a heap. soft may be nil for OPT-mode heaps.
@@ -464,6 +478,11 @@ func (h *Heap) Crash(pol nvmsim.Policy) (nvmsim.Report, error) {
 	}
 	h.dropAllTxs()
 	h.resetGroupCommit()
+	if h.mvcc != nil {
+		// The version mirror is volatile: the crash takes it with the
+		// machine. The store reseeds it from recovered bytes at remount.
+		h.mvcc.Reset()
+	}
 	return rep, nil
 }
 
@@ -498,6 +517,9 @@ func (h *Heap) CrashClean() error {
 	}
 	h.dropAllTxs()
 	h.resetGroupCommit()
+	if h.mvcc != nil {
+		h.mvcc.Reset()
+	}
 	return nil
 }
 

@@ -1,0 +1,565 @@
+package pmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"potgo/internal/oid"
+)
+
+// MVCC snapshot reads: an epoch-versioned volatile mirror of committed
+// object images, so readers traverse persistent structures without taking
+// per-OID latches or shard locks while writers commit concurrently.
+//
+// The mirror never aliases live pool bytes. Every committed transaction
+// publishes an immutable post-image copy of each object it touched
+// (publication happens inside Tx.Commit, after the commit point, while the
+// committer still holds its shard write locks), headed on a per-object
+// version chain. Readers pin the global epoch in a fixed registry slot and
+// resolve every object against that epoch; superseded versions are freed
+// only once no reader pins an epoch that can still see them.
+//
+// Epoch protocol. The global epoch G starts at 1. A commit (serialized by
+// publishMu) works at D = G+1: it demotes each touched object's current
+// head (death = D), pushes the new post-image (borne = D, death = ∞), and
+// only then advances G to D. A version is visible to a reader pinned at E
+// iff borne <= E < death. Chains are newest-first with strictly decreasing
+// deaths, so the version visible at E is the LAST chain entry whose death
+// exceeds E. Because G advances after all of a commit's publications, a
+// reader pinned at E <= G_old can never observe half of a multi-object
+// commit: every object it resolves still shows the pre-commit version.
+//
+// Pinning. Pin claims a free registry slot (CAS from 0) with the epoch it
+// loaded, then revalidates: while G has moved past the stored epoch, the
+// slot is restored to the fresh G and re-checked. Reclamation loads G
+// FIRST and scans the slots second; under Go's sequentially consistent
+// atomics this closes the pin/reclaim race — if the reclaimer's slot scan
+// missed a just-claimed pin, the claim follows the scan in the total order,
+// so the reader's revalidation load of G returns at least the value the
+// reclaimer used, and the reader ends up pinned at an epoch no lower than
+// the reclamation horizon.
+//
+// Reclamation horizon. minEpoch = min(G at load, every pinned epoch). A
+// version with death <= minEpoch is invisible to every current pin (each
+// pinned E >= minEpoch >= death fails E < death) and to every future pin
+// (future E >= G >= minEpoch), so freeing it is safe. Versions and entries
+// recycle through freelists, keeping the steady-state overwrite path
+// allocation-free.
+//
+// Crash interaction. The mirror is volatile: Heap.Crash and CrashClean
+// reset it, and the store is reseeded from the recovered durable bytes at
+// the next mount. Reclamation itself emits no persistence-domain events —
+// armed crash events fire from concurrent writers, which is exactly the
+// window the crashtest MVCC campaign probes.
+
+const (
+	// DefaultPinSlots sizes the reader pin registry. Pin returns nil when
+	// every slot is claimed; callers fall back to the latched read path.
+	DefaultPinSlots = 64
+	// mvBuckets is the version index's bucket count (power of two).
+	mvBuckets = 1024
+	// mvDeathInf marks a version that is still current.
+	mvDeathInf = ^uint64(0)
+)
+
+// mvVersion is one immutable committed post-image of an object. buf is
+// written once, inside the publishing commit (plus the same-commit
+// duplicate-record overwrite, which happens before the version is visible
+// to any reader), and never mutated afterwards.
+type mvVersion struct {
+	borne uint64 // epoch at which this version became current
+	death uint64 // epoch at which it was superseded (mvDeathInf = current)
+	buf   []byte
+	next  *mvVersion // older
+}
+
+// mvEntry heads one object's version chain inside a bucket's entry list.
+type mvEntry struct {
+	oid  oid.OID
+	head *mvVersion // newest first, deaths strictly decreasing
+	next *mvEntry
+}
+
+type mvBucket struct {
+	mu   sync.Mutex
+	head *mvEntry
+}
+
+// PinSlot is one reader registration: a padded epoch word (0 = free) plus
+// a back-pointer so the slot itself satisfies the snapshot-view interface
+// of internal/pds without boxing.
+type PinSlot struct {
+	epoch uint64
+	m     *MVCC
+	_     [48]byte // pad to a cache line: slots are scanned and CASed hot
+}
+
+// Epoch returns the epoch this slot is pinned at.
+func (s *PinSlot) Epoch() uint64 { return atomic.LoadUint64(&s.epoch) }
+
+// SnapDeref resolves an object against the slot's pinned epoch, returning
+// the committed post-image visible at that epoch. ok=false means the
+// mirror cannot serve the object (never seeded, or not visible at the
+// epoch); the caller falls back to a latched read.
+//
+//potlint:snapshot-read
+func (s *PinSlot) SnapDeref(o oid.OID) ([]byte, bool) {
+	return s.m.snapAt(atomic.LoadUint64(&s.epoch), o)
+}
+
+// MVCC is the epoch-versioned mirror attached to a heap (EnableMVCC).
+type MVCC struct {
+	g         uint64 // global epoch, atomic
+	hint      uint64 // rotating slot-claim start, atomic
+	stale     uint64 // nonzero: mutation mode, readers pin this frozen epoch
+	publishMu sync.Mutex
+	slots     []PinSlot
+	buckets   [mvBuckets]mvBucket
+
+	// freelists recycle version nodes (with their bufs) and entries so the
+	// steady-state overwrite publish path allocates nothing.
+	freeMu sync.Mutex
+	freeV  *mvVersion
+	freeE  *mvEntry
+
+	publishes uint64 // versions published, atomic
+	reclaimed uint64 // versions freed, atomic
+}
+
+// NewMVCC builds a mirror with the given pin-registry size.
+func NewMVCC(pinSlots int) *MVCC {
+	if pinSlots <= 0 {
+		pinSlots = DefaultPinSlots
+	}
+	m := &MVCC{slots: make([]PinSlot, pinSlots)}
+	for i := range m.slots {
+		m.slots[i].m = m
+	}
+	atomic.StoreUint64(&m.g, 1)
+	return m
+}
+
+// Epoch returns the current global epoch.
+func (m *MVCC) Epoch() uint64 { return atomic.LoadUint64(&m.g) }
+
+// Stats returns (versions published, versions reclaimed).
+func (m *MVCC) Stats() (publishes, reclaimed uint64) {
+	return atomic.LoadUint64(&m.publishes), atomic.LoadUint64(&m.reclaimed)
+}
+
+func (m *MVCC) bucket(o oid.OID) *mvBucket {
+	// splitmix64 finalizer (see LatchTable.Slot): well distributed over
+	// both the pool and offset halves of the OID.
+	x := uint64(o)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return &m.buckets[x&(mvBuckets-1)]
+}
+
+// Pin claims a registry slot at the current epoch. Returns nil when the
+// registry is exhausted — the caller must fall back to a latched read.
+// Allocation-free.
+//
+//potlint:snapshot-read
+func (m *MVCC) Pin() *PinSlot {
+	staleAt := atomic.LoadUint64(&m.stale)
+	n := uint64(len(m.slots))
+	start := atomic.AddUint64(&m.hint, 1)
+	for i := uint64(0); i < n; i++ {
+		s := &m.slots[(start+i)%n]
+		if staleAt != 0 {
+			// Mutation mode: pin the frozen epoch with no revalidation —
+			// the deliberately stale snapshot the SI checker must catch.
+			if atomic.CompareAndSwapUint64(&s.epoch, 0, staleAt) {
+				return s
+			}
+			continue
+		}
+		e := atomic.LoadUint64(&m.g)
+		if atomic.CompareAndSwapUint64(&s.epoch, 0, e) {
+			// Revalidate until the published epoch matches the global:
+			// see the pin/reclaim ordering argument in the package
+			// comment above.
+			for {
+				g := atomic.LoadUint64(&m.g)
+				if g == e {
+					return s
+				}
+				atomic.StoreUint64(&s.epoch, g)
+				e = g
+			}
+		}
+	}
+	return nil
+}
+
+// Unpin releases a pinned slot.
+//
+//potlint:snapshot-read
+func (m *MVCC) Unpin(s *PinSlot) { atomic.StoreUint64(&s.epoch, 0) }
+
+// snapAt resolves o at epoch e: the last chain version whose death exceeds
+// e, provided it was already borne. The returned buf is immutable while
+// any pin that can see it is held (reclamation's horizon proof covers the
+// freelist recycle), so handing it out past the bucket lock is safe.
+//
+//potlint:snapshot-read
+func (m *MVCC) snapAt(e uint64, o oid.OID) ([]byte, bool) {
+	b := m.bucket(o)
+	b.mu.Lock()
+	for en := b.head; en != nil; en = en.next {
+		if en.oid != o {
+			continue
+		}
+		var vis *mvVersion
+		for v := en.head; v != nil; v = v.next {
+			if v.death > e {
+				vis = v
+			} else {
+				break // deaths strictly decrease down the chain
+			}
+		}
+		if vis == nil || vis.borne > e {
+			b.mu.Unlock()
+			return nil, false
+		}
+		buf := vis.buf
+		b.mu.Unlock()
+		return buf, true
+	}
+	b.mu.Unlock()
+	return nil, false
+}
+
+// minEpoch computes the reclamation horizon. The global epoch MUST be
+// loaded before the slot scan — the reverse order can compute a horizon
+// above a just-claimed pin's epoch and free versions that pin still needs.
+func (m *MVCC) minEpoch() uint64 {
+	min := atomic.LoadUint64(&m.g)
+	for i := range m.slots {
+		if e := atomic.LoadUint64(&m.slots[i].epoch); e != 0 && e < min {
+			min = e
+		}
+	}
+	return min
+}
+
+// --- freelists ---
+
+func (m *MVCC) newVersion(size int) *mvVersion {
+	m.freeMu.Lock()
+	v := m.freeV
+	if v != nil {
+		m.freeV = v.next
+	}
+	m.freeMu.Unlock()
+	if v == nil {
+		v = &mvVersion{}
+	}
+	v.next = nil
+	if cap(v.buf) < size {
+		v.buf = make([]byte, size)
+	}
+	v.buf = v.buf[:size]
+	return v
+}
+
+func (m *MVCC) freeVersion(v *mvVersion) {
+	m.freeMu.Lock()
+	v.next = m.freeV
+	m.freeV = v
+	m.freeMu.Unlock()
+}
+
+func (m *MVCC) newEntry(o oid.OID) *mvEntry {
+	m.freeMu.Lock()
+	en := m.freeE
+	if en != nil {
+		m.freeE = en.next
+	}
+	m.freeMu.Unlock()
+	if en == nil {
+		en = &mvEntry{}
+	}
+	en.oid, en.head, en.next = o, nil, nil
+	return en
+}
+
+func (m *MVCC) freeEntry(en *mvEntry) {
+	en.head = nil
+	m.freeMu.Lock()
+	en.next = m.freeE
+	m.freeE = en
+	m.freeMu.Unlock()
+}
+
+// --- publication (called from Tx.Commit under publishMu) ---
+
+func (m *MVCC) findEntryLocked(b *mvBucket, o oid.OID) *mvEntry {
+	for en := b.head; en != nil; en = en.next {
+		if en.oid == o {
+			return en
+		}
+	}
+	return nil
+}
+
+// publishRecord installs the committed post-image of [o, o+size) at epoch
+// d, pruning chain suffixes invisible below limit. A head already borne at
+// d is a same-commit duplicate (recAlloc + recData of one fresh object):
+// its buf is overwritten in place, which no reader can observe because the
+// commit's epoch advance has not happened yet.
+func (m *MVCC) publishRecord(h *Heap, p *Pool, o oid.OID, size uint32, d, limit uint64) error {
+	b := m.bucket(o)
+	b.mu.Lock()
+	en := m.findEntryLocked(b, o)
+	if en == nil {
+		en = m.newEntry(o)
+		en.next = b.head
+		b.head = en
+	}
+	var v *mvVersion
+	if en.head != nil && en.head.borne == d {
+		v = en.head
+		if cap(v.buf) < int(size) {
+			v.buf = make([]byte, size)
+		}
+		v.buf = v.buf[:size]
+	} else {
+		v = m.newVersion(int(size))
+		v.borne, v.death = d, mvDeathInf
+		if en.head != nil && en.head.death == mvDeathInf {
+			en.head.death = d
+		}
+		v.next = en.head
+		en.head = v
+		atomic.AddUint64(&m.publishes, 1)
+	}
+	err := h.AS.ReadAt(p.region.Base+uint64(o.Offset()), v.buf)
+	m.pruneLocked(en, limit)
+	b.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("pmem: mvcc publish %v: %w", o, err)
+	}
+	return nil
+}
+
+// demoteRecord marks o's current version dead at epoch d with no successor
+// (the object was freed). A head borne at d was allocated and freed inside
+// the same commit: it is dropped entirely.
+func (m *MVCC) demoteRecord(o oid.OID, d, limit uint64) {
+	b := m.bucket(o)
+	b.mu.Lock()
+	if en := m.findEntryLocked(b, o); en != nil {
+		if en.head != nil && en.head.death == mvDeathInf {
+			if en.head.borne == d {
+				dead := en.head
+				en.head = dead.next
+				m.freeVersion(dead)
+			} else {
+				en.head.death = d
+			}
+		}
+		m.pruneLocked(en, limit)
+	}
+	b.mu.Unlock()
+}
+
+// pruneLocked frees the chain suffix whose deaths are at or below limit
+// (invisible to every current and future pin). Caller holds the bucket
+// lock. Suppressed in stale-mutation mode so the seeded stale snapshot
+// keeps its versions alive.
+func (m *MVCC) pruneLocked(en *mvEntry, limit uint64) int {
+	if atomic.LoadUint64(&m.stale) != 0 {
+		return 0
+	}
+	n := 0
+	var prev *mvVersion
+	for v := en.head; v != nil; v = v.next {
+		if v.death <= limit {
+			if prev == nil {
+				en.head = nil
+			} else {
+				prev.next = nil
+			}
+			for v != nil {
+				nx := v.next
+				m.freeVersion(v)
+				v = nx
+				n++
+			}
+			break
+		}
+		prev = v
+	}
+	if n > 0 {
+		atomic.AddUint64(&m.reclaimed, uint64(n))
+	}
+	return n
+}
+
+// Reclaim sweeps every version chain, freeing versions no pinned or future
+// reader can see, and unlinking entries whose objects are fully dead. It
+// runs concurrently with readers and publishing commits (bucket-granular
+// locking; it does not take publishMu). Returns the number of versions
+// freed.
+func (m *MVCC) Reclaim() int {
+	if atomic.LoadUint64(&m.stale) != 0 {
+		return 0
+	}
+	limit := m.minEpoch()
+	freed := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		var prev *mvEntry
+		en := b.head
+		for en != nil {
+			freed += m.pruneLocked(en, limit)
+			nx := en.next
+			if en.head == nil {
+				if prev == nil {
+					b.head = nx
+				} else {
+					prev.next = nx
+				}
+				m.freeEntry(en)
+			} else {
+				prev = en
+			}
+			en = nx
+		}
+		b.mu.Unlock()
+	}
+	return freed
+}
+
+// Seed publishes the current live bytes of [o, o+size) as the object's
+// initial version (borne 0: visible at every epoch). Called at mount while
+// the store is still private; the mirror must be empty for o.
+func (m *MVCC) Seed(h *Heap, p *Pool, o oid.OID, size uint32) error {
+	b := m.bucket(o)
+	b.mu.Lock()
+	en := m.findEntryLocked(b, o)
+	if en == nil {
+		en = m.newEntry(o)
+		en.next = b.head
+		b.head = en
+	}
+	v := m.newVersion(int(size))
+	v.borne, v.death = 0, mvDeathInf
+	if en.head != nil && en.head.death == mvDeathInf {
+		// Re-seeding an object that already has a live version (Reprime
+		// after repair): replace the chain outright — the store is private
+		// during seeding, no reader holds a pin.
+		en.head = nil
+	}
+	v.next = en.head
+	en.head = v
+	err := h.AS.ReadAt(p.region.Base+uint64(o.Offset()), v.buf)
+	b.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("pmem: mvcc seed %v: %w", o, err)
+	}
+	return nil
+}
+
+// Reset discards the whole mirror: a crash took the volatile state with
+// it. The store is reseeded from the recovered durable bytes at remount.
+func (m *MVCC) Reset() {
+	m.publishMu.Lock()
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		b.head = nil
+		b.mu.Unlock()
+	}
+	for i := range m.slots {
+		atomic.StoreUint64(&m.slots[i].epoch, 0)
+	}
+	atomic.StoreUint64(&m.g, 1)
+	atomic.StoreUint64(&m.stale, 0)
+	m.freeMu.Lock()
+	m.freeV, m.freeE = nil, nil
+	m.freeMu.Unlock()
+	m.publishMu.Unlock()
+}
+
+// MutateStaleReads is the deliberately-injected snapshot bug for the
+// mutation-discipline check: it freezes every subsequent Pin at the
+// current epoch and suppresses reclamation, so readers keep observing a
+// stale committed prefix while writers advance. The SI checker must
+// report the resulting stale-then-fresh inversions; a harness that stays
+// green under this mutation proves nothing.
+func (m *MVCC) MutateStaleReads() {
+	atomic.StoreUint64(&m.stale, atomic.LoadUint64(&m.g))
+}
+
+// ClearStaleMutation restores honest pinning.
+func (m *MVCC) ClearStaleMutation() { atomic.StoreUint64(&m.stale, 0) }
+
+// --- heap integration ---
+
+// EnableMVCC attaches the epoch-versioned mirror to the heap (first call)
+// and marks pool p as versioned: commits touching p publish post-images,
+// and snapshot reads of p's objects resolve against the mirror.
+func (h *Heap) EnableMVCC(p *Pool) {
+	if h.mvcc == nil {
+		h.mvcc = NewMVCC(DefaultPinSlots)
+	}
+	p.mvcc = true
+}
+
+// MVCC returns the heap's version mirror (nil when never enabled).
+func (h *Heap) MVCC() *MVCC { return h.mvcc }
+
+// mvccPublish publishes a committed transaction's post-images. Called from
+// Tx.Commit after the commit point (the durable state already reflects the
+// transaction) and before the Tx is recycled; the committer still holds
+// its shard write locks, so the live bytes it copies are stable. The
+// epoch advance at the end is the transaction's visibility point for
+// snapshot readers — all of its objects appear atomically.
+//
+//potlint:noalloc
+func (h *Heap) mvccPublish(st *txState) error {
+	m := h.mvcc
+	any := false
+	for i := range st.records {
+		if p, ok := h.open[st.records[i].oid.Pool()]; ok && p.mvcc {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	m.publishMu.Lock()
+	d := atomic.LoadUint64(&m.g) + 1
+	limit := m.minEpoch()
+	var err error
+	for i := range st.records {
+		r := &st.records[i]
+		p, ok := h.open[r.oid.Pool()]
+		if !ok || !p.mvcc {
+			continue
+		}
+		switch r.kind {
+		case recData, recAlloc:
+			if r.size == 0 {
+				continue
+			}
+			if perr := m.publishRecord(h, p, r.oid, r.size, d, limit); perr != nil && err == nil {
+				err = perr
+			}
+		case recFree:
+			m.demoteRecord(r.oid, d, limit)
+		}
+	}
+	atomic.StoreUint64(&m.g, d)
+	m.publishMu.Unlock()
+	return err
+}

@@ -126,6 +126,9 @@ type Pool struct {
 	// alloc is the volatile slab index, rebuilt from the durable span
 	// chains when the pool is mapped.
 	alloc *allocState
+	// mvcc marks the pool as snapshot-versioned: commits touching it
+	// publish post-images into the heap's epoch mirror (see mvcc.go).
+	mvcc bool
 }
 
 // ID returns the pool's system-wide identifier.

@@ -241,6 +241,45 @@ func (s *Sharded) Tx(logPool *Pool, extra []oid.PoolID, fn func(*Tx) error) erro
 	return t.Commit()
 }
 
+// --- MVCC snapshot reads ---
+
+// EnableMVCC attaches the epoch-versioned snapshot mirror to the heap and
+// marks pool p as versioned (stop-the-world: flips commit behaviour).
+func (s *Sharded) EnableMVCC(p *Pool) {
+	defer s.stopTheWorld()()
+	s.h.EnableMVCC(p)
+}
+
+// MVCC returns the heap's version mirror (nil when never enabled).
+func (s *Sharded) MVCC() *MVCC { return s.h.mvcc }
+
+// Pin claims a snapshot-read registration at the current epoch, or nil
+// when MVCC is not enabled or the registry is exhausted — callers fall
+// back to the latched read path. Pin takes no shard locks.
+//
+//potlint:snapshot-read
+func (s *Sharded) Pin() *PinSlot {
+	if m := s.h.mvcc; m != nil {
+		return m.Pin()
+	}
+	return nil
+}
+
+// Unpin releases a Pin registration.
+//
+//potlint:snapshot-read
+func (s *Sharded) Unpin(sl *PinSlot) { s.h.mvcc.Unpin(sl) }
+
+// ReclaimVersions runs one epoch-reclamation sweep, freeing superseded
+// versions no pinned reader can still see. Safe to run concurrently with
+// readers and committing writers.
+func (s *Sharded) ReclaimVersions() int {
+	if m := s.h.mvcc; m != nil {
+		return m.Reclaim()
+	}
+	return 0
+}
+
 // --- structural operations (stop-the-world) ---
 
 // Create makes a new pool with the default undo-log capacity.

@@ -480,6 +480,16 @@ func (t *Tx) Commit() error {
 	if err := h.truncateLog(st.pool); err != nil {
 		return err
 	}
+	if h.mvcc != nil {
+		// Publish post-images after the commit point and before the Tx is
+		// recycled; the epoch advance inside is the transaction's
+		// visibility point for snapshot readers.
+		if err := h.mvccPublish(st); err != nil {
+			h.releaseTx(t)
+			h.recycleTx(t)
+			return err
+		}
+	}
 	h.releaseTx(t)
 	h.recycleTx(t) //potlint:allow noalloc tx free list grows amortized to the peak concurrency
 	atomic.AddUint64(&h.Metrics.TxCommits, 1)

@@ -12,14 +12,15 @@ import (
 // over an in-memory net.Pipe, taking the network stack (and its
 // nondeterministic runtime allocations) out of the measurement: what is
 // left is exactly the wire codec, the server loop, the KV store and the
-// persistent heap underneath.
-func newPipeServer(t *testing.T) *Client {
+// persistent heap underneath. create selects the KV flavor (snapshot
+// reads vs the latched baseline).
+func newPipeServer(t *testing.T, create func(*pmem.Sharded, string) (*objstore.KV, error)) (*Client, *pmem.Sharded) {
 	t.Helper()
 	sh, err := pmem.NewSharded(pmem.NewStore(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kv, err := objstore.CreateKV(sh, "allocs")
+	kv, err := create(sh, "allocs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,19 +34,17 @@ func newPipeServer(t *testing.T) *Client {
 		ss.Close()
 		s.wg.Wait()
 	})
-	return NewClient(cs)
+	return NewClient(cs), sh
 }
 
-// TestServeAllocs is the zero-copy regression gate: once the per-connection
+// runServeAllocs is the zero-copy regression gate: once the per-connection
 // scratch buffers are warm, a steady-state get / put-overwrite / scan / tx
 // / ping performs zero heap allocations across the whole stack (client
-// encode, server decode, KV, B+-tree walk, undo log, write-back model,
-// response encode). Inserts and deletes restructure the tree and are
-// allowed to allocate; a bounded keyspace makes every gated put an
-// overwrite.
-func TestServeAllocs(t *testing.T) {
-	c := newPipeServer(t)
-
+// encode, server decode, KV, B+-tree walk or snapshot traversal, undo log,
+// write-back model, response encode). Inserts and deletes restructure the
+// tree and are allowed to allocate; a bounded keyspace makes every gated
+// put an overwrite.
+func runServeAllocs(t *testing.T, c *Client) {
 	const keys = 64
 	for k := uint64(0); k < keys; k++ {
 		if _, err := c.Put(k, k*3); err != nil {
@@ -84,5 +83,32 @@ func TestServeAllocs(t *testing.T) {
 		if opErr != nil {
 			t.Fatalf("%s: %v", tc.name, opErr)
 		}
+	}
+}
+
+// TestServeAllocs gates the default (snapshot-read) server: gets and scans
+// ride the epoch-pinned MVCC mirror — Pin, version-chain traversal, Unpin —
+// and must still be allocation-free. The MVCC stats prove the mirror was
+// actually live, not silently disabled.
+func TestServeAllocs(t *testing.T) {
+	c, sh := newPipeServer(t, objstore.CreateKV)
+	runServeAllocs(t, c)
+	if sh.MVCC() == nil {
+		t.Fatal("snapshot reads not enabled: the gate measured the latched path")
+	}
+	if pub, _ := sh.MVCC().Stats(); pub == 0 {
+		t.Fatal("no versions published: the workload never reached the snapshot mirror")
+	}
+}
+
+// TestServeAllocsLatched gates the latched baseline (CreateKVLatched, the
+// configuration potbench -latched benchmarks against): it must hold the
+// same zero-allocation bar so snapshot-vs-latched comparisons measure the
+// read protocol, not allocator noise.
+func TestServeAllocsLatched(t *testing.T) {
+	c, sh := newPipeServer(t, objstore.CreateKVLatched)
+	runServeAllocs(t, c)
+	if sh.MVCC() != nil {
+		t.Fatal("latched baseline unexpectedly has MVCC enabled")
 	}
 }
