@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"potgo/internal/cluster"
 	"potgo/internal/harness"
 	"potgo/internal/objstore"
 	"potgo/internal/obs"
@@ -40,6 +41,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		shards     = flag.Int("shards", 8, "in-process server: heap and KV shards")
 		latched    = flag.Bool("latched", false, "in-process server: serve reads through the latched path instead of MVCC snapshots (baseline for read-heavy comparisons)")
+		clusterN   = flag.Int("cluster", 0, "bench an in-process N-node replicated cluster (>= 2) through the routing client instead of a single server; writes pay quorum replication")
 		benchPath  = flag.String("bench", "", "append a trajectory record to this file (e.g. BENCH_serve.json)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON metrics snapshot to this file at exit")
 		p99Gate    = flag.Float64("p99-gate", 0, "fail (exit 1) when p99 latency exceeds this many µs; 0 disables. Only meaningful against records taken at the same GOMAXPROCS")
@@ -53,7 +55,20 @@ func main() {
 	target := *addr
 	inProcess := target == ""
 	var benchHeap *pmem.Heap
-	if inProcess {
+	var clAddrs []string
+	if *clusterN > 0 {
+		if !inProcess {
+			fatal(fmt.Errorf("-cluster starts its own in-process members; drop -addr"))
+		}
+		cl, err := cluster.NewLocal(*clusterN, *shards, int64(*seed), reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		clAddrs = cl.Addrs()
+		fmt.Fprintf(os.Stderr, "potbench: in-process %d-node cluster on %s (%d shards each, quorum %d)\n",
+			*clusterN, strings.Join(clAddrs, " "), *shards, cl.Topology().Quorum())
+	} else if inProcess {
 		sh, err := pmem.NewSharded(pmem.NewStore(), *shards, int64(*seed))
 		if err != nil {
 			fatal(err)
@@ -95,15 +110,34 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c, err := potserve.Dial(target)
-			if err != nil {
-				workerErr[w] = err
-				return
+			// One batch executor per transport: the cluster path routes each
+			// batch through the partitioning client; the single-server path
+			// keeps the allocation-free PipelineAppend.
+			var resps []potserve.Response
+			var runBatch func([]potserve.Request) ([]potserve.Response, error)
+			if len(clAddrs) > 0 {
+				cc, err := cluster.DialCluster(clAddrs)
+				if err != nil {
+					workerErr[w] = err
+					return
+				}
+				defer cc.Close()
+				runBatch = cc.Pipeline
+			} else {
+				c, err := potserve.Dial(target)
+				if err != nil {
+					workerErr[w] = err
+					return
+				}
+				defer c.Close()
+				runBatch = func(reqs []potserve.Request) ([]potserve.Response, error) {
+					var err error
+					resps, err = c.PipelineAppend(reqs, resps)
+					return resps, err
+				}
 			}
-			defer c.Close()
 			rng := rand.New(rand.NewSource(int64(*seed) + int64(w)*0x9e3779b9))
 			reqs := make([]potserve.Request, 0, *depth)
-			var resps []potserve.Response
 			lat := make([]float64, 0, *ops)
 			for done := 0; done < *ops; {
 				reqs = reqs[:0]
@@ -119,9 +153,7 @@ func main() {
 					}
 				}
 				batchStart := time.Now()
-				// PipelineAppend recycles the response slice and its scan
-				// scratch, keeping the measuring side allocation-free too.
-				resps, err = c.PipelineAppend(reqs, resps)
+				out, err := runBatch(reqs)
 				if err != nil {
 					workerErr[w] = err
 					return
@@ -129,7 +161,7 @@ func main() {
 				// Pipelined latency: each request in the batch waited the
 				// batch's round trip.
 				us := float64(time.Since(batchStart).Microseconds())
-				for _, r := range resps {
+				for _, r := range out {
 					lat = append(lat, us)
 					hist.Observe(us)
 					if r.Status == potserve.StatusErr {
@@ -187,6 +219,7 @@ func main() {
 			ReadPct:     *readPct,
 			Shards:      *shards,
 			InProcess:   inProcess,
+			Cluster:     *clusterN,
 			Snapshot:    inProcess && !*latched,
 			Ops:         total,
 			Errors:      errors,

@@ -53,9 +53,13 @@ func main() {
 		progress    = flag.Duration("progress", 0, "periodic cases/sec + ETA report interval on stderr (0 disables)")
 		concurrent  = flag.Bool("concurrent", false, "run the concurrent campaign: crash a multi-worker workload on the sharded heap (-workers/-shards; -ops is per worker, -points crash points)")
 		mvccFlag    = flag.Bool("mvcc", false, "run the MVCC campaign: crash a journaled snapshot-read workload with concurrent epoch reclamation (-workers/-shards; -ops is per worker, -points crash points)")
+		clusterFlag = flag.Bool("cluster", false, "run the cluster campaign: kill a whole replicated potserve node mid-replication, fail over, verify acked-prefix linearizability (-nodes/-workers/-shards; -ops is per worker, -points kill points)")
+		nodes       = flag.Int("nodes", 3, "cluster campaign: member count (>= 3)")
+		mutSplit    = flag.Bool("mutate-split-brain", false, "bug injection: disable the stale-epoch fence and stage two primaries (cluster campaign must fail; pair with -expect-failure)")
 		mutStale    = flag.Bool("mutate-stale-read", false, "bug injection: freeze snapshot pins at a stale epoch (MVCC campaign must fail; pair with -expect-failure)")
 		workers     = flag.Int("workers", 4, "concurrent campaign: worker goroutines")
 		shards      = flag.Int("shards", 4, "concurrent campaign: heap lock shards")
+		ftOverhead  = flag.Bool("ft-overhead", false, "measure the FT checksum+parity tax on the Table 5 micros and durable TPC-C (plain vs fault-tolerant pools) and append a record to -bench")
 		corruptK    = flag.Int("corrupt-k", 0, "repair campaign: single-bit media faults per round (>0 selects the corrupt-scrub-verify campaign)")
 		corruptMode = flag.String("corrupt-mode", "detect", "repair campaign fault flavor: detect (payload bits) or silent (checksum/parity bits)")
 		scrubCrash  = flag.Bool("scrub", false, "repair campaign: arm a power failure inside each round's scrub pass (-points rounds)")
@@ -103,6 +107,34 @@ func main() {
 
 	if *replayTok != "" {
 		os.Exit(replay(*replayTok, opt, *expectFail))
+	}
+
+	if *clusterFlag {
+		copt := crashtest.DefaultClusterOptions()
+		copt.Seed = *seed
+		copt.Nodes = *nodes
+		copt.Workers = *workers
+		copt.Shards = *shards
+		copt.OpsPerWorker = *ops
+		copt.Points = *points
+		copt.Policies = opt.Policies
+		copt.MutateSplitBrain = *mutSplit
+		copt.Obs = reg
+		start := time.Now()
+		sum, err := crashtest.RunCluster(copt)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Printf("cluster campaign: FAIL after %d/%d points: %v\n", sum.Fired+sum.Completed, sum.Points, err)
+			os.Exit(status(true, *expectFail))
+		}
+		fmt.Printf("cluster campaign: %d nodes, %d workers, %d points (%d node kills fired, %d drained), %d acked writes, %d events spanned (%.1fs)\n",
+			copt.Nodes, copt.Workers, sum.Points, sum.Fired, sum.Completed, sum.AckedOps, sum.Span, wall)
+		if *metricsOut != "" {
+			if err := reg.WriteFile(*metricsOut); err != nil {
+				fatal(err)
+			}
+		}
+		os.Exit(status(false, *expectFail))
 	}
 
 	if *mvccFlag {
@@ -155,6 +187,10 @@ func main() {
 			}
 		}
 		os.Exit(status(false, *expectFail))
+	}
+
+	if *ftOverhead {
+		os.Exit(runFTOverhead(*seed, *ops, *benchPath))
 	}
 
 	if *corruptK > 0 || *mutNoParity || *scrubCrash {
@@ -336,6 +372,63 @@ func runRepair(reg *obs.Registry, opt crashtest.Options, k int, mode string, scr
 		}
 	}
 	return status(failed, expectFail)
+}
+
+// runFTOverhead prices media-fault tolerance on whole benchmarks: every
+// Table 5 micro (durable) and the durable TPC-C mix run over plain and
+// fault-tolerant pools, and the per-op wall-time pairs land in one
+// BENCH_repair.json record (mode "ft-overhead") next to the KV get-path
+// verify numbers.
+func runFTOverhead(seed uint64, ops int, benchPath string) int {
+	// The crash campaigns default -ops to a per-case transaction count
+	// far too small to time; below that threshold use measurement-sized
+	// runs instead.
+	microOps, tpccOps := 20000, 300
+	if ops > 100 {
+		microOps = ops
+		tpccOps = ops / 20
+	}
+	start := time.Now()
+	rows, err := harness.MeasureFTOverhead(nil, microOps, tpccOps, int64(seed))
+	if err != nil {
+		fatal(err)
+	}
+	wall := time.Since(start).Seconds()
+	for _, r := range rows {
+		fmt.Printf("%-4s %6d ops: %8.0f ns/op plain, %8.0f ns/op FT (+%.1f%%)\n",
+			r.Bench, r.Ops, r.PlainNs, r.FTNs, 100*r.Overhead())
+	}
+	plainNs, verifyNs, err := harness.MeasureVerifyOverhead(2048, 50000, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("get path: %.0f ns plain, %.0f ns verified (+%.1f%%)\n",
+		plainNs, verifyNs, 100*(verifyNs-plainNs)/plainNs)
+
+	if benchPath != "" {
+		rec := harness.RepairRecord{
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
+			GitSHA:      gitSHA(),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Seed:        seed,
+			Mode:        "ft-overhead",
+			Ops:         microOps,
+			WallSeconds: wall,
+			GetNsPlain:  plainNs,
+			GetNsVerify: verifyNs,
+			Workloads:   rows,
+		}
+		switch err := harness.AppendRepairRecord(benchPath, rec); {
+		case err == nil:
+			fmt.Printf("appended trajectory record to %s\n", benchPath)
+		case strings.Contains(err.Error(), harness.ErrDuplicateRepairRecord.Error()):
+			fmt.Fprintf(os.Stderr, "potcrash: %v (not recording)\n", err)
+		default:
+			fatal(err)
+		}
+	}
+	return 0
 }
 
 // replay reproduces one recorded case and reports whether it still fails.

@@ -1,0 +1,485 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"potgo/internal/nvmsim"
+	"potgo/internal/objstore"
+	"potgo/internal/potserve"
+)
+
+// Applied is one log entry as applied on a node, stamped with the context
+// the verifier needs: the epoch the sender claimed when it pushed the entry
+// and the node's own epoch at apply time. An entry applied with
+// SenderEpoch < NodeEpoch is the split-brain signature — a deposed primary
+// got a write accepted after the membership moved on — and the honest
+// follower path rejects exactly that.
+type Applied struct {
+	potserve.RepEntry
+	Origin      uint32
+	SenderEpoch uint64
+	NodeEpoch   uint64
+}
+
+// Node is one cluster member: a potserve Backend that owns a ring segment
+// (it coordinates writes for its keys), follows every peer's op log, and
+// replicates its own log to the peers, acknowledging a write only once a
+// majority of the original membership holds it durably.
+//
+// A node whose heap crashes (an armed nvmsim event fires during a local
+// apply) recovers the panic, marks itself dead and shuts its server down —
+// the in-process analogue of the process dying: in-flight clients see
+// connection errors, peers stop getting acks.
+type Node struct {
+	ID uint32
+	KV *objstore.KV
+
+	// onDeath, when non-nil, runs once on the first recovered crash signal
+	// (the harness uses it to close the node's listener asynchronously).
+	onDeath func()
+
+	mu   sync.Mutex
+	topo Topology
+	// wmu serializes local apply + log append on the coordinator path, so
+	// one node's per-key apply order equals its log order. It is NEVER held
+	// across a network call: the replication push runs on per-peer backlog
+	// streams instead, which is what keeps two nodes writing to each other
+	// deadlock-free.
+	wmu sync.Mutex
+	// repmu[origin] serializes follower applies per origin. Different
+	// origins own disjoint key segments, so per-origin locking preserves
+	// per-key order without coupling the origins (or the local write path).
+	repmu sync.Map // uint32 -> *sync.Mutex
+	// seq numbers this node's own log from 1.
+	seq uint64
+	// tracker counts durability acks for this node's own log.
+	tracker *Tracker
+	// watermark[origin] is the highest seq applied in order per origin.
+	watermark map[uint32]uint64
+	// applied[origin] is the full in-order applied log per origin,
+	// including this node's own. Volatile by design — the persistent truth
+	// is the KV journal + op counters; the applied log is the replication
+	// state the verifier audits.
+	applied map[uint32][]Applied
+
+	// peers holds one replication stream per peer: a lazily-dialed client,
+	// the peer's last confirmed watermark for OUR log, and a lock
+	// serializing pushes to that peer. Every push sends the whole backlog
+	// past the confirmed watermark, so concurrent writers pushing out of
+	// order still deliver the log gap-free.
+	peersMu sync.Mutex
+	peers   map[uint32]*peerStream
+
+	dead      bool
+	deathOnce sync.Once
+
+	// splitBrainMutation disables the stale-epoch rejection on the
+	// follower path — the seeded bug the cluster verifier must catch.
+	splitBrainMutation bool
+}
+
+// NewNode builds a cluster node over a journaled KV at the given topology.
+func NewNode(id uint32, kv *objstore.KV, topo Topology) *Node {
+	return &Node{
+		ID:        id,
+		KV:        kv,
+		topo:      topo,
+		tracker:   NewTracker(topo.Quorum()),
+		watermark: make(map[uint32]uint64),
+		applied:   make(map[uint32][]Applied),
+	}
+}
+
+// OnDeath registers a hook run once when the node's heap crashes.
+func (n *Node) OnDeath(fn func()) { n.onDeath = fn }
+
+// SetTopology installs a new topology (the coordinator's failover push).
+// The quorum requirement is over the original membership and never changes.
+func (n *Node) SetTopology(t Topology) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if t.Epoch() > n.topo.Epoch() {
+		n.topo = t
+	}
+}
+
+// Topology returns the node's current topology view.
+func (n *Node) Topology() Topology {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.topo
+}
+
+// Epoch returns the node's current topology epoch.
+func (n *Node) Epoch() uint64 { return n.Topology().Epoch() }
+
+// Dead reports whether the node's heap crashed.
+func (n *Node) Dead() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dead
+}
+
+// MutateSplitBrain disables the follower's stale-epoch rejection: a deposed
+// primary's appends are accepted as if its epoch were current. Test-only.
+func (n *Node) MutateSplitBrain() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.splitBrainMutation = true
+}
+
+// Watermark returns the node's applied watermark for an origin.
+func (n *Node) Watermark(origin uint32) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.watermark[origin]
+}
+
+// AppliedLog returns a copy of the node's applied log for an origin.
+func (n *Node) AppliedLog(origin uint32) []Applied {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Applied, len(n.applied[origin]))
+	copy(out, n.applied[origin])
+	return out
+}
+
+// Seq returns the node's own log length (last assigned sequence).
+func (n *Node) Seq() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seq
+}
+
+// Tracker returns the node's quorum tracker for its own log.
+func (n *Node) Tracker() *Tracker { return n.tracker }
+
+// markDead flags the node dead and runs the death hook once.
+func (n *Node) markDead() {
+	n.mu.Lock()
+	n.dead = true
+	n.mu.Unlock()
+	n.deathOnce.Do(func() {
+		if n.onDeath != nil {
+			n.onDeath()
+		}
+	})
+}
+
+// peerStream is one replication stream to a peer: pushes serialize on mu,
+// conn is redialed after errors, and known tracks the peer's confirmed
+// watermark for this node's own log.
+type peerStream struct {
+	mu    sync.Mutex
+	conn  *potserve.Client
+	known uint64
+}
+
+// peer returns the stream for a peer node, creating it on first use.
+func (n *Node) peer(id uint32) *peerStream {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	if n.peers == nil {
+		n.peers = make(map[uint32]*peerStream)
+	}
+	ps, ok := n.peers[id]
+	if !ok {
+		ps = &peerStream{}
+		n.peers[id] = ps
+	}
+	return ps
+}
+
+// Close tears down the node's replication streams.
+func (n *Node) Close() {
+	n.peersMu.Lock()
+	defer n.peersMu.Unlock()
+	for id, ps := range n.peers {
+		ps.mu.Lock()
+		if ps.conn != nil {
+			ps.conn.Close()
+			ps.conn = nil
+		}
+		ps.mu.Unlock()
+		delete(n.peers, id)
+	}
+}
+
+// Exec implements potserve.Backend. Reads serve locally after an ownership
+// check; writes run the replicated commit protocol; replication ops run the
+// follower state machine. A crash signal from the heap (armed nvmsim event,
+// or any event after poisoning) is recovered here and turns into node
+// death, exactly like a process crash under a real power cut.
+func (n *Node) Exec(req *potserve.Request, resp *potserve.Response) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if _, ok := nvmsim.AsCrashSignal(r); !ok {
+			panic(r)
+		}
+		n.markDead()
+		// The response never reaches the client: the death hook closes the
+		// server, tearing every connection down mid-flight. Fill a refusal
+		// anyway so an in-process caller sees a coherent response.
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: "cluster: node crashed"}
+	}()
+	if n.Dead() {
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: "cluster: node is dead"}
+		return
+	}
+	switch req.Op {
+	case potserve.OpGet, potserve.OpScan, potserve.OpPing:
+		n.execRead(req, resp)
+	case potserve.OpPut, potserve.OpDel:
+		n.execWrite(req, resp)
+	case potserve.OpRep:
+		n.execRep(req, resp)
+	case potserve.OpSub:
+		n.execSub(req, resp)
+	case potserve.OpAck:
+		n.execAck(req, resp)
+	case potserve.OpTopo:
+		t := n.Topology()
+		*resp = potserve.Response{Status: potserve.StatusOK, Topo: t.Wire}
+	case potserve.OpTx:
+		// Multi-key transactions would need a cross-node commit protocol;
+		// the cluster tier serves single-key ops and scans only.
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: "cluster: TX is not supported in cluster mode"}
+	default:
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: fmt.Sprintf("cluster: unhandled op %d", req.Op)}
+	}
+}
+
+// execRead serves GET/SCAN/PING locally. Every node applies every origin's
+// log, so the local KV holds the full data set; GET still checks ownership
+// — only the owner's copy reflects its latest acknowledged writes, a
+// non-owner may lag the tail of the owner's log. SCAN answers from the
+// local replica and the routing client merges per-owner results.
+func (n *Node) execRead(req *potserve.Request, resp *potserve.Response) {
+	if req.Op == potserve.OpGet {
+		t := n.Topology()
+		owner, ok := t.Owner(req.Key)
+		if !ok || owner != n.ID {
+			*resp = potserve.Response{Status: potserve.StatusNotOwner}
+			return
+		}
+	}
+	(&potserve.KVBackend{KV: n.KV}).Exec(req, resp)
+}
+
+// execWrite runs the replicated commit: ownership check, local durable
+// apply + log append under wmu, then a push to every alive peer on its
+// backlog stream, acking the client only at quorum.
+func (n *Node) execWrite(req *potserve.Request, resp *potserve.Response) {
+	t := n.Topology()
+	owner, ok := t.Owner(req.Key)
+	if !ok || owner != n.ID {
+		*resp = potserve.Response{Status: potserve.StatusNotOwner}
+		return
+	}
+
+	// Local durable apply first: the entry must be on stable storage here
+	// before any peer can be told about it, so a quorum ack implies the
+	// entry is durable on every acking node including the coordinator. wmu
+	// keeps per-key apply order equal to log order and is released before
+	// any network traffic. The apply runs in a closure with deferred
+	// unlocks: a crash signal out of the KV must not strand the mutex, or
+	// every later handler (and Server.Close, which waits for them) hangs.
+	del := req.Op == potserve.OpDel
+	var created, existed bool
+	var entry potserve.RepEntry
+	var epoch uint64
+	err := func() error {
+		n.wmu.Lock()
+		defer n.wmu.Unlock()
+		var err error
+		if del {
+			existed, err = n.KV.Delete(req.Key)
+		} else {
+			created, err = n.KV.Put(req.Key, req.Val)
+		}
+		if err != nil {
+			return err
+		}
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.seq++
+		epoch = n.topo.Epoch()
+		entry = potserve.RepEntry{Seq: n.seq, Epoch: epoch, Key: req.Key, Val: req.Val, Del: del}
+		n.watermark[n.ID] = entry.Seq
+		n.applied[n.ID] = append(n.applied[n.ID], Applied{
+			RepEntry: entry, Origin: n.ID, SenderEpoch: epoch, NodeEpoch: epoch,
+		})
+		return nil
+	}()
+	if err != nil {
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: err.Error()}
+		return
+	}
+	n.tracker.Ack(entry.Seq, n.ID)
+
+	// Push the backlog to every alive peer; each REP response is that
+	// peer's durable watermark for our log — the ack.
+	for _, tn := range t.Wire.Nodes {
+		if tn.ID == n.ID || !tn.Alive {
+			continue
+		}
+		n.pushBacklog(tn, entry.Seq, epoch)
+	}
+
+	if !n.tracker.Durable(entry.Seq) {
+		// The write may be durable on a minority; without quorum it is NOT
+		// acknowledged and the client must treat it as possibly-lost.
+		*resp = potserve.Response{Status: potserve.StatusErr, Msg: "cluster: write did not reach quorum"}
+		return
+	}
+	if del {
+		if existed {
+			*resp = potserve.Response{Status: potserve.StatusOK}
+		} else {
+			*resp = potserve.Response{Status: potserve.StatusNotFound}
+		}
+		return
+	}
+	*resp = potserve.Response{Status: potserve.StatusOK, Created: created}
+}
+
+// pushBacklog sends this node's log entries past the peer's confirmed
+// watermark, up to at least seq, and records the returned watermark in the
+// quorum tracker. Pushes to one peer serialize on its stream lock; because
+// every push carries the full unconfirmed backlog, two writers racing to
+// push still deliver the log in order with no gaps — whichever push lands
+// first carries both entries, and the response watermark acks both.
+func (n *Node) pushBacklog(tn potserve.TopoNode, seq, epoch uint64) {
+	ps := n.peer(tn.ID)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.known >= seq {
+		return // a racing push already delivered and confirmed this entry
+	}
+	n.mu.Lock()
+	log := n.applied[n.ID]
+	// Own-log entries are in order with Seq == index+1.
+	from := ps.known
+	if from > uint64(len(log)) {
+		from = uint64(len(log))
+	}
+	entries := make([]potserve.RepEntry, 0, len(log)-int(from))
+	for _, a := range log[from:] {
+		entries = append(entries, a.RepEntry)
+	}
+	n.mu.Unlock()
+	if len(entries) == 0 {
+		return
+	}
+	if len(entries) > potserve.MaxRepEntries {
+		entries = entries[:potserve.MaxRepEntries]
+	}
+	if ps.conn == nil {
+		c, err := potserve.Dial(tn.Addr)
+		if err != nil {
+			return
+		}
+		ps.conn = c
+	}
+	w, err := ps.conn.Rep(n.ID, epoch, entries)
+	if err != nil {
+		ps.conn.Close()
+		ps.conn = nil
+		return
+	}
+	if w > ps.known {
+		ps.known = w
+	}
+	n.tracker.Ack(w, tn.ID)
+}
+
+// originLock returns the apply lock for one origin's log.
+func (n *Node) originLock(origin uint32) *sync.Mutex {
+	v, _ := n.repmu.LoadOrStore(origin, &sync.Mutex{})
+	return v.(*sync.Mutex)
+}
+
+// execRep is the follower state machine: apply an origin's entries in
+// sequence order exactly once, refuse stale-epoch senders, answer the
+// durable watermark.
+func (n *Node) execRep(req *potserve.Request, resp *potserve.Response) {
+	lk := n.originLock(req.Origin)
+	lk.Lock()
+	defer lk.Unlock()
+
+	n.mu.Lock()
+	nodeEpoch := n.topo.Epoch()
+	mutated := n.splitBrainMutation
+	n.mu.Unlock()
+
+	// Epoch fence: a sender below our epoch is a deposed primary (or a
+	// partitioned one) — accepting its writes is exactly how split brain
+	// corrupts a cluster, so the honest path refuses. The seeded mutation
+	// skips this check and the verifier must catch the consequence.
+	if !mutated && req.Epoch < nodeEpoch {
+		*resp = potserve.Response{Status: potserve.StatusErr,
+			Msg: fmt.Sprintf("cluster: stale epoch %d < %d", req.Epoch, nodeEpoch)}
+		return
+	}
+
+	origin := req.Origin
+	for _, e := range req.Entries {
+		n.mu.Lock()
+		w := n.watermark[origin]
+		n.mu.Unlock()
+		if e.Seq <= w {
+			continue // duplicate delivery; applies are exactly-once
+		}
+		if e.Seq != w+1 {
+			break // gap: answer the watermark, the sender re-sends from there
+		}
+		var err error
+		if e.Del {
+			_, err = n.KV.Delete(e.Key)
+		} else {
+			_, err = n.KV.Put(e.Key, e.Val)
+		}
+		if err != nil {
+			*resp = potserve.Response{Status: potserve.StatusErr, Msg: err.Error()}
+			return
+		}
+		n.mu.Lock()
+		n.watermark[origin] = e.Seq
+		n.applied[origin] = append(n.applied[origin], Applied{
+			RepEntry: e, Origin: origin, SenderEpoch: req.Epoch, NodeEpoch: nodeEpoch,
+		})
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	w := n.watermark[origin]
+	n.mu.Unlock()
+	*resp = potserve.Response{Status: potserve.StatusOK, Seq: w}
+}
+
+// execSub answers an origin's applied log suffix (catch-up stream).
+func (n *Node) execSub(req *potserve.Request, resp *potserve.Response) {
+	n.mu.Lock()
+	log := n.applied[req.Origin]
+	var out []potserve.RepEntry
+	for _, a := range log {
+		if a.Seq > req.Seq {
+			out = append(out, a.RepEntry)
+		}
+	}
+	n.mu.Unlock()
+	if len(out) > potserve.MaxRepEntries {
+		out = out[:potserve.MaxRepEntries]
+	}
+	*resp = potserve.Response{Status: potserve.StatusOK, Entries: out}
+}
+
+// execAck records a peer-reported durable watermark in the quorum tracker
+// (the coordinator seeds a promoted primary's tracker this way).
+func (n *Node) execAck(req *potserve.Request, resp *potserve.Response) {
+	n.tracker.Ack(req.Seq, req.Origin)
+	*resp = potserve.Response{Status: potserve.StatusOK}
+}

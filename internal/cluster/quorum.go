@@ -1,0 +1,66 @@
+package cluster
+
+import "sync"
+
+// Tracker counts per-sequence durability acks for one origin's log and
+// answers "is seq durable on a quorum?". The primary records its own local
+// commit and every follower ack; entries at or below the committed
+// watermark are forgotten, so the map holds only in-flight sequences.
+type Tracker struct {
+	mu        sync.Mutex
+	quorum    int
+	acks      map[uint64]map[uint32]struct{}
+	committed uint64 // every seq <= committed reached quorum
+}
+
+// NewTracker returns a tracker requiring the given ack count per sequence.
+func NewTracker(quorum int) *Tracker {
+	return &Tracker{quorum: quorum, acks: make(map[uint64]map[uint32]struct{})}
+}
+
+// Ack records that node holds origin's log durably through seq (a watermark:
+// it covers every sequence at or below seq).
+func (t *Tracker) Ack(seq uint64, node uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for s := t.committed + 1; s <= seq; s++ {
+		m := t.acks[s]
+		if m == nil {
+			m = make(map[uint32]struct{})
+			t.acks[s] = m
+		}
+		m[node] = struct{}{}
+	}
+	t.advance()
+}
+
+// advance slides the committed watermark over every consecutive sequence
+// that reached quorum, releasing its ack set.
+func (t *Tracker) advance() {
+	for {
+		m, ok := t.acks[t.committed+1]
+		if !ok || len(m) < t.quorum {
+			return
+		}
+		delete(t.acks, t.committed+1)
+		t.committed++
+	}
+}
+
+// Durable reports whether seq has reached quorum.
+func (t *Tracker) Durable(seq uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq <= t.committed {
+		return true
+	}
+	return len(t.acks[seq]) >= t.quorum
+}
+
+// Committed returns the highest watermark below which every sequence is
+// durable on a quorum.
+func (t *Tracker) Committed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.committed
+}

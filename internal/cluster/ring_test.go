@@ -1,0 +1,105 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministic: every participant must derive the identical ring
+// from the same membership — routing correctness depends on it.
+func TestRingDeterministic(t *testing.T) {
+	a := BuildRing([]uint32{0, 1, 2})
+	b := BuildRing([]uint32{2, 0, 1}) // order must not matter
+	for key := uint64(0); key < 10000; key++ {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %d: owner %d vs %d from permuted membership", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes must spread the key space within a small
+// factor across members.
+func TestRingBalance(t *testing.T) {
+	r := BuildRing([]uint32{0, 1, 2})
+	counts := map[uint32]int{}
+	const keys = 30000
+	for key := uint64(1); key <= keys; key++ {
+		counts[r.Owner(key)]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %d owns %.0f%% of the key space; want a rough third", id, frac*100)
+		}
+	}
+}
+
+// TestRingMinimalMovement: removing one member must move only that
+// member's keys — survivors keep every key they already owned.
+func TestRingMinimalMovement(t *testing.T) {
+	full := BuildRing([]uint32{0, 1, 2})
+	reduced := BuildRing([]uint32{0, 2})
+	for key := uint64(1); key <= 10000; key++ {
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != 1 && after != before {
+			t.Fatalf("key %d moved %d -> %d although its owner survived", key, before, after)
+		}
+		if before == 1 && after == 1 {
+			t.Fatalf("key %d still routed to the removed member", key)
+		}
+	}
+}
+
+// TestTopologyQuorum: the quorum is a majority of the ORIGINAL membership
+// and does not shrink when members die — that is the split-brain guard.
+func TestTopologyQuorum(t *testing.T) {
+	topo := NewTopology(1, testMembers(3))
+	if q := topo.Quorum(); q != 2 {
+		t.Fatalf("3-node quorum = %d, want 2", q)
+	}
+	dead := topo.MarkDead(1)
+	if q := dead.Quorum(); q != 2 {
+		t.Fatalf("quorum after a death = %d, want still 2", q)
+	}
+	if dead.Epoch() != 2 {
+		t.Fatalf("epoch after a death = %d, want 2", dead.Epoch())
+	}
+	if _, ok := dead.Owner(7); !ok {
+		t.Fatal("reduced topology cannot route")
+	}
+	for key := uint64(1); key <= 5000; key++ {
+		if owner, _ := dead.Owner(key); owner == 1 {
+			t.Fatalf("key %d routed to the dead member", key)
+		}
+	}
+}
+
+// TestTracker: a sequence is durable only once enough distinct members
+// acked it, watermark acks cover everything below, and the committed
+// watermark only advances over gap-free quorum.
+func TestTracker(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Ack(3, 0) // self holds 1..3
+	if tr.Durable(1) || tr.Durable(3) {
+		t.Fatal("single ack must not be durable at quorum 2")
+	}
+	tr.Ack(2, 1) // peer holds 1..2
+	if !tr.Durable(1) || !tr.Durable(2) {
+		t.Fatal("two acks over 1..2 must be durable")
+	}
+	if tr.Durable(3) {
+		t.Fatal("seq 3 has one ack; must not be durable")
+	}
+	if c := tr.Committed(); c != 2 {
+		t.Fatalf("committed = %d, want 2", c)
+	}
+	tr.Ack(3, 2)
+	if !tr.Durable(3) || tr.Committed() != 3 {
+		t.Fatalf("seq 3 after second ack: durable=%v committed=%d", tr.Durable(3), tr.Committed())
+	}
+	// Duplicate acks from one member must not count twice.
+	tr2 := NewTracker(2)
+	tr2.Ack(1, 0)
+	tr2.Ack(1, 0)
+	if tr2.Durable(1) {
+		t.Fatal("duplicate acks from one member counted as quorum")
+	}
+}

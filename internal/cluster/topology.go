@@ -1,0 +1,71 @@
+package cluster
+
+import "potgo/internal/potserve"
+
+// Topology wraps the wire-level member list with the derived hash ring.
+// The ring is built over the alive members only, so a failover (mark dead,
+// bump epoch) moves exactly the dead node's segments to the survivors.
+type Topology struct {
+	Wire potserve.Topology
+	ring *Ring
+}
+
+// NewTopology builds a topology at the given epoch over the given members.
+func NewTopology(epoch uint64, nodes []potserve.TopoNode) Topology {
+	t := Topology{Wire: potserve.Topology{Epoch: epoch, Nodes: nodes}}
+	t.ring = BuildRing(t.AliveIDs())
+	return t
+}
+
+// FromWire rebuilds the derived ring from a wire topology (client side).
+func FromWire(w potserve.Topology) Topology { return NewTopology(w.Epoch, w.Nodes) }
+
+// Epoch returns the topology epoch.
+func (t Topology) Epoch() uint64 { return t.Wire.Epoch }
+
+// AliveIDs returns the ids of the alive members, in member order.
+func (t Topology) AliveIDs() []uint32 {
+	ids := make([]uint32, 0, len(t.Wire.Nodes))
+	for _, n := range t.Wire.Nodes {
+		if n.Alive {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Owner returns the id of the alive node owning key.
+func (t Topology) Owner(key uint64) (uint32, bool) {
+	if t.ring == nil || len(t.ring.points) == 0 {
+		return 0, false
+	}
+	return t.ring.Owner(key), true
+}
+
+// Addr returns the address of the member with the given id.
+func (t Topology) Addr(id uint32) (string, bool) {
+	for _, n := range t.Wire.Nodes {
+		if n.ID == id {
+			return n.Addr, true
+		}
+	}
+	return "", false
+}
+
+// Quorum returns the ack count required for durability: a majority of the
+// ORIGINAL membership, dead members included. Counting over the full
+// membership (not the alive subset) is what makes two disjoint primaries
+// unable to both reach quorum — the split-brain safety argument.
+func (t Topology) Quorum() int { return len(t.Wire.Nodes)/2 + 1 }
+
+// MarkDead returns a copy with the given member dead and the epoch bumped.
+func (t Topology) MarkDead(id uint32) Topology {
+	nodes := make([]potserve.TopoNode, len(t.Wire.Nodes))
+	copy(nodes, t.Wire.Nodes)
+	for i := range nodes {
+		if nodes[i].ID == id {
+			nodes[i].Alive = false
+		}
+	}
+	return NewTopology(t.Wire.Epoch+1, nodes)
+}

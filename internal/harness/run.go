@@ -65,6 +65,14 @@ type RunSpec struct {
 	FixedMap bool
 	// Tx enables failure-safety/durability (off = the *_NTX configs).
 	Tx bool
+	// FT runs the workload over fault-tolerant pools: per-object CRC32C
+	// checksums and a parity column maintained at every commit. Used to
+	// price the media-fault-tolerance tax on whole benchmarks (the
+	// BENCH_repair.json workload series), not just the KV get path.
+	// VerifyOnRead stays off — workload setup writes outside
+	// transactions, so read-side verification is priced separately by
+	// MeasureVerifyOverhead.
+	FT bool
 	// Core picks the timing model.
 	Core CoreKind
 	// Design picks the POLB microarchitecture for OPT runs.
@@ -106,6 +114,9 @@ func (s RunSpec) Label() string {
 	}
 	if !s.Tx {
 		cfg += "_NTX"
+	}
+	if s.FT {
+		cfg += "_FT"
 	}
 	return fmt.Sprintf("%s/%s/%s/%s", s.Bench, s.Pattern, cfg, s.Core)
 }
@@ -228,6 +239,9 @@ func RunObserved(spec RunSpec, ro RunObs) (RunResult, error) {
 		h.POT = potTable
 		h.HW = tr
 		heapRef = h
+		if spec.FT {
+			h.SetFTDefault(true)
+		}
 
 		if spec.Bench == TPCCBench {
 			cfg := tpcc.SpecConfig(spec.Seed)
@@ -352,6 +366,9 @@ func runFunctional(spec RunSpec) (RunResult, *pmem.Heap, error) {
 	h, err := pmem.NewHeap(as, pmem.NewStore(), em, soft)
 	if err != nil {
 		return RunResult{}, nil, err
+	}
+	if spec.FT {
+		h.SetFTDefault(true)
 	}
 	out := RunResult{Spec: spec}
 	if spec.Bench == TPCCBench {

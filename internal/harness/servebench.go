@@ -33,6 +33,11 @@ type ServeRecord struct {
 	ReadPct    int    `json:"read_pct"`
 	Shards     int    `json:"shards"`
 	InProcess  bool   `json:"in_process"`
+	// Cluster is the replicated-member count when the run targeted an
+	// in-process cluster through the routing client (0 = single server).
+	// Cluster runs pay quorum replication on every write, so they form
+	// their own trajectory.
+	Cluster int `json:"cluster,omitempty"`
 	// Snapshot records whether the in-process server's KV store served
 	// reads from the MVCC snapshot mirror (false = latched baseline), so
 	// snapshot and latched runs form separate trajectories.
@@ -55,7 +60,7 @@ func sameServeConfig(a, b ServeRecord) bool {
 	return a.GitSHA == b.GitSHA && a.Seed == b.Seed && a.Conns == b.Conns &&
 		a.OpsPerConn == b.OpsPerConn && a.Depth == b.Depth && a.KeySpace == b.KeySpace &&
 		a.ReadPct == b.ReadPct && a.Shards == b.Shards && a.InProcess == b.InProcess &&
-		a.Snapshot == b.Snapshot
+		a.Snapshot == b.Snapshot && a.Cluster == b.Cluster
 }
 
 // AppendServeRecord appends rec to the JSON-array trajectory file at path,

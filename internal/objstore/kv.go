@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"potgo/internal/oid"
 	"potgo/internal/pds"
@@ -29,6 +30,10 @@ type KV struct {
 	// shard's persistent op counter inside the transaction (see
 	// EnableJournal).
 	journaled bool
+	// fallbacks counts MVCC reads that could not ride the snapshot path
+	// (pin registry exhausted, or a mirror miss mid-walk) and fell back to
+	// the latched path instead. Atomic; observability only.
+	fallbacks uint64
 }
 
 type kvShard struct {
@@ -287,6 +292,11 @@ func ReplayKVJournal(j []BatchOp, n int) map[uint64]uint64 {
 // journalOp records op in the shard journal and bumps the persistent
 // counter inside the already-bound transaction. Caller holds the shard
 // write lock.
+// SnapshotFallbacks returns how many MVCC reads fell back to the latched
+// path (pin registry exhausted, or a version-mirror miss mid-walk). Zero
+// on latched-baseline stores, which never take the snapshot path at all.
+func (kv *KV) SnapshotFallbacks() uint64 { return atomic.LoadUint64(&kv.fallbacks) }
+
 func (kv *KV) journalOp(s *kvShard, op BatchOp) error {
 	s.journal = append(s.journal, op)
 	return bumpCounter(&s.wctx, s.root.FieldAt(8))
@@ -312,6 +322,7 @@ func (kv *KV) Get(key uint64) (val uint64, ok bool, err error) {
 				return v, found, nil
 			}
 		}
+		atomic.AddUint64(&kv.fallbacks, 1)
 	}
 	kv.sh.RLockPool(s.pool.ID()) //potlint:allow snapshotread latched fallback on mirror miss or pin exhaustion
 	val, ok, err = s.tree.FindFast(&s.rctx, key)
@@ -444,6 +455,7 @@ func (kv *KV) ScanAppend(dst []pds.KV, from uint64, max int) ([]pds.KV, error) {
 			}
 			dst = dst[:0]
 		}
+		atomic.AddUint64(&kv.fallbacks, 1)
 	}
 	kv.sh.RLockAll() //potlint:allow snapshotread latched fallback on mirror miss or pin exhaustion
 	defer kv.sh.RUnlockAll()

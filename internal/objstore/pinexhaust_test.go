@@ -1,0 +1,94 @@
+package objstore
+
+import (
+	"testing"
+
+	"potgo/internal/pmem"
+)
+
+// TestKVPinExhaustionFallback saturates the entire reader pin registry and
+// proves the MVCC read path degrades, not breaks: Get and Scan fall back
+// to the latched path with correct results, the fallback counter records
+// every forced detour, and releasing the pins restores the snapshot path.
+func TestKVPinExhaustionFallback(t *testing.T) {
+	kv := newKV(t, 4)
+	const keys = 50
+	for k := uint64(1); k <= keys; k++ {
+		if _, err := kv.Put(k, k*10); err != nil {
+			t.Fatalf("Put %d: %v", k, err)
+		}
+	}
+
+	// Claim every one of the registry's slots. The registry is fixed-size
+	// by design — pins are cache-line-sized CAS slots, not a free list —
+	// so the 65th reader must get nil, never block.
+	sh := kv.Sharded()
+	var pins []*pmem.PinSlot
+	for {
+		p := sh.Pin()
+		if p == nil {
+			break
+		}
+		pins = append(pins, p)
+	}
+	defer func() {
+		for _, p := range pins {
+			sh.Unpin(p)
+		}
+	}()
+	if len(pins) != pmem.DefaultPinSlots {
+		t.Fatalf("registry yielded %d pins, want %d", len(pins), pmem.DefaultPinSlots)
+	}
+	if p := sh.Pin(); p != nil {
+		sh.Unpin(p)
+		t.Fatal("Pin succeeded on a saturated registry")
+	}
+
+	// Reads under exhaustion: latched fallback, same answers.
+	if got := kv.SnapshotFallbacks(); got != 0 {
+		t.Fatalf("fallbacks before exhaustion = %d, want 0", got)
+	}
+	for k := uint64(1); k <= keys; k++ {
+		v, ok, err := kv.Get(k)
+		if err != nil || !ok || v != k*10 {
+			t.Fatalf("Get %d under exhaustion: %d,%v,%v", k, v, ok, err)
+		}
+	}
+	if got := kv.SnapshotFallbacks(); got != keys {
+		t.Fatalf("fallbacks after %d gets = %d, want %d", keys, got, keys)
+	}
+	scan, err := kv.Scan(0, keys+10)
+	if err != nil {
+		t.Fatalf("Scan under exhaustion: %v", err)
+	}
+	if len(scan) != keys {
+		t.Fatalf("Scan under exhaustion returned %d pairs, want %d", len(scan), keys)
+	}
+	for i, kvp := range scan {
+		if kvp.Key != uint64(i+1) || kvp.Val != kvp.Key*10 {
+			t.Fatalf("scan[%d] = %+v", i, kvp)
+		}
+	}
+	if got := kv.SnapshotFallbacks(); got != keys+1 {
+		t.Fatalf("fallbacks after scan = %d, want %d", got, keys+1)
+	}
+
+	// Release the registry: reads ride the snapshot path again and the
+	// counter freezes.
+	for _, p := range pins {
+		sh.Unpin(p)
+	}
+	pins = nil
+	for k := uint64(1); k <= keys; k++ {
+		v, ok, err := kv.Get(k)
+		if err != nil || !ok || v != k*10 {
+			t.Fatalf("Get %d after release: %d,%v,%v", k, v, ok, err)
+		}
+	}
+	if _, err := kv.Scan(0, keys+10); err != nil {
+		t.Fatalf("Scan after release: %v", err)
+	}
+	if got := kv.SnapshotFallbacks(); got != keys+1 {
+		t.Fatalf("fallbacks grew to %d after the registry drained, want %d", got, keys+1)
+	}
+}

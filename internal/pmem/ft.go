@@ -130,6 +130,31 @@ func (h *Heap) CreateSizedFT(name string, size, logBytes uint64) (*Pool, error) 
 	return p, nil
 }
 
+// SetFTDefault makes every subsequent Create/CreateSized produce a
+// fault-tolerant pool, growing the requested size by the parity column so
+// the pool's data capacity matches what a plain pool of that size would
+// give. Workload and application code that sizes its pools for plain
+// layout can then run unchanged over FT storage — the harness uses this
+// to measure the checksum+parity overhead of whole benchmarks rather
+// than plumbing an FT flag through every pool-creating call site.
+func (h *Heap) SetFTDefault(on bool) { h.ftDefault = on }
+
+// ftGrow returns a pool size whose FT layout leaves at least the data
+// capacity of a plain pool of the requested size. The parity column is a
+// function of the grown size, so one fixed-point step (plus a safety
+// iteration for the rounding) suffices.
+func ftGrow(size, logBytes uint64) uint64 {
+	grown := size
+	for i := 0; i < 4; i++ {
+		pb := ftParityBytes(grown, logBytes)
+		if grown-pb >= size {
+			return grown
+		}
+		grown = size + pb + nvmsim.LineBytes
+	}
+	return grown
+}
+
 // SetVerifyOnRead makes every Deref of a slab object in a fault-tolerant
 // pool verify the stored CRC32C first, returning a CorruptError on
 // mismatch. The check stands down while any transaction is open (checksums

@@ -77,6 +77,10 @@ type Heap struct {
 	// ftNoParity disables parity-column maintenance — a deliberately
 	// injected bug for the CI mutation check (see MutateNoParity).
 	ftNoParity bool
+	// ftDefault routes Create/CreateSized to the fault-tolerant layout
+	// (see SetFTDefault); the size grows by the parity column so data
+	// capacity is unchanged.
+	ftDefault bool
 	// ftPools counts open fault-tolerant pools, so commit's checksum and
 	// parity maintenance costs one compare on heaps that have none.
 	ftPools int
@@ -299,6 +303,9 @@ func (h *Heap) Create(name string, size uint64) (*Pool, error) {
 
 // CreateSized is Create with an explicit undo-log capacity.
 func (h *Heap) CreateSized(name string, size, logBytes uint64) (*Pool, error) {
+	if h.ftDefault {
+		return h.CreateSizedFT(name, ftGrow(size, logBytes), logBytes)
+	}
 	if size < MinPoolBytes(logBytes) {
 		return nil, fmt.Errorf("pmem: pool size %d below minimum %d", size, MinPoolBytes(logBytes))
 	}

@@ -438,6 +438,47 @@ func (m *MVCC) Reclaim() int {
 	return freed
 }
 
+// ChainLen returns the version-chain length for one object (0 when the
+// mirror holds no entry). Introspection for tests and benchmarks that
+// bound memory pressure under hot-key skew.
+func (m *MVCC) ChainLen(o oid.OID) int {
+	b := m.bucket(o)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	en := m.findEntryLocked(b, o)
+	if en == nil {
+		return 0
+	}
+	n := 0
+	for v := en.head; v != nil; v = v.next {
+		n++
+	}
+	return n
+}
+
+// MaxChainLen returns the longest version chain in the mirror — the
+// hot-key memory-pressure gauge: a pinned reader keeps every version
+// younger than its epoch alive, so a write-hot object's chain grows until
+// the pin releases and Reclaim prunes it back.
+func (m *MVCC) MaxChainLen() int {
+	max := 0
+	for i := range m.buckets {
+		b := &m.buckets[i]
+		b.mu.Lock()
+		for en := b.head; en != nil; en = en.next {
+			n := 0
+			for v := en.head; v != nil; v = v.next {
+				n++
+			}
+			if n > max {
+				max = n
+			}
+		}
+		b.mu.Unlock()
+	}
+	return max
+}
+
 // Seed publishes the current live bytes of [o, o+size) as the object's
 // initial version (borne 0: visible at every epoch). Called at mount while
 // the store is still private; the mirror must be empty for o.

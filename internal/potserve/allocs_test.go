@@ -24,7 +24,7 @@ func newPipeServer(t *testing.T, create func(*pmem.Sharded, string) (*objstore.K
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &Server{kv: kv, conns: make(map[net.Conn]struct{})}
+	s := &Server{backend: &KVBackend{KV: kv}, conns: make(map[net.Conn]struct{})}
 	cs, ss := net.Pipe()
 	s.conns[ss] = struct{}{}
 	s.wg.Add(1)

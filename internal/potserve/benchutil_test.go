@@ -23,7 +23,7 @@ func newBenchStore(tb testing.TB) (*pmem.Sharded, *objstore.KV) {
 
 func newPipeClient(tb testing.TB, kv *objstore.KV) *Client {
 	tb.Helper()
-	s := &Server{kv: kv, conns: make(map[net.Conn]struct{})}
+	s := &Server{backend: &KVBackend{KV: kv}, conns: make(map[net.Conn]struct{})}
 	cs, ss := net.Pipe()
 	s.conns[ss] = struct{}{}
 	s.wg.Add(1)

@@ -94,6 +94,8 @@ func (c *Client) recv(op byte) (Response, error) {
 		return resp, &ServerError{Msg: resp.Msg}
 	case StatusCorrupt:
 		return resp, ErrCorrupt
+	case StatusNotOwner:
+		return resp, ErrNotOwner
 	}
 	return resp, nil
 }
@@ -193,4 +195,44 @@ func (c *Client) Tx(ops []objstore.BatchOp) error {
 func (c *Client) Ping() error {
 	_, err := c.roundTrip(Request{Op: OpPing})
 	return err
+}
+
+// Sub fetches origin's applied log entries with Seq > fromSeq (replication
+// catch-up). The entries are fresh — they outlive the call.
+func (c *Client) Sub(origin uint32, fromSeq uint64) ([]RepEntry, error) {
+	resp, err := c.roundTrip(Request{Op: OpSub, Origin: origin, Seq: fromSeq})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RepEntry, len(resp.Entries))
+	copy(out, resp.Entries)
+	return out, nil
+}
+
+// Rep appends origin's log entries on the peer at the sender's topology
+// epoch and returns the peer's applied watermark for that origin — the
+// replication ack. A watermark covering every sent entry means the peer
+// holds them durably.
+func (c *Client) Rep(origin uint32, senderEpoch uint64, entries []RepEntry) (watermark uint64, err error) {
+	resp, err := c.roundTrip(Request{Op: OpRep, Origin: origin, Epoch: senderEpoch, Entries: entries})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
+// AckReport tells the peer that origin's log is durable through seq on this
+// sender (seeds a freshly promoted primary's quorum tracker).
+func (c *Client) AckReport(origin uint32, seq uint64) error {
+	_, err := c.roundTrip(Request{Op: OpAck, Origin: origin, Seq: seq})
+	return err
+}
+
+// Topo fetches the node's current view of the cluster topology.
+func (c *Client) Topo() (Topology, error) {
+	resp, err := c.roundTrip(Request{Op: OpTopo})
+	if err != nil {
+		return Topology{}, err
+	}
+	return resp.Topo, nil
 }

@@ -21,6 +21,13 @@ func FuzzDecodeRequest(f *testing.F) {
 		{Op: OpScan, From: 5, Max: 10},
 		{Op: OpTx},
 		{Op: OpPing},
+		{Op: OpSub, Origin: 2, Seq: 17},
+		{Op: OpRep, Origin: 1, Epoch: 3, Entries: []RepEntry{
+			{Seq: 8, Epoch: 3, Key: 40, Val: 41},
+			{Seq: 9, Epoch: 3, Key: 42, Del: true},
+		}},
+		{Op: OpAck, Origin: 0, Seq: 99},
+		{Op: OpTopo},
 	}
 	for _, req := range seedReqs {
 		body, err := AppendRequest(nil, req)
@@ -34,6 +41,20 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte{0xff, 0xff})
 	f.Add([]byte{OpTx, 0xff, 0xff})
 	f.Add([]byte{OpScan, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})
+	// Replication frames: truncated headers, bad counts, short entry
+	// payloads, bad entry kinds, trailing junk.
+	f.Add([]byte{OpSub, 0, 0, 0, 1})                                  // truncated fromSeq
+	f.Add([]byte{OpRep, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2})         // truncated count
+	f.Add([]byte{OpRep, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0xff, 0xff}) // count with no payload
+	f.Add(append([]byte{OpRep, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 1}, make([]byte, 32)...)) // one byte short of an entry
+	f.Add(func() []byte { // entry kind 7 (only 0/1 legal)
+		b := []byte{OpRep, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 1}
+		e := make([]byte, 33)
+		e[16] = 7
+		return append(b, e...)
+	}())
+	f.Add([]byte{OpAck, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 2, 0xee}) // trailing junk
+	f.Add([]byte{OpTopo, 0})                                        // TOPO carries no payload
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		req, err := DecodeRequest(body)
@@ -66,6 +87,27 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(OpScan, []byte{StatusCorrupt})
 	f.Add(OpGet, []byte{StatusCorrupt, 1}) // corrupt frames carry no payload
 	f.Add(byte(0xff), []byte{0xff})
+	// Replication responses.
+	f.Add(OpGet, []byte{StatusNotOwner})
+	f.Add(OpPut, []byte{StatusNotOwner, 1}) // not-owner frames carry no payload
+	f.Add(OpRep, []byte{StatusOK, 0, 0, 0, 0, 0, 0, 0, 7})
+	f.Add(OpRep, []byte{StatusOK, 0, 0, 0, 0})    // truncated watermark
+	f.Add(OpAck, []byte{StatusOK})
+	f.Add(OpSub, func() []byte { // one valid entry
+		b := []byte{StatusOK, 0, 1}
+		e := make([]byte, 33)
+		e[7], e[15] = 4, 1 // seq 4, epoch 1
+		return append(b, e...)
+	}())
+	f.Add(OpSub, []byte{StatusOK, 0, 2, 0}) // count 2 with 1 payload byte
+	f.Add(OpTopo, func() []byte { // two-node topology
+		b := []byte{StatusOK, 0, 0, 0, 0, 0, 0, 0, 5, 0, 2}
+		b = append(b, 0, 0, 0, 0, 1, 0, 3, 'a', ':', '1')
+		b = append(b, 0, 0, 0, 1, 0, 0, 3, 'b', ':', '2')
+		return b
+	}())
+	f.Add(OpTopo, []byte{StatusOK, 0, 0, 0, 0, 0, 0, 0, 5, 0, 1, 0, 0, 0, 0, 1, 0xff, 0xff}) // bad addr length
+	f.Add(OpTopo, []byte{StatusOK, 0, 0, 0, 0, 0, 0, 0, 5, 0, 1, 0, 0, 0, 0, 9, 0, 0})       // bad alive byte
 
 	f.Fuzz(func(t *testing.T, op byte, body []byte) {
 		resp, err := DecodeResponse(op, body)

@@ -26,9 +26,18 @@ var latencyBounds = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 26214
 // small while a burst still costs ~one syscall.
 const flushBytes = 64 << 10
 
-// Server serves the potserve wire protocol over an objstore.KV. One
-// goroutine per connection executes that connection's requests in arrival
-// order (pipelined: responses accumulate in a per-connection buffer and are
+// Backend executes one decoded request, filling resp (reusing its KVs /
+// Entries capacity as scratch). The default backend runs requests straight
+// against an objstore.KV; a cluster node wraps that with ownership checks
+// and log replication. Exec is called concurrently from every connection
+// handler and must be safe for that.
+type Backend interface {
+	Exec(req *Request, resp *Response)
+}
+
+// Server serves the potserve wire protocol over a Backend. One goroutine
+// per connection executes that connection's requests in arrival order
+// (pipelined: responses accumulate in a per-connection buffer and are
 // written with one conn.Write when the connection has no further request
 // ready), while different connections run concurrently — the sharded heap
 // below provides the isolation.
@@ -39,16 +48,16 @@ const flushBytes = 64 << 10
 // the connection and are reused; metric handles are resolved once at Serve,
 // not per request. TestServeAllocs gates this.
 type Server struct {
-	kv  *objstore.KV
-	reg *obs.Registry
-	ln  net.Listener
+	backend Backend
+	reg     *obs.Registry
+	ln      net.Listener
 
 	// Per-op metric handles, indexed by opcode (decoders reject anything
-	// above OpPing). Resolved once: obs.Registry lookups are a lock and a
+	// above opMax). Resolved once: obs.Registry lookups are a lock and a
 	// map access plus a name allocation, far too heavy per request. All
 	// handles are nil-safe no-ops when reg is nil.
-	latHist   [OpPing + 1]*obs.Histogram
-	reqCount  [OpPing + 1]*obs.Counter
+	latHist   [opMax + 1]*obs.Histogram
+	reqCount  [opMax + 1]*obs.Counter
 	connCount *obs.Counter
 	protoErrs *obs.Counter
 	reqErrs   *obs.Counter
@@ -66,12 +75,17 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// Serve starts serving on ln. It returns immediately; the accept loop and
-// all connection handlers run on background goroutines until Close. reg may
-// be nil (metrics disabled).
+// Serve starts serving on ln over kv directly (single-node mode). It
+// returns immediately; the accept loop and all connection handlers run on
+// background goroutines until Close. reg may be nil (metrics disabled).
 func Serve(ln net.Listener, kv *objstore.KV, reg *obs.Registry) *Server {
-	s := &Server{kv: kv, reg: reg, ln: ln, conns: make(map[net.Conn]struct{})}
-	for op := OpGet; op <= OpPing; op++ {
+	return ServeBackend(ln, &KVBackend{KV: kv}, reg)
+}
+
+// ServeBackend is Serve over an arbitrary Backend (e.g. a cluster node).
+func ServeBackend(ln net.Listener, backend Backend, reg *obs.Registry) *Server {
+	s := &Server{backend: backend, reg: reg, ln: ln, conns: make(map[net.Conn]struct{})}
+	for op := OpGet; op <= opMax; op++ {
 		s.latHist[op] = reg.Histogram("potserve.latency_us."+opName(op), latencyBounds...)
 		s.reqCount[op] = reg.Counter("potserve.requests." + opName(op))
 	}
@@ -155,6 +169,14 @@ func opName(op byte) string {
 		return "tx"
 	case OpPing:
 		return "ping"
+	case OpSub:
+		return "sub"
+	case OpRep:
+		return "rep"
+	case OpAck:
+		return "ack"
+	case OpTopo:
+		return "topo"
 	}
 	return "unknown"
 }
@@ -205,7 +227,7 @@ func (s *Server) handle(c net.Conn) {
 			out = appendErrFrame(out, err.Error())
 		} else {
 			start := time.Now()
-			s.executeInto(&req, &resp)
+			s.backend.Exec(&req, &resp)
 			s.latHist[req.Op].Observe(float64(time.Since(start).Microseconds()))
 			s.reqCount[req.Op].Add(1)
 			if resp.Status == StatusErr {
@@ -247,14 +269,20 @@ func (s *Server) noteGrowth(caps *[4]int, frame []byte, ops []objstore.BatchOp, 
 	}
 }
 
-// executeInto runs one decoded request against the store, reusing resp's
-// KVs capacity for scan results.
-func (s *Server) executeInto(req *Request, resp *Response) {
+// KVBackend is the single-node Backend: requests run straight against the
+// store. Replication ops answer StatusErr — a lone node has no peers.
+type KVBackend struct {
+	KV *objstore.KV
+}
+
+// Exec runs one decoded request against the store, reusing resp's KVs
+// capacity for scan results.
+func (b *KVBackend) Exec(req *Request, resp *Response) {
 	kvs := resp.KVs[:0]
 	*resp = Response{KVs: kvs}
 	switch req.Op {
 	case OpGet:
-		val, ok, err := s.kv.Get(req.Key)
+		val, ok, err := b.KV.Get(req.Key)
 		switch {
 		// The store already tried an inline repair before surfacing
 		// ErrCorrupt; answer StatusCorrupt rather than tearing the
@@ -270,14 +298,14 @@ func (s *Server) executeInto(req *Request, resp *Response) {
 			resp.Status, resp.Val = StatusOK, val
 		}
 	case OpPut:
-		created, err := s.kv.Put(req.Key, req.Val)
+		created, err := b.KV.Put(req.Key, req.Val)
 		if err != nil {
 			resp.Status, resp.Msg = StatusErr, err.Error()
 			return
 		}
 		resp.Status, resp.Created = StatusOK, created
 	case OpDel:
-		existed, err := s.kv.Delete(req.Key)
+		existed, err := b.KV.Delete(req.Key)
 		switch {
 		case err != nil:
 			resp.Status, resp.Msg = StatusErr, err.Error()
@@ -287,7 +315,7 @@ func (s *Server) executeInto(req *Request, resp *Response) {
 			resp.Status = StatusOK
 		}
 	case OpScan:
-		kvs, err := s.kv.ScanAppend(kvs, req.From, int(req.Max))
+		kvs, err := b.KV.ScanAppend(kvs, req.From, int(req.Max))
 		resp.KVs = kvs
 		if err != nil {
 			if errors.Is(err, pmem.ErrCorrupt) {
@@ -300,7 +328,7 @@ func (s *Server) executeInto(req *Request, resp *Response) {
 		}
 		resp.Status = StatusOK
 	case OpTx:
-		if err := s.kv.Batch(req.Ops); err != nil {
+		if err := b.KV.Batch(req.Ops); err != nil {
 			resp.Status, resp.Msg = StatusErr, err.Error()
 			return
 		}

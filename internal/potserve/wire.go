@@ -16,15 +16,30 @@
 //	  TX   (5): u16 n, then n x (u8 kind, u64 key, u64 val); kind 0 = put,
 //	            1 = delete (val ignored)
 //	  PING (6): empty
+//	  SUB  (7): u32 origin, u64 fromSeq   (replication catch-up: send me
+//	            origin's applied log entries with seq > fromSeq)
+//	  REP  (8): u32 origin, u64 senderEpoch, u16 n, then n x entry
+//	            entry := u64 seq, u64 epoch, u8 kind, u64 key, u64 val
+//	            (primary -> follower log append; kind as TX)
+//	  ACK  (9): u32 origin, u64 seq        (durable-watermark report)
+//	  TOPO (10): empty                     (topology refresh request)
 //	response := u8 status, status/op-specific payload
 //	  StatusOK       (0): GET -> u64 val; PUT -> u8 created; DEL -> empty;
 //	                      SCAN -> u32 n, then n x (u64 key, u64 val);
-//	                      TX, PING -> empty
+//	                      TX, PING, ACK -> empty;
+//	                      SUB -> u16 n, then n x entry (shape as REP);
+//	                      REP -> u64 watermark (origin's applied watermark
+//	                             after the append — the replication ack);
+//	                      TOPO -> u64 epoch, u16 n, then n x (u32 id,
+//	                              u8 alive, u16 len, len addr bytes)
 //	  StatusNotFound (1): empty (GET of an absent key, DEL of an absent key)
 //	  StatusErr      (2): UTF-8 error message
 //	  StatusCorrupt  (3): empty (the read tripped a checksum and the object
 //	                      could not be repaired from parity; the connection
 //	                      stays usable — only that datum is bad)
+//	  StatusNotOwner (4): empty (cluster mode: this node does not own the
+//	                      requested key at its current topology epoch; the
+//	                      client refreshes the topology and re-routes)
 //
 // Decoding is total: any byte string either decodes or returns an error;
 // malformed input (truncated payloads, trailing junk, oversized counts,
@@ -49,6 +64,12 @@ const (
 	OpScan byte = 4
 	OpTx   byte = 5
 	OpPing byte = 6
+	OpSub  byte = 7  // replication catch-up: stream an origin's log suffix
+	OpRep  byte = 8  // replication append: primary -> follower log entries
+	OpAck  byte = 9  // durable-watermark report
+	OpTopo byte = 10 // topology refresh
+
+	opMax = OpTopo // highest opcode; sizes per-op metric tables
 )
 
 // Response status codes.
@@ -57,6 +78,7 @@ const (
 	StatusNotFound byte = 1
 	StatusErr      byte = 2
 	StatusCorrupt  byte = 3
+	StatusNotOwner byte = 4
 )
 
 // ErrCorrupt is what a client method returns for a StatusCorrupt
@@ -65,6 +87,12 @@ const (
 // sync; retrying the same request cannot help, so the retry layer never
 // does.
 var ErrCorrupt = errors.New("potserve: server reported unrepairable corruption")
+
+// ErrNotOwner is what a client method returns for a StatusNotOwner
+// response: the contacted node does not own the requested key at its
+// current topology epoch. The cluster routing client treats it as a
+// signal to refresh the topology and re-route; it is never a data error.
+var ErrNotOwner = errors.New("potserve: node does not own key")
 
 // TX entry kinds.
 const (
@@ -83,30 +111,70 @@ const (
 	// MaxTxOps bounds one TX batch (17 bytes per op keeps the request frame
 	// under MaxFrame).
 	MaxTxOps = 60000
+	// MaxRepEntries bounds one REP append or SUB response (33 bytes per
+	// entry keeps the frame under MaxFrame).
+	MaxRepEntries = 30000
+	// MaxTopoNodes bounds one TOPO response; with MaxAddr-long addresses the
+	// frame stays well under MaxFrame.
+	MaxTopoNodes = 1024
+	// MaxAddr bounds one node address string in a TOPO response.
+	MaxAddr = 256
 )
 
 // ErrFrameTooBig reports a length prefix above MaxFrame.
 var ErrFrameTooBig = errors.New("potserve: frame exceeds MaxFrame")
 
+// RepEntry is one replicated-log record: an acknowledged write coordinated
+// by some origin node. Seq numbers the origin's log from 1 with no gaps;
+// Epoch is the topology epoch at which the origin coordinated the write.
+type RepEntry struct {
+	Seq   uint64
+	Epoch uint64
+	Key   uint64
+	Val   uint64
+	Del   bool
+}
+
+// TopoNode is one cluster member in a TOPO response.
+type TopoNode struct {
+	ID    uint32
+	Alive bool
+	Addr  string
+}
+
+// Topology is a TOPO response payload: the epoch-stamped member list a
+// routing client rebuilds its hash ring from.
+type Topology struct {
+	Epoch uint64
+	Nodes []TopoNode
+}
+
 // Request is one decoded client request. Only the fields of the active Op
 // are meaningful.
 type Request struct {
-	Op   byte
-	Key  uint64
-	Val  uint64
-	From uint64             // SCAN
-	Max  uint32             // SCAN
-	Ops  []objstore.BatchOp // TX
+	Op      byte
+	Key     uint64
+	Val     uint64
+	From    uint64             // SCAN
+	Max     uint32             // SCAN
+	Ops     []objstore.BatchOp // TX
+	Origin  uint32             // SUB, REP, ACK
+	Seq     uint64             // SUB (fromSeq), ACK (watermark)
+	Epoch   uint64             // REP (sender's topology epoch)
+	Entries []RepEntry         // REP
 }
 
 // Response is one decoded server response. Only the fields of the
 // originating op are meaningful.
 type Response struct {
 	Status  byte
-	Val     uint64   // GET
-	Created bool     // PUT
-	KVs     []pds.KV // SCAN
-	Msg     string   // StatusErr
+	Val     uint64     // GET
+	Created bool       // PUT
+	KVs     []pds.KV   // SCAN
+	Msg     string     // StatusErr
+	Seq     uint64     // REP (applied watermark — the replication ack)
+	Entries []RepEntry // SUB
+	Topo    Topology   // TOPO
 }
 
 // ReadFrame reads one length-prefixed frame body from r.
@@ -309,11 +377,70 @@ func AppendRequest(dst []byte, req Request) ([]byte, error) {
 			dst = binary.BigEndian.AppendUint64(dst, op.Key)
 			dst = binary.BigEndian.AppendUint64(dst, op.Val)
 		}
-	case OpPing:
+	case OpPing, OpTopo:
+	case OpSub:
+		dst = binary.BigEndian.AppendUint32(dst, req.Origin)
+		dst = binary.BigEndian.AppendUint64(dst, req.Seq)
+	case OpRep:
+		if len(req.Entries) > MaxRepEntries {
+			return nil, fmt.Errorf("potserve: rep batch %d exceeds %d entries", len(req.Entries), MaxRepEntries)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, req.Origin)
+		dst = binary.BigEndian.AppendUint64(dst, req.Epoch)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(req.Entries)))
+		dst = appendEntries(dst, req.Entries)
+	case OpAck:
+		dst = binary.BigEndian.AppendUint32(dst, req.Origin)
+		dst = binary.BigEndian.AppendUint64(dst, req.Seq)
 	default:
 		return nil, fmt.Errorf("potserve: unknown request op %d", req.Op)
 	}
 	return dst, nil
+}
+
+// appendEntries appends the 33-byte wire form of each log entry.
+//
+//potlint:noalloc
+func appendEntries(dst []byte, entries []RepEntry) []byte {
+	for _, e := range entries {
+		dst = binary.BigEndian.AppendUint64(dst, e.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, e.Epoch)
+		kind := TxPut
+		if e.Del {
+			kind = TxDel
+		}
+		dst = append(dst, kind) //potlint:allow noalloc amortized growth of the caller-owned buffer
+		dst = binary.BigEndian.AppendUint64(dst, e.Key)
+		dst = binary.BigEndian.AppendUint64(dst, e.Val)
+	}
+	return dst
+}
+
+// decodeEntries decodes n 33-byte log entries into the scratch slice. The
+// caller has already verified the remaining payload length.
+//
+//potlint:noalloc
+func decodeEntries(r *reader, scratch []RepEntry, n int) []RepEntry {
+	if cap(scratch) < n {
+		scratch = make([]RepEntry, 0, n) //potlint:allow noalloc scratch grows once to the largest batch seen
+	}
+	for i := 0; i < n; i++ {
+		seq := r.u64()
+		epoch := r.u64()
+		kind := r.u8()
+		if r.err == nil && kind != TxPut && kind != TxDel {
+			r.fail(fmt.Sprintf("rep entry %d: unknown kind %d", i, kind)) //potlint:allow noalloc cold malformed-input path
+		}
+		//potlint:allow noalloc appends within the capacity checked above
+		scratch = append(scratch, RepEntry{
+			Seq:   seq,
+			Epoch: epoch,
+			Key:   r.u64(),
+			Val:   r.u64(),
+			Del:   kind == TxDel,
+		})
+	}
+	return scratch
 }
 
 // DecodeRequest decodes one request frame body. It never panics: malformed
@@ -323,9 +450,13 @@ func DecodeRequest(body []byte) (Request, error) {
 	if err := DecodeRequestInto(body, &req); err != nil {
 		return Request{}, err
 	}
-	// Canonical form: absent TX ops are a nil slice, not an empty one.
+	// Canonical form: absent TX ops / REP entries are nil slices, not empty
+	// ones.
 	if len(req.Ops) == 0 {
 		req.Ops = nil
+	}
+	if len(req.Entries) == 0 {
+		req.Entries = nil
 	}
 	return req, nil
 }
@@ -339,7 +470,8 @@ func DecodeRequest(body []byte) (Request, error) {
 //potlint:noalloc
 func DecodeRequestInto(body []byte, req *Request) error {
 	ops := req.Ops[:0]
-	*req = Request{Ops: ops}
+	ents := req.Entries[:0]
+	*req = Request{Ops: ops, Entries: ents}
 	r := reader{buf: body}
 	req.Op = r.u8()
 	switch req.Op {
@@ -379,12 +511,27 @@ func DecodeRequestInto(body []byte, req *Request) error {
 			}
 			req.Ops = ops
 		}
-	case OpPing:
+	case OpPing, OpTopo:
+	case OpSub, OpAck:
+		req.Origin = r.u32()
+		req.Seq = r.u64()
+	case OpRep:
+		req.Origin = r.u32()
+		req.Epoch = r.u64()
+		n := int(r.u16())
+		// A REP entry is 33 bytes; reject counts the remaining bytes cannot
+		// hold before allocating.
+		if r.err == nil && (n > MaxRepEntries || len(r.buf) != n*33) {
+			r.fail(fmt.Sprintf("rep count %d does not match %d payload bytes", n, len(r.buf))) //potlint:allow noalloc cold malformed-input path
+		}
+		if r.err == nil && n > 0 {
+			req.Entries = decodeEntries(&r, ents, n)
+		}
 	default:
 		r.fail(fmt.Sprintf("unknown request op %d", req.Op)) //potlint:allow noalloc cold malformed-input path
 	}
 	if err := r.done(); err != nil {
-		*req = Request{Ops: ops[:0]}
+		*req = Request{Ops: ops[:0], Entries: ents[:0]}
 		return err
 	}
 	return nil
@@ -420,7 +567,34 @@ func AppendResponse(dst []byte, op byte, resp Response) ([]byte, error) {
 			dst = binary.BigEndian.AppendUint64(dst, kv.Key)
 			dst = binary.BigEndian.AppendUint64(dst, kv.Val)
 		}
-	case OpDel, OpTx, OpPing:
+	case OpDel, OpTx, OpPing, OpAck:
+	case OpSub:
+		if len(resp.Entries) > MaxRepEntries {
+			return nil, fmt.Errorf("potserve: sub result %d exceeds %d entries", len(resp.Entries), MaxRepEntries)
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(resp.Entries)))
+		dst = appendEntries(dst, resp.Entries)
+	case OpRep:
+		dst = binary.BigEndian.AppendUint64(dst, resp.Seq)
+	case OpTopo:
+		if len(resp.Topo.Nodes) > MaxTopoNodes {
+			return nil, fmt.Errorf("potserve: topology %d exceeds %d nodes", len(resp.Topo.Nodes), MaxTopoNodes)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, resp.Topo.Epoch)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(resp.Topo.Nodes)))
+		for _, tn := range resp.Topo.Nodes {
+			if len(tn.Addr) > MaxAddr {
+				return nil, fmt.Errorf("potserve: node %d address exceeds %d bytes", tn.ID, MaxAddr)
+			}
+			dst = binary.BigEndian.AppendUint32(dst, tn.ID)
+			alive := byte(0)
+			if tn.Alive {
+				alive = 1
+			}
+			dst = append(dst, alive) //potlint:allow noalloc topology responses are the cold control path
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(tn.Addr)))
+			dst = append(dst, tn.Addr...) //potlint:allow noalloc topology responses are the cold control path
+		}
 	default:
 		return nil, fmt.Errorf("potserve: unknown response op %d", op)
 	}
@@ -434,9 +608,15 @@ func DecodeResponse(op byte, body []byte) (Response, error) {
 	if err := DecodeResponseInto(op, body, &resp); err != nil {
 		return Response{}, err
 	}
-	// Canonical form: an absent scan result is a nil slice.
+	// Canonical form: absent scan results / log entries are nil slices.
 	if len(resp.KVs) == 0 {
 		resp.KVs = nil
+	}
+	if len(resp.Entries) == 0 {
+		resp.Entries = nil
+	}
+	if len(resp.Topo.Nodes) == 0 {
+		resp.Topo.Nodes = nil
 	}
 	return resp, nil
 }
@@ -449,7 +629,8 @@ func DecodeResponse(op byte, body []byte) (Response, error) {
 //potlint:noalloc
 func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 	kvs := resp.KVs[:0]
-	*resp = Response{KVs: kvs}
+	ents := resp.Entries[:0]
+	*resp = Response{KVs: kvs, Entries: ents}
 	r := reader{buf: body}
 	resp.Status = r.u8()
 	switch {
@@ -457,7 +638,7 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 	case resp.Status == StatusErr:
 		resp.Msg = string(r.buf) //potlint:allow noalloc error responses materialize their message on the cold path
 		r.buf = nil
-	case resp.Status == StatusNotFound, resp.Status == StatusCorrupt:
+	case resp.Status == StatusNotFound, resp.Status == StatusCorrupt, resp.Status == StatusNotOwner:
 	case resp.Status != StatusOK:
 		r.fail(fmt.Sprintf("unknown status %d", resp.Status)) //potlint:allow noalloc cold malformed-input path
 	default:
@@ -484,13 +665,52 @@ func DecodeResponseInto(op byte, body []byte, resp *Response) error {
 				}
 				resp.KVs = kvs
 			}
-		case OpDel, OpTx, OpPing:
+		case OpDel, OpTx, OpPing, OpAck:
+		case OpSub:
+			n := int(r.u16())
+			if r.err == nil && (n > MaxRepEntries || len(r.buf) != n*33) {
+				r.fail(fmt.Sprintf("sub count %d does not match %d payload bytes", n, len(r.buf))) //potlint:allow noalloc cold malformed-input path
+			}
+			if r.err == nil && n > 0 {
+				resp.Entries = decodeEntries(&r, ents, n)
+			}
+		case OpRep:
+			resp.Seq = r.u64()
+		case OpTopo:
+			resp.Topo.Epoch = r.u64()
+			n := int(r.u16())
+			if r.err == nil && n > MaxTopoNodes {
+				r.fail(fmt.Sprintf("topology count %d exceeds %d", n, MaxTopoNodes)) //potlint:allow noalloc cold malformed-input path
+			}
+			if r.err == nil && n > 0 {
+				nodes := make([]TopoNode, 0, n) //potlint:allow noalloc topology responses are the cold control path
+				for i := 0; i < n; i++ {
+					id := r.u32()
+					alive := r.u8()
+					if r.err == nil && alive > 1 {
+						r.fail(fmt.Sprintf("topology node %d: alive byte %d not 0 or 1", i, alive)) //potlint:allow noalloc cold malformed-input path
+					}
+					alen := int(r.u16())
+					if r.err == nil && (alen > MaxAddr || len(r.buf) < alen) {
+						r.fail(fmt.Sprintf("topology node %d: bad address length %d", i, alen)) //potlint:allow noalloc cold malformed-input path
+					}
+					if r.err != nil {
+						break
+					}
+					addr := string(r.buf[:alen]) //potlint:allow noalloc topology responses are the cold control path
+					r.buf = r.buf[alen:]
+					nodes = append(nodes, TopoNode{ID: id, Alive: alive == 1, Addr: addr}) //potlint:allow noalloc topology responses are the cold control path
+				}
+				if r.err == nil {
+					resp.Topo.Nodes = nodes
+				}
+			}
 		default:
 			r.fail(fmt.Sprintf("unknown response op %d", op)) //potlint:allow noalloc cold malformed-input path
 		}
 	}
 	if err := r.done(); err != nil {
-		*resp = Response{KVs: kvs[:0]}
+		*resp = Response{KVs: kvs[:0], Entries: ents[:0]}
 		return err
 	}
 	return nil
