@@ -35,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"potgo/internal/cluster"
 	"potgo/internal/objstore"
@@ -105,6 +106,23 @@ func main() {
 		kv.EnableJournal()
 		node := cluster.NewNode(uint32(*nodeID), kv, cluster.NewTopology(1, members))
 		srv = potserve.ServeBackend(ln, node, reg)
+		// The applied replication logs are volatile and would otherwise
+		// grow without bound in a long-lived member; trim them periodically
+		// to what the peers have confirmed (plus a catch-up tail).
+		compactDone := make(chan struct{})
+		defer close(compactDone)
+		go func() {
+			t := time.NewTicker(30 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					node.SelfCompact()
+				case <-compactDone:
+					return
+				}
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "potserve: cluster member %d/%d serving on %s (%d shards, quorum %d)\n",
 			*nodeID, len(members), srv.Addr(), *shards, len(members)/2+1)
 	} else {

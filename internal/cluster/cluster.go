@@ -165,7 +165,13 @@ func (c *Cluster) Sync() error {
 }
 
 // catchUp streams, for every origin, the longest held log suffix to the
-// lagging members, over the wire, pushing at the given epoch.
+// lagging members, over the wire, pushing at the given epoch. Each Sub/Rep
+// round is capped at MaxRepEntries, so the stream LOOPS per member until
+// the member's watermark reaches the holder's, resuming from the applied
+// watermark each REP response returns. Completing the loop is what makes
+// Failover's ordering guarantee real: a survivor more than one frame
+// behind must not be declared caught up, or the moved ring segment could
+// serve a replica silently missing quorum-acknowledged writes.
 func (c *Cluster) catchUp(members []*Member, epoch uint64) error {
 	for origin := range c.Members {
 		o := uint32(origin)
@@ -179,38 +185,87 @@ func (c *Cluster) catchUp(members []*Member, epoch uint64) error {
 		if holder == nil || maxW == 0 {
 			continue
 		}
-		hc, err := potserve.Dial(holder.Addr)
+		hc, err := dialPeer(holder.Addr)
 		if err != nil {
 			return fmt.Errorf("cluster: catch-up dial holder: %w", err)
 		}
 		for _, m := range members {
-			w := m.Node.Watermark(o)
-			if w >= maxW {
-				continue
-			}
-			entries, err := hc.Sub(o, w)
-			if err != nil {
+			if err := catchUpMember(hc, m, o, epoch, maxW); err != nil {
 				hc.Close()
-				return fmt.Errorf("cluster: catch-up sub origin %d: %w", o, err)
+				return err
 			}
-			mc, err := potserve.Dial(m.Addr)
-			if err != nil {
-				hc.Close()
-				return fmt.Errorf("cluster: catch-up dial member: %w", err)
-			}
-			// The push carries the target epoch: members still at an older
-			// epoch accept it (senders ahead of the receiver are fine;
-			// only senders BEHIND are deposed primaries).
-			if _, err := mc.Rep(o, epoch, entries); err != nil {
-				hc.Close()
-				mc.Close()
-				return fmt.Errorf("cluster: catch-up rep origin %d: %w", o, err)
-			}
-			mc.Close()
 		}
 		hc.Close()
 	}
 	return nil
+}
+
+// catchUpMember drives one member to the holder's watermark for one
+// origin's log, one MaxRepEntries frame at a time. A round that moves
+// neither the Sub cursor nor the member's watermark is an error — catch-up
+// must never silently stop short.
+func catchUpMember(hc *potserve.Client, m *Member, o uint32, epoch, maxW uint64) error {
+	w := m.Node.Watermark(o)
+	if w >= maxW {
+		return nil
+	}
+	mc, err := dialPeer(m.Addr)
+	if err != nil {
+		return fmt.Errorf("cluster: catch-up dial member: %w", err)
+	}
+	defer mc.Close()
+	for w < maxW {
+		entries, err := hc.Sub(o, w)
+		if err != nil {
+			return fmt.Errorf("cluster: catch-up sub origin %d: %w", o, err)
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("cluster: catch-up stalled: holder has no entries for origin %d past %d (want %d)", o, w, maxW)
+		}
+		// The push carries the target epoch: members still at an older
+		// epoch accept it (senders ahead of the receiver are fine; only
+		// senders BEHIND are deposed primaries).
+		nw, err := mc.Rep(o, epoch, entries)
+		if err != nil {
+			return fmt.Errorf("cluster: catch-up rep origin %d: %w", o, err)
+		}
+		if nw <= w {
+			return fmt.Errorf("cluster: catch-up made no progress: member %d stuck at %d of origin %d's %d", m.Node.ID, nw, o, maxW)
+		}
+		w = nw
+	}
+	return nil
+}
+
+// Compact trims every alive member's applied logs below the cluster-wide
+// confirmed floor: per origin, the minimum watermark across alive members.
+// Everything below that floor is applied everywhere that can still be
+// caught up, so no future REP backlog push or SUB catch-up needs it. Run
+// after Sync to bound the volatile replication logs in a long-lived
+// cluster; the crash harness never calls it, so its verifier audits full
+// logs.
+func (c *Cluster) Compact() {
+	alive := make([]*Member, 0, len(c.Members))
+	for _, m := range c.Members {
+		if !m.Node.Dead() {
+			alive = append(alive, m)
+		}
+	}
+	if len(alive) == 0 {
+		return
+	}
+	for origin := range c.Members {
+		o := uint32(origin)
+		floor := alive[0].Node.Watermark(o)
+		for _, m := range alive[1:] {
+			if w := m.Node.Watermark(o); w < floor {
+				floor = w
+			}
+		}
+		for _, m := range alive {
+			m.Node.CompactBelow(o, floor)
+		}
+	}
 }
 
 // ackSeed tells every listed primary what its peers hold of ITS log, so a
@@ -218,7 +273,7 @@ func (c *Cluster) catchUp(members []*Member, epoch uint64) error {
 // tracker (ACK frames: reporter id + watermark).
 func (c *Cluster) ackSeed(members []*Member) error {
 	for _, m := range members {
-		mc, err := potserve.Dial(m.Addr)
+		mc, err := dialPeer(m.Addr)
 		if err != nil {
 			return fmt.Errorf("cluster: ack-seed dial: %w", err)
 		}

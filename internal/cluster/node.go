@@ -3,11 +3,32 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"potgo/internal/nvmsim"
 	"potgo/internal/objstore"
 	"potgo/internal/potserve"
 )
+
+// Replication and coordination round trips are bounded: a hung peer (a
+// partition that drops packets without resetting the connection) must turn
+// into a failed ack or a failed catch-up, never a coordinator — or every
+// client write on it — blocked forever.
+const (
+	peerDialTimeout = 5 * time.Second
+	peerCallTimeout = 15 * time.Second
+)
+
+// dialPeer dials a member for replication traffic with connect and
+// per-round-trip deadlines armed.
+func dialPeer(addr string) (*potserve.Client, error) {
+	c, err := potserve.DialTimeout(addr, peerDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(peerCallTimeout)
+	return c, nil
+}
 
 // Applied is one log entry as applied on a node, stamped with the context
 // the verifier needs: the epoch the sender claimed when it pushed the entry
@@ -57,11 +78,16 @@ type Node struct {
 	tracker *Tracker
 	// watermark[origin] is the highest seq applied in order per origin.
 	watermark map[uint32]uint64
-	// applied[origin] is the full in-order applied log per origin,
-	// including this node's own. Volatile by design — the persistent truth
-	// is the KV journal + op counters; the applied log is the replication
-	// state the verifier audits.
+	// applied[origin] is the in-order applied log per origin, including
+	// this node's own, minus any compacted prefix: applied[origin][i]
+	// holds Seq trimmed[origin]+i+1. Volatile by design — the persistent
+	// truth is the KV journal + op counters; the applied log is the
+	// replication state the verifier audits (the crash harness never
+	// compacts, so it audits full logs).
 	applied map[uint32][]Applied
+	// trimmed[origin] is the compaction floor: entries with
+	// Seq <= trimmed[origin] have been discarded from applied[origin].
+	trimmed map[uint32]uint64
 
 	// peers holds one replication stream per peer: a lazily-dialed client,
 	// the peer's last confirmed watermark for OUR log, and a lock
@@ -88,6 +114,7 @@ func NewNode(id uint32, kv *objstore.KV, topo Topology) *Node {
 		tracker:   NewTracker(topo.Quorum()),
 		watermark: make(map[uint32]uint64),
 		applied:   make(map[uint32][]Applied),
+		trimmed:   make(map[uint32]uint64),
 	}
 }
 
@@ -143,6 +170,77 @@ func (n *Node) AppliedLog(origin uint32) []Applied {
 	out := make([]Applied, len(n.applied[origin]))
 	copy(out, n.applied[origin])
 	return out
+}
+
+// Trimmed returns the node's compaction floor for an origin: entries with
+// Seq <= Trimmed(origin) have been discarded from the applied log.
+func (n *Node) Trimmed(origin uint32) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.trimmed[origin]
+}
+
+// CompactBelow discards origin's applied-log entries with Seq <= below
+// (clamped to the applied watermark). Safe only when everything that may
+// ever ask for this log again — REP backlog pushes, SUB catch-up — already
+// holds it through below; the coordinator computes that floor as the
+// minimum watermark across alive members. This bounds the volatile applied
+// log, which otherwise grows without limit in a long-running cluster; the
+// persistent truth (KV + journal) is unaffected.
+func (n *Node) CompactBelow(origin uint32, below uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if w := n.watermark[origin]; below > w {
+		below = w
+	}
+	base := n.trimmed[origin]
+	if below <= base {
+		return
+	}
+	cut := below - base
+	log := n.applied[origin]
+	if cut > uint64(len(log)) {
+		cut = uint64(len(log))
+	}
+	// Copy the suffix so the old backing array (and the entry payloads it
+	// pins) is released.
+	n.applied[origin] = append([]Applied(nil), log[cut:]...)
+	n.trimmed[origin] = base + cut
+}
+
+// SelfCompact bounds the node's applied logs without a coordinator (the
+// multi-process potserve cluster mode, which has no failover driver): the
+// node's own log is trimmed below the lowest watermark its alive peers
+// have confirmed on their replication streams — a down peer (confirmed 0)
+// pins the whole log, exactly the backlog it will need — and every other
+// origin's log keeps a MaxRepEntries retention tail past this node's
+// applied watermark, enough to serve one catch-up frame. The in-process
+// coordinator never calls this; it compacts cluster-wide via
+// Cluster.Compact, and the crash harness not at all.
+func (n *Node) SelfCompact() {
+	t := n.Topology()
+	floor := n.Watermark(n.ID)
+	for _, tn := range t.Wire.Nodes {
+		if tn.ID == n.ID || !tn.Alive {
+			continue
+		}
+		ps := n.peer(tn.ID)
+		ps.mu.Lock()
+		known := ps.known
+		ps.mu.Unlock()
+		if known < floor {
+			floor = known
+		}
+	}
+	n.CompactBelow(n.ID, floor)
+	for _, tn := range t.Wire.Nodes {
+		if tn.ID == n.ID {
+			continue
+		}
+		if w := n.Watermark(tn.ID); w > uint64(potserve.MaxRepEntries) {
+			n.CompactBelow(tn.ID, w-uint64(potserve.MaxRepEntries))
+		}
+	}
 }
 
 // Seq returns the node's own log length (last assigned sequence).
@@ -348,53 +446,71 @@ func (n *Node) execWrite(req *potserve.Request, resp *potserve.Response) {
 }
 
 // pushBacklog sends this node's log entries past the peer's confirmed
-// watermark, up to at least seq, and records the returned watermark in the
-// quorum tracker. Pushes to one peer serialize on its stream lock; because
-// every push carries the full unconfirmed backlog, two writers racing to
-// push still deliver the log in order with no gaps — whichever push lands
-// first carries both entries, and the response watermark acks both.
+// watermark until the peer confirms at least seq, chunking at
+// MaxRepEntries per REP frame, and records each returned watermark in the
+// quorum tracker. The loop matters: a backlog deeper than one frame (the
+// peer was down, or a write burst outran it) must drain fully before the
+// write is judged, or a healthy peer's ack would be missed and the client
+// would get a spurious quorum failure. Pushes to one peer serialize on
+// its stream lock; because every push resumes from the confirmed
+// watermark, two writers racing to push still deliver the log in order
+// with no gaps — whichever push lands first carries both entries, and the
+// response watermark acks both.
 func (n *Node) pushBacklog(tn potserve.TopoNode, seq, epoch uint64) {
 	ps := n.peer(tn.ID)
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	if ps.known >= seq {
-		return // a racing push already delivered and confirmed this entry
-	}
-	n.mu.Lock()
-	log := n.applied[n.ID]
-	// Own-log entries are in order with Seq == index+1.
-	from := ps.known
-	if from > uint64(len(log)) {
-		from = uint64(len(log))
-	}
-	entries := make([]potserve.RepEntry, 0, len(log)-int(from))
-	for _, a := range log[from:] {
-		entries = append(entries, a.RepEntry)
-	}
-	n.mu.Unlock()
-	if len(entries) == 0 {
-		return
-	}
-	if len(entries) > potserve.MaxRepEntries {
-		entries = entries[:potserve.MaxRepEntries]
-	}
-	if ps.conn == nil {
-		c, err := potserve.Dial(tn.Addr)
-		if err != nil {
+	for ps.known < seq {
+		n.mu.Lock()
+		log := n.applied[n.ID]
+		base := n.trimmed[n.ID]
+		from := ps.known
+		if from < base {
+			// Entries at or below the compaction floor are confirmed
+			// durable on every alive peer (the invariant compaction trims
+			// under); ps.known is merely stale. Resume at the floor and
+			// let the REP response watermark correct it.
+			from = base
+		}
+		// Own-log entries are in order with Seq == base+index+1.
+		idx := from - base
+		if idx > uint64(len(log)) {
+			idx = uint64(len(log))
+		}
+		end := uint64(len(log))
+		if end-idx > uint64(potserve.MaxRepEntries) {
+			end = idx + uint64(potserve.MaxRepEntries)
+		}
+		entries := make([]potserve.RepEntry, 0, end-idx)
+		for _, a := range log[idx:end] {
+			entries = append(entries, a.RepEntry)
+		}
+		n.mu.Unlock()
+		if len(entries) == 0 {
 			return
 		}
-		ps.conn = c
-	}
-	w, err := ps.conn.Rep(n.ID, epoch, entries)
-	if err != nil {
-		ps.conn.Close()
-		ps.conn = nil
-		return
-	}
-	if w > ps.known {
+		if ps.conn == nil {
+			c, err := dialPeer(tn.Addr)
+			if err != nil {
+				return
+			}
+			ps.conn = c
+		}
+		w, err := ps.conn.Rep(n.ID, epoch, entries)
+		if err != nil {
+			// Connection error or round-trip timeout: the response stream
+			// is out of sync, so drop the connection and count this round
+			// as a failed ack. The next write redials and resumes.
+			ps.conn.Close()
+			ps.conn = nil
+			return
+		}
+		n.tracker.Ack(w, tn.ID)
+		if w <= ps.known {
+			return // peer refused (stale epoch) or stalled: no progress
+		}
 		ps.known = w
 	}
-	n.tracker.Ack(w, tn.ID)
 }
 
 // originLock returns the apply lock for one origin's log.
@@ -460,19 +576,35 @@ func (n *Node) execRep(req *potserve.Request, resp *potserve.Response) {
 	*resp = potserve.Response{Status: potserve.StatusOK, Seq: w}
 }
 
-// execSub answers an origin's applied log suffix (catch-up stream).
+// execSub answers an origin's applied log suffix (catch-up stream), at
+// most MaxRepEntries per response — the subscriber resumes from the
+// watermark its REP push confirmed. A request below the compaction floor
+// is an explicit error, never a silent gap: the requester's replica can no
+// longer be caught up from this node.
 func (n *Node) execSub(req *potserve.Request, resp *potserve.Response) {
 	n.mu.Lock()
 	log := n.applied[req.Origin]
+	base := n.trimmed[req.Origin]
 	var out []potserve.RepEntry
-	for _, a := range log {
-		if a.Seq > req.Seq {
-			out = append(out, a.RepEntry)
+	if req.Seq >= base {
+		// Applied entries are in order with Seq == base+index+1.
+		idx := req.Seq - base
+		if idx < uint64(len(log)) {
+			end := idx + uint64(potserve.MaxRepEntries)
+			if end > uint64(len(log)) {
+				end = uint64(len(log))
+			}
+			out = make([]potserve.RepEntry, 0, end-idx)
+			for _, a := range log[idx:end] {
+				out = append(out, a.RepEntry)
+			}
 		}
 	}
 	n.mu.Unlock()
-	if len(out) > potserve.MaxRepEntries {
-		out = out[:potserve.MaxRepEntries]
+	if req.Seq < base {
+		*resp = potserve.Response{Status: potserve.StatusErr,
+			Msg: fmt.Sprintf("cluster: origin %d log compacted through %d, cannot serve from %d", req.Origin, base, req.Seq)}
+		return
 	}
 	*resp = potserve.Response{Status: potserve.StatusOK, Entries: out}
 }

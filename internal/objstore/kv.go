@@ -289,14 +289,14 @@ func ReplayKVJournal(j []BatchOp, n int) map[uint64]uint64 {
 	return m
 }
 
-// journalOp records op in the shard journal and bumps the persistent
-// counter inside the already-bound transaction. Caller holds the shard
-// write lock.
 // SnapshotFallbacks returns how many MVCC reads fell back to the latched
 // path (pin registry exhausted, or a version-mirror miss mid-walk). Zero
 // on latched-baseline stores, which never take the snapshot path at all.
 func (kv *KV) SnapshotFallbacks() uint64 { return atomic.LoadUint64(&kv.fallbacks) }
 
+// journalOp records op in the shard journal and bumps the persistent
+// counter inside the already-bound transaction. Caller holds the shard
+// write lock.
 func (kv *KV) journalOp(s *kvShard, op BatchOp) error {
 	s.journal = append(s.journal, op)
 	return bumpCounter(&s.wctx, s.root.FieldAt(8))

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"time"
 
 	"potgo/internal/objstore"
 	"potgo/internal/pds"
@@ -22,10 +23,11 @@ import (
 // and pings allocate nothing on the client either (scan results are fresh
 // slices — they outlive the call).
 type Client struct {
-	conn  net.Conn
-	br    *bufio.Reader
-	out   []byte // unsent request frames
-	frame []byte // response frame scratch
+	conn    net.Conn
+	br      *bufio.Reader
+	out     []byte // unsent request frames
+	frame   []byte // response frame scratch
+	timeout time.Duration
 }
 
 // ServerError is a failure the server reported in a StatusErr response.
@@ -45,6 +47,36 @@ func Dial(addr string) (*Client, error) {
 	return NewClient(conn), nil
 }
 
+// DialTimeout connects to a potserve server, failing if the connection is
+// not established within d.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// SetTimeout bounds every subsequent round trip (request write through
+// response read) to d; zero restores blocking I/O. A timed-out call
+// leaves the response stream out of sync, so the connection must be
+// closed, not reused — the replication layer treats a timeout as a
+// failed ack and redials.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.timeout = d
+	if d == 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// arm applies the round-trip deadline, if one is set.
+func (c *Client) arm() error {
+	if c.timeout == 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.timeout))
+}
+
 // NewClient wraps an established connection.
 func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, br: bufio.NewReader(conn)}
@@ -55,6 +87,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 
 // roundTrip sends one request and reads its response.
 func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.arm(); err != nil {
+		return Response{}, err
+	}
 	if err := c.send(req); err != nil {
 		return Response{}, err
 	}
@@ -113,6 +148,9 @@ func (c *Client) Pipeline(reqs []Request) ([]Response, error) {
 // responses — scan results included — are only valid until the next
 // PipelineAppend with the same slice.
 func (c *Client) PipelineAppend(reqs []Request, resps []Response) ([]Response, error) {
+	if err := c.arm(); err != nil {
+		return nil, err
+	}
 	for _, req := range reqs {
 		if err := c.send(req); err != nil {
 			return nil, err
